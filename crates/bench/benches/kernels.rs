@@ -1,0 +1,154 @@
+//! Criterion kernel benchmarks: the building-block costs behind every
+//! figure. Sample sizes are kept small so `cargo bench --workspace`
+//! completes quickly; these measure *our* kernels, not the paper's
+//! hardware.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use aj_core::dmsim::shmem_sim::{run_shmem_async, ShmemSimConfig, StopRule};
+use aj_core::dmsim::{run_dist_async, DistConfig};
+use aj_core::linalg::{eigen, sweeps, IterationMatrix};
+use aj_core::model::{mask::ActiveMask, propagation};
+use aj_core::partition::{bfs_partition, block_partition, CommPlan};
+use aj_core::Problem;
+
+fn bench_spmv(c: &mut Criterion) {
+    let p = Problem::paper_fd("fd4624", 1).unwrap();
+    let x = p.x0.clone();
+    let mut y = vec![0.0; p.n()];
+    c.bench_function("spmv_fd4624", |b| {
+        b.iter(|| p.a.spmv_into(black_box(&x), black_box(&mut y)));
+    });
+}
+
+fn bench_relaxation(c: &mut Criterion) {
+    let p = Problem::paper_fd("fd4624", 1).unwrap();
+    let diag_inv = vec![1.0; p.n()];
+    let mut g = c.benchmark_group("relaxation_sweep");
+    g.bench_function("jacobi_iteration", |b| {
+        let mut x_next = vec![0.0; p.n()];
+        b.iter(|| sweeps::jacobi_iteration(&p.a, &p.b, &diag_inv, black_box(&p.x0), &mut x_next));
+    });
+    g.bench_function("gauss_seidel_sweep", |b| {
+        b.iter_batched(
+            || p.x0.clone(),
+            |mut x| sweeps::gauss_seidel_sweep(&p.a, &p.b, &diag_inv, black_box(&mut x)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_model_step(c: &mut Criterion) {
+    let p = Problem::paper_fd("fd4624", 1).unwrap();
+    let diag_inv = vec![1.0; p.n()];
+    let mask = ActiveMask::random(p.n(), 0.5, 7);
+    c.bench_function("model_propagation_step", |b| {
+        b.iter_batched(
+            || p.x0.clone(),
+            |mut x| propagation::apply_step(&p.a, &p.b, &diag_inv, black_box(&mask), &mut x),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    let p = Problem::paper_fd("fd272", 1).unwrap();
+    c.bench_function("shmem_sim_50_iterations_68_workers", |b| {
+        b.iter(|| {
+            let mut cfg = ShmemSimConfig::new(68, p.n(), 1);
+            cfg.stop = StopRule::FixedIterations(50);
+            cfg.tol = 0.0;
+            run_shmem_async(black_box(&p.a), &p.b, &p.x0, &cfg)
+        });
+    });
+    c.bench_function("dist_sim_20_iterations_32_ranks", |b| {
+        let part = block_partition(p.n(), 32);
+        b.iter(|| {
+            let mut cfg = DistConfig::new(p.n(), 1);
+            cfg.stop = StopRule::FixedIterations(20);
+            cfg.tol = 0.0;
+            run_dist_async(black_box(&p.a), &p.b, &p.x0, &part, &cfg)
+        });
+    });
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let p = Problem::paper_fd("fd4624", 1).unwrap();
+    let mut g = c.benchmark_group("partitioning");
+    g.bench_function("bfs_partition_64", |b| {
+        b.iter(|| bfs_partition(black_box(&p.a), 64));
+    });
+    g.bench_function("comm_plan_64", |b| {
+        let part = block_partition(p.n(), 64);
+        b.iter(|| CommPlan::build(black_box(&p.a), &part));
+    });
+    g.finish();
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    // Trace capture + §IV-A reconstruction on the paper's Fig-2 setup.
+    let p = Problem::paper_fd("fd272", 1).unwrap();
+    let mut cfg = aj_core::dmsim::shmem_sim::ShmemSimConfig::new(68, p.n(), 1);
+    cfg.stop = StopRule::FixedIterations(10);
+    cfg.tol = 0.0;
+    let (_, trace) = aj_core::dmsim::shmem_sim::run_shmem_async_traced(&p.a, &p.b, &p.x0, &cfg);
+    c.bench_function("trace_reconstruct_fd272_68w_10it", |b| {
+        b.iter(|| aj_core::trace::reconstruct(black_box(&trace)));
+    });
+}
+
+fn bench_orderings_and_krylov(c: &mut Criterion) {
+    let p = Problem::paper_fd("fd4624", 1).unwrap();
+    let mut g = c.benchmark_group("orderings_krylov");
+    g.sample_size(10);
+    g.bench_function("rcm_fd4624", |b| {
+        b.iter(|| aj_core::partition::reverse_cuthill_mckee(black_box(&p.a)));
+    });
+    g.bench_function("multigrid_vcycle_31x31", |b| {
+        let a = aj_core::matrices::fd::laplacian_2d(31, 31);
+        let bb: Vec<f64> = (0..961).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
+        let mg = aj_core::linalg::multigrid::TwoGrid::new(a, 31, 31).unwrap();
+        b.iter_batched(
+            || vec![0.0; 961],
+            |mut x| mg.v_cycle(black_box(&bb), &mut x).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("cg_fd4624_to_1e-6", |b| {
+        b.iter(|| {
+            aj_core::linalg::krylov::conjugate_gradient(
+                black_box(&p.a),
+                &p.b,
+                &p.x0,
+                1e-6,
+                10_000,
+                aj_core::linalg::vecops::Norm::L2,
+            )
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let p = Problem::paper_fd("fd272", 1).unwrap();
+    let mut g = c.benchmark_group("eigen");
+    g.sample_size(10);
+    g.bench_function("lanczos_extreme_fd272", |b| {
+        b.iter(|| eigen::lanczos_extreme(black_box(&p.a), 80).unwrap());
+    });
+    g.bench_function("power_method_abs_g", |b| {
+        let gabs = IterationMatrix::new(&p.a).abs_csr();
+        b.iter(|| eigen::power_method(black_box(&gabs), 1e-8, 2_000).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_spmv, bench_relaxation, bench_model_step, bench_event_engine, bench_partitioning, bench_reconstruction, bench_orderings_and_krylov, bench_eigen
+}
+criterion_main!(kernels);

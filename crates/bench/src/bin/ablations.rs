@@ -1,0 +1,273 @@
+//! Ablation studies for the design choices called out in DESIGN.md §5:
+//!
+//! * `jitter`  — how per-iteration noise magnitude affects the asynchronous
+//!   advantage (noise is the staggering mechanism);
+//! * `latency` — put-latency sweep: the crossover into the stale-ghost
+//!   regime where async needs *more* relaxations (Bethune et al.'s
+//!   large-core-count observation);
+//! * `mask`    — §IV-D in the model: convergence rate of random-mask
+//!   propagation sequences vs mask density;
+//! * `partition` — BFS graph-grown vs contiguous-block subdomains: edge cut
+//!   and async convergence impact.
+//!
+//! Run all: `cargo run --release -p aj-bench --bin ablations`
+//! or one:  `... --bin ablations jitter`
+
+use aj_bench::RunOptions;
+use aj_core::dmsim::cost::Jitter;
+use aj_core::dmsim::{run_dist_async, run_dist_sync, DistConfig, DistVariant};
+use aj_core::linalg::vecops::Norm;
+use aj_core::model::{run_async_model, DelaySchedule};
+use aj_core::partition::{bfs_partition, block_partition};
+use aj_core::report::{print_table, results_path, write_csv, Series};
+use aj_core::Problem;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let which: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let all = which.is_empty();
+    let has = |name: &str| all || which.iter().any(|w| w == name);
+
+    if has("jitter") {
+        ablation_jitter(opts);
+    }
+    if has("latency") {
+        ablation_latency(opts);
+    }
+    if has("mask") {
+        ablation_mask_density(opts);
+    }
+    if has("partition") {
+        ablation_partition(opts);
+    }
+    if has("eager") {
+        ablation_eager(opts);
+    }
+    if has("omega") {
+        ablation_omega(opts);
+    }
+    if has("local-solve") {
+        ablation_local_solve(opts);
+    }
+}
+
+/// Damping weight ω on the FE matrix: plain synchronous Jacobi diverges
+/// (ρ(G) > 1) but damped variants converge, at a speed that peaks near the
+/// optimal ω — the classical counterpart of the paper's asynchronous
+/// rescue, for context.
+fn ablation_omega(opts: RunOptions) {
+    use aj_core::dmsim::shmem_sim::{run_shmem_sync, ShmemSimConfig, StopRule};
+    let p = Problem::paper_fe(opts.seed);
+    let mut finals = Vec::new();
+    for omega in [0.4, 0.55, 0.7, 0.85, 1.0] {
+        let mut cfg = ShmemSimConfig::new(8, p.n(), opts.seed);
+        cfg.stop = StopRule::FixedIterations(400);
+        cfg.tol = 0.0;
+        cfg.max_time = 1e14;
+        cfg.omega = omega;
+        let out = run_shmem_sync(&p.a, &p.b, &p.x0, &cfg);
+        finals.push((omega, out.final_residual()));
+    }
+    let series = vec![Series::new("sync final residual after 400 iters", finals)];
+    print_table("Ablation: damping weight ω on the FE matrix", "ω", &series);
+    write_csv(&results_path("ablation_omega"), &series).unwrap();
+}
+
+/// Local subdomain solver: one Jacobi iteration (the paper) vs one
+/// Gauss–Seidel sweep (Jager & Bradley's inexact block Jacobi).
+fn ablation_local_solve(opts: RunOptions) {
+    use aj_core::dmsim::dist::LocalSolve;
+    let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
+    let tol = 1e-2;
+    let mut jac_pts = Vec::new();
+    let mut gs_pts = Vec::new();
+    for ranks in [8usize, 32, 128] {
+        let partition = block_partition(p.n(), ranks);
+        for (solve, pts) in [
+            (LocalSolve::Jacobi, &mut jac_pts),
+            (LocalSolve::GaussSeidel, &mut gs_pts),
+        ] {
+            let mut cfg = DistConfig::new(p.n(), opts.seed);
+            cfg.tol = tol;
+            cfg.local_solve = solve;
+            let out = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
+            if let Some(r) = out.relaxations_to_tolerance(tol) {
+                pts.push((ranks as f64, r));
+            }
+        }
+    }
+    let series = vec![
+        Series::new("local Jacobi relax/n", jac_pts),
+        Series::new("local Gauss–Seidel relax/n", gs_pts),
+    ];
+    print_table("Ablation: local subdomain solver", "ranks", &series);
+    write_csv(&results_path("ablation_local_solve"), &series).unwrap();
+}
+
+/// Racy (Baudet, the paper's scheme) vs eager (Jager & Bradley): total
+/// relaxations and time to tolerance across put latencies. Eager avoids
+/// re-relaxing on stale data, which pays off when latency is high.
+fn ablation_eager(opts: RunOptions) {
+    let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
+    let partition = block_partition(p.n(), 32);
+    let tol = 1e-2;
+    let mut racy_relax = Vec::new();
+    let mut eager_relax = Vec::new();
+    let mut racy_time = Vec::new();
+    let mut eager_time = Vec::new();
+    for lat in [50.0, 300.0, 1000.0, 3000.0] {
+        for (variant, relax_pts, time_pts) in [
+            (DistVariant::Racy, &mut racy_relax, &mut racy_time),
+            (DistVariant::Eager, &mut eager_relax, &mut eager_time),
+        ] {
+            let mut cfg = DistConfig::new(p.n(), opts.seed);
+            cfg.tol = tol;
+            cfg.cost.put_latency = lat;
+            cfg.variant = variant;
+            let out = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
+            if let Some(r) = out.relaxations_to_tolerance(tol) {
+                relax_pts.push((lat, r));
+            }
+            if let Some(t) = out.time_to_tolerance(tol) {
+                time_pts.push((lat, t));
+            }
+        }
+    }
+    let series = vec![
+        Series::new("racy relaxations/n", racy_relax),
+        Series::new("eager relaxations/n", eager_relax),
+        Series::new("racy time", racy_time),
+        Series::new("eager time", eager_time),
+    ];
+    print_table(
+        "Ablation: racy vs eager update scheme",
+        "put latency",
+        &series,
+    );
+    write_csv(&results_path("ablation_eager"), &series).unwrap();
+}
+
+/// Noise magnitude vs the async advantage in relaxations-to-tolerance.
+fn ablation_jitter(opts: RunOptions) {
+    let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
+    let partition = block_partition(p.n(), 32);
+    let tol = 1e-2;
+    let mut pts = Vec::new();
+    for sigma in [0.0, 0.02, 0.05, 0.1, 0.2] {
+        let mut cfg = DistConfig::new(p.n(), opts.seed);
+        cfg.tol = tol;
+        cfg.cost.jitter = Jitter {
+            static_sigma: sigma / 2.0,
+            dynamic_sigma: sigma,
+            seed: opts.seed,
+        };
+        let asy = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
+        if let Some(r) = asy.relaxations_to_tolerance(tol) {
+            pts.push((sigma, r));
+        }
+    }
+    let series = vec![Series::new("async relaxations/n to 1e-2", pts)];
+    print_table("Ablation: jitter magnitude", "dynamic σ", &series);
+    write_csv(&results_path("ablation_jitter"), &series).unwrap();
+}
+
+/// Put-latency sweep: async per-relaxation efficiency degrades into the
+/// stale-ghost regime as latency grows.
+fn ablation_latency(opts: RunOptions) {
+    let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
+    let partition = block_partition(p.n(), 32);
+    let tol = 1e-2;
+    let mut async_pts = Vec::new();
+    let mut sync_pts = Vec::new();
+    for lat in [0.0, 50.0, 100.0, 300.0, 1000.0, 3000.0] {
+        let mut cfg = DistConfig::new(p.n(), opts.seed);
+        cfg.tol = tol;
+        cfg.cost.put_latency = lat;
+        let asy = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
+        let syn = run_dist_sync(&p.a, &p.b, &p.x0, &partition, &cfg);
+        if let Some(r) = asy.relaxations_to_tolerance(tol) {
+            async_pts.push((lat, r));
+        }
+        if let Some(r) = syn.relaxations_to_tolerance(tol) {
+            sync_pts.push((lat, r));
+        }
+    }
+    let series = vec![
+        Series::new("async relaxations/n", async_pts),
+        Series::new("sync relaxations/n", sync_pts),
+    ];
+    print_table(
+        "Ablation: put latency (stale-ghost crossover)",
+        "latency (ticks)",
+        &series,
+    );
+    write_csv(&results_path("ablation_latency"), &series).unwrap();
+}
+
+/// §IV-D quantified: convergence of the random-mask model vs mask density.
+fn ablation_mask_density(opts: RunOptions) {
+    let p = Problem::paper_fd("fd272", opts.seed).unwrap();
+    let mut per_step = Vec::new();
+    let mut per_relax = Vec::new();
+    for density in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let schedule = DelaySchedule::Random {
+            density,
+            seed: opts.seed,
+        };
+        let run = run_async_model(&p.a, &p.b, &p.x0, &schedule, 1e-4, 200_000, Norm::L1).unwrap();
+        if let Some(t) = run.time_to_tolerance(1e-4) {
+            per_step.push((density, t as f64));
+            per_relax.push((density, run.relaxations as f64 / p.n() as f64));
+        }
+    }
+    let series = vec![
+        Series::new("model steps to 1e-4", per_step),
+        Series::new("relaxations/n to 1e-4", per_relax),
+    ];
+    print_table("Ablation: mask density (model §IV-D)", "density", &series);
+    write_csv(&results_path("ablation_mask_density"), &series).unwrap();
+}
+
+/// Partition quality: BFS graph growing vs plain contiguous blocks.
+fn ablation_partition(opts: RunOptions) {
+    let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
+    let tol = 1e-2;
+    let mut cut_block = Vec::new();
+    let mut cut_bfs = Vec::new();
+    let mut relax_block = Vec::new();
+    let mut relax_bfs = Vec::new();
+    for ranks in [8usize, 32, 128] {
+        let pb = block_partition(p.n(), ranks);
+        let pg = bfs_partition(&p.a, ranks);
+        cut_block.push((ranks as f64, pb.edge_cut(&p.a) as f64));
+        cut_bfs.push((ranks as f64, pg.edge_cut(&p.a) as f64));
+        let cfg = DistConfig::new(p.n(), opts.seed);
+        let ob = run_dist_async(&p.a, &p.b, &p.x0, &pb, &{
+            let mut c = cfg.clone();
+            c.tol = tol;
+            c
+        });
+        let og = run_dist_async(&p.a, &p.b, &p.x0, &pg, &{
+            let mut c = cfg.clone();
+            c.tol = tol;
+            c
+        });
+        if let Some(r) = ob.relaxations_to_tolerance(tol) {
+            relax_block.push((ranks as f64, r));
+        }
+        if let Some(r) = og.relaxations_to_tolerance(tol) {
+            relax_bfs.push((ranks as f64, r));
+        }
+    }
+    let series = vec![
+        Series::new("edge cut (block)", cut_block),
+        Series::new("edge cut (BFS)", cut_bfs),
+        Series::new("async relax/n (block)", relax_block),
+        Series::new("async relax/n (BFS)", relax_bfs),
+    ];
+    print_table("Ablation: partitioner", "ranks", &series);
+    write_csv(&results_path("ablation_partition"), &series).unwrap();
+}

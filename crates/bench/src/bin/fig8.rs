@@ -1,0 +1,46 @@
+//! Regenerates Figure 8: distributed memory — simulated wall-clock time to
+//! reduce the residual by 10× as a function of rank count, sync vs async,
+//! for the six convergent Table-I problems (log-interpolated, as in the
+//! paper).
+
+use aj_bench::{dist_time_curve, fig7_problem_names, fig7_rank_counts, suite_scale, RunOptions};
+use aj_core::interp::time_to_reduction;
+use aj_core::report::{print_table, results_path, write_csv, Series};
+use aj_core::Problem;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let ranks = fig7_rank_counts(opts.quick);
+    let iters: u64 = if opts.quick { 60 } else { 200 };
+    let mut all = Vec::new();
+    for name in fig7_problem_names() {
+        let p = Problem::suite(name, suite_scale(opts.quick), opts.seed).expect("known problem");
+        let mut sync_pts = Vec::new();
+        let mut async_pts = Vec::new();
+        for &r in &ranks {
+            if r > p.n() {
+                continue;
+            }
+            let syn = dist_time_curve(&p, r, false, iters, opts.seed);
+            let asy = dist_time_curve(&p, r, true, iters, opts.seed);
+            if let Some(t) = time_to_reduction(&syn.points, 0.1) {
+                sync_pts.push((r as f64, t));
+            }
+            if let Some(t) = time_to_reduction(&asy.points, 0.1) {
+                async_pts.push((r as f64, t));
+            }
+        }
+        let series = vec![
+            Series::new(format!("{name} sync"), sync_pts),
+            Series::new(format!("{name} async"), async_pts),
+        ];
+        print_table(
+            &format!("Figure 8: {name}, time to 10× reduction"),
+            "ranks",
+            &series,
+        );
+        all.extend(series);
+    }
+    write_csv(&results_path("fig8"), &all).expect("write results/fig8.csv");
+    println!("\nPaper: async is faster in wall-clock across problems and rank counts.");
+}

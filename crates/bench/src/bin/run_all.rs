@@ -1,0 +1,34 @@
+//! Runs every table/figure binary in sequence by spawning them as child
+//! processes, forwarding `--quick`/`--seed`. Convenient smoke test:
+//! `cargo run --release -p aj-bench --bin run_all -- --quick`.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let targets = [
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "ablations",
+    ];
+    for t in targets {
+        let path = dir.join(t);
+        println!("\n──────── {t} ────────");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{t} exited with {status}");
+    }
+    println!("\nAll targets completed. CSVs are under results/.");
+}

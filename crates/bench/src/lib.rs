@@ -1,0 +1,399 @@
+//! Shared experiment drivers for the figure-regeneration binaries.
+//!
+//! Each paper table/figure has a binary under `src/bin/`; the heavy lifting
+//! lives here so `run_all` and the individual binaries share one code path.
+//! Every driver returns [`aj_core::report::Series`] values; binaries print
+//! them and write `results/<figure>.csv`.
+
+use aj_core::dmsim::shmem_sim::run_shmem_async_rowwise;
+use aj_core::dmsim::shmem_sim::{ShmemSimConfig, SimDelay, StopRule};
+use aj_core::dmsim::{run_dist_async, run_dist_sync, run_shmem_async, run_shmem_sync, DistConfig};
+use aj_core::linalg::vecops::Norm;
+use aj_core::model::{run_async_model, run_sync_model, DelaySchedule};
+use aj_core::partition::block_partition;
+use aj_core::report::Series;
+use aj_core::Problem;
+
+/// Global knobs for a regeneration run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Quick mode: smaller problems / fewer points, for smoke tests.
+    pub quick: bool,
+    /// Seed for workloads and jitter.
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Parses `--quick` and `--seed N` from command-line arguments.
+    pub fn from_args() -> RunOptions {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2018);
+        RunOptions { quick, seed }
+    }
+}
+
+/// Builds a shared-memory sim config whose per-iteration overhead includes
+/// the §V O(n) convergence scan — the dominant window cost on the paper's
+/// platforms and the reason thread windows are nearly identical.
+pub fn shmem_cfg(threads: usize, p: &Problem, seed: u64) -> ShmemSimConfig {
+    let mut cfg = ShmemSimConfig::new(threads, p.n(), seed);
+    cfg.cost.per_iteration = 40.0 + 0.5 * p.n() as f64;
+    cfg
+}
+
+/// The paper's Figure 3 worker/problem setup: `fd68`, one worker per row.
+pub fn fig3_speedup(opts: RunOptions) -> (Series, Series) {
+    let p = Problem::paper_fd("fd68", opts.seed).expect("fd68 exists");
+    let tol = 1e-3;
+
+    // Model curve: δ in model steps.
+    let deltas_model: Vec<u64> = if opts.quick {
+        vec![0, 10, 50, 100]
+    } else {
+        vec![0, 2, 5, 10, 20, 30, 50, 75, 100]
+    };
+    let mut model_pts = Vec::new();
+    for &d in &deltas_model {
+        let schedule = DelaySchedule::single_slow_row(34, d);
+        let sync = run_sync_model(&p.a, &p.b, &p.x0, &schedule, tol, 3_000_000, Norm::L1).unwrap();
+        let asy = run_async_model(&p.a, &p.b, &p.x0, &schedule, tol, 3_000_000, Norm::L1).unwrap();
+        if let (Some(ts), Some(ta)) = (sync.time_to_tolerance(tol), asy.time_to_tolerance(tol)) {
+            model_pts.push((d as f64, ts as f64 / (ta.max(1)) as f64));
+        }
+    }
+
+    // Simulated-threads curve: δ in multiples of the iteration window so the
+    // x-axes line up with the model's "delay in units of one iteration".
+    let mut sim_pts = Vec::new();
+    let window = {
+        let cfg = shmem_cfg(68, &p, opts.seed);
+        cfg.cost.sweep_cost(p.a.nnz() / 68)
+    };
+    for &d in &deltas_model {
+        let mut cfg = shmem_cfg(68, &p, opts.seed);
+        cfg.tol = tol;
+        cfg.delay = (d > 0).then_some(SimDelay {
+            worker: 34,
+            extra_ticks: d as f64 * window,
+        });
+        let asy = run_shmem_async(&p.a, &p.b, &p.x0, &cfg);
+        let syn = run_shmem_sync(&p.a, &p.b, &p.x0, &cfg);
+        if let (Some(ts), Some(ta)) = (syn.time_to_tolerance(tol), asy.time_to_tolerance(tol)) {
+            sim_pts.push((d as f64, ts / ta.max(1e-12)));
+        }
+    }
+    (
+        Series::new("model", model_pts),
+        Series::new("simulated threads", sim_pts),
+    )
+}
+
+/// Figure 4: residual histories for sync/async under several delays.
+/// Returns `(model series, simulated-thread series)`.
+pub fn fig4_histories(opts: RunOptions) -> (Vec<Series>, Vec<Series>) {
+    let p = Problem::paper_fd("fd68", opts.seed).expect("fd68 exists");
+    let tol = 1e-3;
+    let deltas: Vec<u64> = if opts.quick {
+        vec![0, 20, 100]
+    } else {
+        vec![0, 10, 20, 50, 100]
+    };
+
+    let mut model_series = Vec::new();
+    for &d in &deltas {
+        let schedule = DelaySchedule::single_slow_row(34, d);
+        let sync = run_sync_model(&p.a, &p.b, &p.x0, &schedule, tol, 300_000, Norm::L1).unwrap();
+        model_series.push(Series::new(
+            format!("model sync δ={d}"),
+            sync.residual_history
+                .iter()
+                .map(|&(t, r)| (t as f64, r))
+                .collect(),
+        ));
+        if d > 0 {
+            let asy =
+                run_async_model(&p.a, &p.b, &p.x0, &schedule, tol, 300_000, Norm::L1).unwrap();
+            model_series.push(Series::new(
+                format!("model async δ={d}"),
+                asy.residual_history
+                    .iter()
+                    .map(|&(t, r)| (t as f64, r))
+                    .collect(),
+            ));
+        }
+    }
+
+    let mut sim_series = Vec::new();
+    let window = {
+        let cfg = shmem_cfg(68, &p, opts.seed);
+        cfg.cost.sweep_cost(p.a.nnz() / 68)
+    };
+    for &d in &deltas {
+        let mut cfg = shmem_cfg(68, &p, opts.seed);
+        cfg.tol = tol;
+        cfg.sample_every = 68;
+        cfg.max_time = 1e9;
+        cfg.delay = (d > 0).then_some(SimDelay {
+            worker: 34,
+            extra_ticks: d as f64 * window,
+        });
+        let syn = run_shmem_sync(&p.a, &p.b, &p.x0, &cfg);
+        sim_series.push(Series::new(
+            format!("sim sync δ={d}"),
+            syn.samples.iter().map(|s| (s.time, s.residual)).collect(),
+        ));
+        if d > 0 {
+            let asy = run_shmem_async(&p.a, &p.b, &p.x0, &cfg);
+            sim_series.push(Series::new(
+                format!("sim async δ={d}"),
+                asy.samples.iter().map(|s| (s.time, s.residual)).collect(),
+            ));
+        }
+    }
+    (model_series, sim_series)
+}
+
+/// Figure 5 setup: `fd4624`, thread counts up to 272.
+pub fn fig5_scaling(opts: RunOptions) -> (Vec<Series>, Vec<Series>) {
+    let p = Problem::paper_fd("fd4624", opts.seed).expect("fd4624 exists");
+    let threads: Vec<usize> = if opts.quick {
+        vec![4, 17, 68, 272]
+    } else {
+        vec![1, 2, 4, 8, 17, 34, 68, 136, 272]
+    };
+    let tol = 1e-3;
+
+    // (a) time to tolerance.
+    let mut sync_tol = Vec::new();
+    let mut async_tol = Vec::new();
+    // (b) time for 100 iterations.
+    let mut sync_100 = Vec::new();
+    let mut async_100 = Vec::new();
+    for &t in &threads {
+        let mut cfg = shmem_cfg(t, &p, opts.seed);
+        cfg.tol = tol;
+        cfg.max_time = 1e12;
+        let syn = run_shmem_sync(&p.a, &p.b, &p.x0, &cfg);
+        let asy = run_shmem_async(&p.a, &p.b, &p.x0, &cfg);
+        if let Some(ts) = syn.time_to_tolerance(tol) {
+            sync_tol.push((t as f64, ts));
+        }
+        if let Some(ta) = asy.time_to_tolerance(tol) {
+            async_tol.push((t as f64, ta));
+        }
+
+        let mut cfg100 = shmem_cfg(t, &p, opts.seed);
+        cfg100.stop = StopRule::FixedIterations(100);
+        cfg100.tol = 0.0;
+        let syn100 = run_shmem_sync(&p.a, &p.b, &p.x0, &cfg100);
+        let asy100 = run_shmem_async(&p.a, &p.b, &p.x0, &cfg100);
+        sync_100.push((t as f64, syn100.time));
+        async_100.push((t as f64, asy100.time));
+    }
+    (
+        vec![
+            Series::new("sync (to 1e-3)", sync_tol),
+            Series::new("async (to 1e-3)", async_tol),
+        ],
+        vec![
+            Series::new("sync (100 iters)", sync_100),
+            Series::new("async (100 iters)", async_100),
+        ],
+    )
+}
+
+/// Builds the Figure 6 configuration: the divergence-rescue experiment
+/// probes the Jacobi↔Gauss–Seidel boundary, which depends on *within-window*
+/// read freshness, so it runs on the row-granular two-phase engine with a
+/// compute-dominated window (small convergence-scan share).
+fn fig6_cfg(threads: usize, p: &Problem, seed: u64) -> ShmemSimConfig {
+    let mut cfg = ShmemSimConfig::new(threads, p.n(), seed);
+    cfg.cost.per_iteration = 40.0 + 0.05 * p.n() as f64;
+    cfg
+}
+
+/// Figure 6: the FE matrix where synchronous Jacobi diverges.
+pub fn fig6_divergence_rescue(opts: RunOptions) -> (Vec<Series>, Series) {
+    let p = Problem::paper_fe(opts.seed);
+    let threads: Vec<usize> = if opts.quick {
+        vec![68, 272]
+    } else {
+        vec![68, 136, 272]
+    };
+    let iters: u64 = if opts.quick { 150 } else { 400 };
+    let mut series = Vec::new();
+    for &t in &threads {
+        let mut cfg = fig6_cfg(t, &p, opts.seed);
+        cfg.stop = StopRule::FixedIterations(iters);
+        cfg.tol = 0.0;
+        cfg.max_time = 1e13;
+        if t == threads[0] {
+            // One synchronous curve suffices — iteration counts, not thread
+            // counts, determine it (it is exactly global Jacobi).
+            let syn = run_shmem_sync(&p.a, &p.b, &p.x0, &cfg);
+            series.push(Series::new(
+                "sync (any threads)",
+                syn.samples
+                    .iter()
+                    .map(|s| (s.relaxations_per_n, s.residual))
+                    .collect(),
+            ));
+        }
+        let asy = run_shmem_async_rowwise(&p.a, &p.b, &p.x0, &cfg);
+        series.push(Series::new(
+            format!("async, {t} threads"),
+            asy.samples
+                .iter()
+                .map(|s| (s.relaxations_per_n, s.residual))
+                .collect(),
+        ));
+    }
+    // (b) long run at max threads to show true convergence.
+    let mut cfg = fig6_cfg(*threads.last().unwrap(), &p, opts.seed);
+    cfg.stop = StopRule::FixedIterations(4 * iters);
+    cfg.tol = 0.0;
+    cfg.max_time = 1e14;
+    let long = run_shmem_async_rowwise(&p.a, &p.b, &p.x0, &cfg);
+    let long_series = Series::new(
+        format!("async, {} threads (long)", threads.last().unwrap()),
+        long.samples
+            .iter()
+            .map(|s| (s.relaxations_per_n, s.residual))
+            .collect(),
+    );
+    (series, long_series)
+}
+
+/// The Table-I problem list used by Figures 7 and 8 (all but Dubcova2).
+pub fn fig7_problem_names() -> [&'static str; 6] {
+    [
+        "thermomech_dm",
+        "parabolic_fem",
+        "ecology2",
+        "apache2",
+        "G3_circuit",
+        "thermal2",
+    ]
+}
+
+/// Rank counts for the distributed figures (paper: 32–4096 over 1–128
+/// nodes of 32 ranks).
+pub fn fig7_rank_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![32, 256]
+    } else {
+        vec![32, 128, 512, 2048, 4096]
+    }
+}
+
+/// Runs one distributed experiment and returns the raw outcome.
+fn dist_outcome(
+    p: &Problem,
+    ranks: usize,
+    asynchronous: bool,
+    iters: u64,
+    seed: u64,
+) -> aj_core::dmsim::SimOutcome {
+    let partition = block_partition(p.n(), ranks);
+    let mut cfg = DistConfig::new(p.n(), seed);
+    cfg.stop = StopRule::FixedIterations(iters);
+    cfg.tol = 0.0;
+    cfg.max_time = 1e14;
+    cfg.sample_every = (p.n() as u64 * 2).max(1);
+    if asynchronous {
+        run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg)
+    } else {
+        run_dist_sync(&p.a, &p.b, &p.x0, &partition, &cfg)
+    }
+}
+
+fn dist_label(ranks: usize, asynchronous: bool) -> String {
+    if asynchronous {
+        format!("async, {ranks} ranks")
+    } else {
+        format!("sync, {ranks} ranks")
+    }
+}
+
+/// One distributed experiment: the residual-vs-relaxations curve (Figure 7).
+pub fn dist_curve(p: &Problem, ranks: usize, asynchronous: bool, iters: u64, seed: u64) -> Series {
+    let out = dist_outcome(p, ranks, asynchronous, iters, seed);
+    Series::new(
+        dist_label(ranks, asynchronous),
+        out.samples
+            .iter()
+            .map(|s| (s.relaxations_per_n, s.residual))
+            .collect(),
+    )
+}
+
+/// One distributed experiment: the residual-vs-time curve (Figure 8).
+pub fn dist_time_curve(
+    p: &Problem,
+    ranks: usize,
+    asynchronous: bool,
+    iters: u64,
+    seed: u64,
+) -> Series {
+    let out = dist_outcome(p, ranks, asynchronous, iters, seed);
+    Series::new(
+        dist_label(ranks, asynchronous),
+        out.samples.iter().map(|s| (s.time, s.residual)).collect(),
+    )
+}
+
+/// Scale used for suite problems in figure runs.
+pub fn suite_scale(quick: bool) -> aj_core::matrices::suite::Scale {
+    if quick {
+        aj_core::matrices::suite::Scale::Tiny
+    } else {
+        aj_core::matrices::suite::Scale::Small
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig3_produces_increasing_speedup() {
+        let (model, sim) = fig3_speedup(RunOptions {
+            quick: true,
+            seed: 1,
+        });
+        assert!(model.points.len() >= 3);
+        assert!(sim.points.len() >= 3);
+        // Speedup grows with delay in both model and simulation.
+        let m_first = model.points.first().unwrap().1;
+        let m_last = model.points.last().unwrap().1;
+        assert!(
+            m_last > m_first,
+            "model speedup should grow: {m_first} → {m_last}"
+        );
+        let s_last = sim.points.last().unwrap().1;
+        assert!(s_last > 2.0, "simulated speedup at large delay: {s_last}");
+    }
+
+    #[test]
+    fn quick_dist_curve_decreases() {
+        let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, 7).unwrap();
+        let s = dist_curve(&p, 32, true, 50, 7);
+        assert!(s.points.len() > 2);
+        assert!(s.final_y() < s.points[0].1, "residual should fall");
+    }
+
+    #[test]
+    fn options_parse_defaults() {
+        let o = RunOptions {
+            quick: false,
+            seed: 2018,
+        };
+        assert_eq!(o.seed, 2018);
+    }
+}

@@ -1,0 +1,95 @@
+//! Tiny dependency-free argument parsing.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// First positional argument (the subcommand).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut command = None;
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        options.insert(key.to_string(), it.next().unwrap());
+                    }
+                    _ => flags.push(key.to_string()),
+                }
+            } else if command.is_none() {
+                command = Some(a);
+            } else {
+                return Err(format!("unexpected positional argument: {a}"));
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Parsed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    /// Boolean flag.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn command_options_and_flags() {
+        let a = parse("solve --matrix fd68 --tol 1e-4 --quiet");
+        assert_eq!(a.command.as_deref(), Some("solve"));
+        assert_eq!(a.get("matrix"), Some("fd68"));
+        assert_eq!(a.get_or("tol", 1.0).unwrap(), 1e-4);
+        assert!(a.has_flag("quiet"));
+        assert!(!a.has_flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = parse("info");
+        assert_eq!(a.get_or("threads", 4usize).unwrap(), 4);
+        let bad = parse("solve --tol abc");
+        assert!(bad.get_or("tol", 1.0).is_err());
+        assert!(Args::parse(["x".into(), "y".into()]).is_err());
+    }
+
+    #[test]
+    fn trailing_flag_without_value() {
+        let a = parse("solve --quick");
+        assert!(a.has_flag("quick"));
+    }
+}

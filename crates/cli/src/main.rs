@@ -1,0 +1,73 @@
+//! `aj` — command-line front-end for the asynchronous Jacobi reproduction.
+//!
+//! ```text
+//! aj info  --matrix fd4624                       matrix diagnostics
+//! aj solve --matrix suite:ecology2 --backend dist-async --ranks 64 --tol 1e-4
+//! aj trace --matrix fd272 --threads 68 --iterations 30
+//! aj --help
+//! ```
+
+mod args;
+mod commands;
+mod matrix;
+
+use args::Args;
+
+const HELP: &str = "\
+aj — asynchronous Jacobi solvers (Wolfson-Pou & Chow, IPDPS 2018 reproduction)
+
+USAGE:
+  aj <COMMAND> [OPTIONS]
+
+COMMANDS:
+  info     print matrix diagnostics (size, nnz, W.D.D., ρ(G), colors)
+  solve    run a solver and report the convergence history
+  trace    run traced asynchronous Jacobi; report the propagated fraction
+           and read-staleness statistics (paper §IV-A / Figure 2)
+
+MATRIX SELECTORS (--matrix):
+  fd40 | fd68 | fd272 | fd4624      the paper's FD Laplacians
+  fe                                the paper's FE matrix (ρ(G) > 1)
+  suite:NAME[:tiny|small|medium]    Table I analogue (e.g. suite:ecology2)
+  mtx:PATH                          a Matrix Market file
+  grid:NXxNY                        2-D FD Laplacian of given interior size
+
+SOLVE OPTIONS:
+  --backend  sync | gs | cg | async-threads | sim-async | sim-sync |
+             dist-sync | dist-async            (default sync)
+  --threads N        workers for thread/sim backends   (default 4)
+  --ranks N          ranks for distributed backends    (default 16)
+  --tol T            relative residual tolerance       (default 1e-6)
+  --max-iters N      iteration cap                     (default 100000)
+  --omega W          relaxation weight                 (default 1.0)
+  --seed S           workload seed                     (default 2018)
+  --detect           use the distributed termination-detection protocol
+  --history PATH     write the residual history CSV
+
+COMMON:
+  --help             this text
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    if args.has_flag("help") || args.command.is_none() {
+        print!("{HELP}");
+        return;
+    }
+    let result = match args.command.as_deref().unwrap() {
+        "info" => commands::info(&args),
+        "solve" => commands::solve(&args),
+        "trace" => commands::trace(&args),
+        other => Err(format!("unknown command: {other}\n\n{HELP}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Figure/table output: labelled series, aligned text tables, CSV files.
+//!
+//! Every bench binary produces [`Series`] values, prints them with
+//! [`print_table`], and persists them with [`write_csv`] so the paper's
+//! figures can be re-plotted from `results/*.csv`.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One labelled curve `(x, y)` — a line in a paper figure.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"async, 128 nodes"`.
+    pub label: String,
+    /// Samples in `x` order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Final `y` value (NaN when empty).
+    pub fn final_y(&self) -> f64 {
+        self.points.last().map_or(f64::NAN, |p| p.1)
+    }
+
+    /// Minimum `y` value (NaN when empty).
+    pub fn min_y(&self) -> f64 {
+        self.points.iter().map(|p| p.1).fold(f64::NAN, f64::min)
+    }
+}
+
+/// Prints series as an aligned text table: one `x` column (union of all
+/// sample positions is *not* computed — series are printed side by side row
+/// by row, which is what the figure benches need since their series share x
+/// grids; ragged series are padded with blanks).
+pub fn print_table(title: &str, x_name: &str, series: &[Series]) {
+    println!("== {title} ==");
+    let mut header = format!("{x_name:>14}");
+    for s in series {
+        header.push_str(&format!("  {:>18}", truncate(&s.label, 18)));
+    }
+    println!("{header}");
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for r in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(r).map(|p| p.0))
+            .unwrap_or(f64::NAN);
+        let mut line = format!("{x:>14.6}");
+        for s in series {
+            match s.points.get(r) {
+                Some(&(_, y)) => line.push_str(&format!("  {y:>18.6e}")),
+                None => line.push_str(&format!("  {:>18}", "")),
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n.saturating_sub(1)).collect::<String>() + "…"
+    }
+}
+
+/// Prints each series as its own two-column block — use when series do
+/// not share an `x` grid (e.g. different thread-count sweeps).
+pub fn print_series_blocks(title: &str, x_name: &str, series: &[Series]) {
+    println!("== {title} ==");
+    for s in series {
+        println!("-- {} --", s.label);
+        println!("{x_name:>14}  {:>18}", "value");
+        for &(x, y) in &s.points {
+            println!("{x:>14.6}  {y:>18.6e}");
+        }
+    }
+}
+
+/// Writes series to CSV: `label,x,y` rows with a header. Parent directories
+/// are created.
+pub fn write_csv(path: &Path, series: &[Series]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "label,x,y")?;
+    for s in series {
+        for &(x, y) in &s.points {
+            writeln!(f, "{},{x},{y}", csv_escape(&s.label))?;
+        }
+    }
+    f.flush()
+}
+
+/// Reads series back from a CSV produced by [`write_csv`].
+pub fn read_csv(path: &Path) -> std::io::Result<Vec<Series>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out: Vec<Series> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if ln == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.rsplitn(3, ',').collect();
+        if parts.len() != 3 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad CSV line {}: {line}", ln + 1),
+            ));
+        }
+        let (y, x, label) = (parts[0], parts[1], csv_unescape(parts[2]));
+        let x: f64 = x.parse().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad x at line {}: {e}", ln + 1),
+            )
+        })?;
+        let y: f64 = y.parse().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad y at line {}: {e}", ln + 1),
+            )
+        })?;
+        match out.last_mut() {
+            Some(s) if s.label == label => s.points.push((x, y)),
+            _ => out.push(Series::new(label, vec![(x, y)])),
+        }
+    }
+    Ok(out)
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn csv_unescape(s: &str) -> String {
+    let t = s.trim();
+    if t.starts_with('"') && t.ends_with('"') && t.len() >= 2 {
+        t[1..t.len() - 1].replace("\"\"", "\"")
+    } else {
+        t.to_string()
+    }
+}
+
+/// Standard location for figure CSVs: `results/<name>.csv` under the
+/// workspace root (or the current directory when run elsewhere).
+pub fn results_path(name: &str) -> std::path::PathBuf {
+    let base = std::env::var("AJ_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    Path::new(&base).join(format!("{name}.csv"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accessors() {
+        let s = Series::new("a", vec![(0.0, 3.0), (1.0, 2.0)]);
+        assert_eq!(s.final_y(), 2.0);
+        assert_eq!(s.min_y(), 2.0);
+        assert!(Series::new("e", vec![]).final_y().is_nan());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("aj-core-test-csv");
+        let path = dir.join("fig.csv");
+        let series = vec![
+            Series::new("sync", vec![(0.0, 1.0), (1.0, 0.5)]),
+            Series::new("async, 128", vec![(0.0, 1.0), (1.0, 0.25)]),
+        ];
+        write_csv(&path, &series).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(series, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_escaping_of_labels_with_commas() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_unescape("\"a,b\""), "a,b");
+        assert_eq!(
+            csv_unescape(csv_escape("say \"hi\"").as_str()),
+            "say \"hi\""
+        );
+    }
+
+    #[test]
+    fn print_table_smoke() {
+        // Just exercise the formatting paths (ragged series + truncation).
+        let series = vec![
+            Series::new("a-very-long-label-indeed", vec![(0.0, 1.0), (1.0, 0.1)]),
+            Series::new("short", vec![(0.0, 2.0)]),
+        ];
+        print_table("demo", "x", &series);
+    }
+
+    #[test]
+    fn print_series_blocks_smoke() {
+        let series = vec![
+            Series::new("cpu sweep", vec![(5.0, 0.9), (10.0, 0.95)]),
+            Series::new("phi sweep", vec![(17.0, 0.8)]),
+        ];
+        print_series_blocks("demo", "threads", &series);
+    }
+
+    #[test]
+    fn read_csv_rejects_malformed_lines() {
+        let dir = std::env::temp_dir().join("aj-core-test-badcsv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "label,x,y\nonlyonefield\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::write(&path, "label,x,y\na,notanumber,1\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn results_path_honours_env() {
+        std::env::set_var("AJ_RESULTS_DIR", "/tmp/aj-results-test");
+        let p = results_path("fig1");
+        assert_eq!(p, Path::new("/tmp/aj-results-test/fig1.csv"));
+        std::env::remove_var("AJ_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,261 @@
+//! Cost model: how long compute and communication take in simulated ticks.
+//!
+//! All durations are abstract ticks (think nanoseconds). Absolute values are
+//! irrelevant to the paper's claims; *ratios* (compute vs. barrier vs.
+//! network latency) set where the Figure 5/8 crossovers fall, and the
+//! defaults are tuned to the communication-dominated regime the paper
+//! deliberately chose ("this small matrix was chosen such that most of the
+//! time was spent writing/reading from memory rather than computing").
+
+use rand::rngs::StdRng;
+
+/// Sub-tick resolution: engines convert f64 costs to integer event ticks by
+/// multiplying with this scale, so that sub-tick cost differences (small
+/// jitter on small windows) still order events instead of colliding on the
+/// same tick. All reported times are divided back by this factor.
+pub const TICK_SCALE: f64 = 1024.0;
+use rand::{Rng, SeedableRng};
+
+/// Multiplicative noise on compute times.
+///
+/// Two components, both log-normal-ish and deterministic in the seed:
+/// a *static* per-worker speed factor (hardware variation between cores /
+/// NUMA placement) and a *dynamic* per-iteration factor (cache misses, OS
+/// noise). The dynamic part is what staggers equally-loaded workers and
+/// gives asynchronous runs their multiplicative character.
+#[derive(Debug, Clone, Copy)]
+pub struct Jitter {
+    /// Standard deviation of `ln(static per-worker factor)`.
+    pub static_sigma: f64,
+    /// Standard deviation of `ln(per-iteration factor)`.
+    pub dynamic_sigma: f64,
+    /// Seed for all jitter streams.
+    pub seed: u64,
+}
+
+impl Jitter {
+    /// No noise at all: async degenerates to lock-step.
+    pub fn none() -> Self {
+        Jitter {
+            static_sigma: 0.0,
+            dynamic_sigma: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The default used by the figure benches: mild static spread plus
+    /// per-iteration noise of a few percent, the scale of cache/OS noise on
+    /// dedicated HPC cores.
+    pub fn default_noise(seed: u64) -> Self {
+        Jitter {
+            static_sigma: 0.02,
+            dynamic_sigma: 0.05,
+            seed,
+        }
+    }
+}
+
+/// Compute/communication cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Ticks per matrix nonzero processed in a relaxation sweep.
+    pub per_nonzero: f64,
+    /// Fixed ticks per local iteration (loop overhead, residual check).
+    pub per_iteration: f64,
+    /// Ticks per value read from / written to shared memory or put into a
+    /// remote window (bandwidth term).
+    pub per_value_comm: f64,
+    /// One-sided put latency in ticks (distributed mode only).
+    pub put_latency: f64,
+    /// Barrier cost as a function of worker count: `barrier_base +
+    /// barrier_per_worker · workers + barrier_log · ln(workers)` ticks.
+    pub barrier_base: f64,
+    /// Linear barrier scaling (contention).
+    pub barrier_per_worker: f64,
+    /// Logarithmic barrier scaling (tree reduction depth).
+    pub barrier_log: f64,
+    /// Stochastic noise.
+    pub jitter: Jitter,
+    /// Physical cores backing the workers. When more workers than cores
+    /// run (the paper's 272 threads on 68 KNL cores), compute slows by
+    /// `(workers/cores)^0.5` (hyperthreads hide some latency) and barriers
+    /// by `(workers/cores)^2` (contention compounds at the rendezvous).
+    /// Use `usize::MAX` when every worker has its own core (distributed
+    /// ranks).
+    pub physical_cores: usize,
+}
+
+impl CostModel {
+    /// Shared-memory defaults (§VII-B regime: memory-bound small matrix).
+    pub fn shared_memory(seed: u64) -> Self {
+        CostModel {
+            per_nonzero: 1.0,
+            per_iteration: 40.0,
+            per_value_comm: 0.5,
+            put_latency: 0.0,
+            barrier_base: 5.0,
+            barrier_per_worker: 0.1,
+            barrier_log: 2.0,
+            jitter: Jitter::default_noise(seed),
+            physical_cores: 68,
+        }
+    }
+
+    /// Distributed-memory defaults (§VII-C regime: multi-node network).
+    ///
+    /// The latency-to-iteration ratio is calibrated so that a rank's ghost
+    /// data lags by roughly one local iteration, matching the regime in
+    /// which the paper observed asynchronous Jacobi converging in *fewer*
+    /// relaxations than synchronous (Figure 7). Much larger latencies push
+    /// the simulation into the stale-ghost regime where ranks spin on old
+    /// data — the behaviour Bethune et al. reported at their largest core
+    /// counts — which the `ablation_latency` bench explores deliberately.
+    pub fn distributed(seed: u64) -> Self {
+        CostModel {
+            per_nonzero: 1.0,
+            per_iteration: 300.0,
+            per_value_comm: 1.0,
+            put_latency: 50.0,
+            barrier_base: 1_000.0,
+            barrier_per_worker: 0.0,
+            barrier_log: 1_200.0,
+            jitter: Jitter::default_noise(seed),
+            physical_cores: usize::MAX,
+        }
+    }
+
+    /// Oversubscription slowdown on compute for `workers` workers.
+    pub fn compute_oversub(&self, workers: usize) -> f64 {
+        if workers <= self.physical_cores {
+            1.0
+        } else {
+            (workers as f64 / self.physical_cores as f64).sqrt()
+        }
+    }
+
+    /// Oversubscription slowdown on barriers.
+    pub fn barrier_oversub(&self, workers: usize) -> f64 {
+        if workers <= self.physical_cores {
+            1.0
+        } else {
+            let r = workers as f64 / self.physical_cores as f64;
+            r * r
+        }
+    }
+
+    /// Barrier duration for `workers` participants (includes
+    /// oversubscription).
+    pub fn barrier_cost(&self, workers: usize) -> f64 {
+        let w = workers as f64;
+        (self.barrier_base + self.barrier_per_worker * w + self.barrier_log * w.max(1.0).ln())
+            * self.barrier_oversub(workers)
+    }
+
+    /// Compute cost of one local sweep over `nnz` nonzeros, before jitter.
+    pub fn sweep_cost(&self, nnz: usize) -> f64 {
+        self.per_iteration + self.per_nonzero * nnz as f64
+    }
+}
+
+/// Per-worker jitter stream: a static factor drawn once and a fresh dynamic
+/// factor per iteration.
+#[derive(Debug, Clone)]
+pub struct WorkerJitter {
+    static_factor: f64,
+    dynamic_sigma: f64,
+    rng: StdRng,
+}
+
+impl WorkerJitter {
+    /// Builds the stream for `worker` under `jitter`.
+    pub fn new(jitter: &Jitter, worker: usize) -> Self {
+        let mut seeder =
+            StdRng::seed_from_u64(jitter.seed ^ (worker as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let static_factor = lognormal(&mut seeder, jitter.static_sigma);
+        WorkerJitter {
+            static_factor,
+            dynamic_sigma: jitter.dynamic_sigma,
+            rng: seeder,
+        }
+    }
+
+    /// This worker's static speed factor (1.0 when noise is off).
+    pub fn static_factor(&self) -> f64 {
+        self.static_factor
+    }
+
+    /// The multiplicative factor for the next iteration.
+    pub fn next_factor(&mut self) -> f64 {
+        self.static_factor * lognormal(&mut self.rng, self.dynamic_sigma)
+    }
+}
+
+/// A log-normal sample with `ln`-standard-deviation `sigma`, mean-of-log 0.
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    // Box–Muller from two uniforms.
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_jitter_is_exactly_one() {
+        let mut wj = WorkerJitter::new(&Jitter::none(), 3);
+        assert_eq!(wj.static_factor(), 1.0);
+        for _ in 0..10 {
+            assert_eq!(wj.next_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_worker() {
+        let j = Jitter::default_noise(5);
+        let mut a = WorkerJitter::new(&j, 0);
+        let mut b = WorkerJitter::new(&j, 0);
+        for _ in 0..5 {
+            assert_eq!(a.next_factor(), b.next_factor());
+        }
+        let mut c = WorkerJitter::new(&j, 1);
+        assert_ne!(a.next_factor(), c.next_factor());
+    }
+
+    #[test]
+    fn jitter_factors_are_positive_and_near_one() {
+        let j = Jitter {
+            static_sigma: 0.1,
+            dynamic_sigma: 0.2,
+            seed: 9,
+        };
+        let mut wj = WorkerJitter::new(&j, 7);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let f = wj.next_factor();
+            assert!(f > 0.0);
+            sum += f;
+        }
+        let mean = sum / 1000.0;
+        assert!((0.8..1.3).contains(&mean), "mean factor {mean}");
+    }
+
+    #[test]
+    fn barrier_cost_grows_with_workers() {
+        let m = CostModel::shared_memory(1);
+        assert!(m.barrier_cost(272) > m.barrier_cost(68));
+        assert!(m.barrier_cost(2) > 0.0);
+    }
+
+    #[test]
+    fn sweep_cost_is_affine_in_nnz() {
+        let m = CostModel::distributed(1);
+        assert_eq!(m.sweep_cost(0), m.per_iteration);
+        assert_eq!(m.sweep_cost(100) - m.sweep_cost(0), 100.0 * m.per_nonzero);
+    }
+}

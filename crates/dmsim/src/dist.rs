@@ -1,0 +1,841 @@
+//! Simulated distributed-memory ranks (§VI semantics).
+//!
+//! Each rank owns a subdomain ([`aj_partition::LocalSystem`]) and a ghost
+//! layer. Asynchronous mode models MPI-3 RMA: after finishing a local sweep
+//! a rank *puts* its boundary values toward each neighbour; the values land
+//! in the neighbour's window (ghost array) one network latency later,
+//! element-atomically, with no action by the receiver — `MPI_Put` with
+//! passive target completion. Ranks never wait: the next sweep starts
+//! immediately with whatever ghost values have arrived (Baudet's racy
+//! scheme, the one the paper studies).
+//!
+//! Synchronous mode models the point-to-point implementation: every
+//! iteration all ranks exchange boundary values and wait (a barrier-like
+//! completion), so an iteration lasts as long as its slowest rank plus the
+//! exchange.
+
+use crate::cost::{CostModel, WorkerJitter, TICK_SCALE};
+use crate::monitor::{ResidualMonitor, SimOutcome};
+use crate::shmem_sim::{SimDelay, StopRule};
+use crate::termination::{RootAggregator, TerminationProtocol, TerminationStats};
+use aj_linalg::vecops::Norm;
+use aj_linalg::CsrMatrix;
+use aj_partition::{CommPlan, LocalSystem, Partition};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How a rank relaxes its own subdomain each sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalSolve {
+    /// One local Jacobi iteration (additive; the paper's scheme).
+    Jacobi,
+    /// One local Gauss–Seidel sweep (multiplicative within the subdomain;
+    /// Jager & Bradley's "inexact block Jacobi" uses exactly this).
+    GaussSeidel,
+}
+
+/// Which asynchronous update discipline ranks follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistVariant {
+    /// Baudet's racy scheme (the paper's): relax continuously with whatever
+    /// ghost values are present, even if they were already used.
+    Racy,
+    /// Jager & Bradley's "eager" (semi-synchronous) scheme: a rank relaxes
+    /// only when at least one ghost value changed since its last sweep;
+    /// otherwise it parks until a put arrives.
+    ///
+    /// Caveat: if every rank parks within one latency window (possible with
+    /// tiny subdomains and large latencies), no puts remain in flight and
+    /// the run ends early with `converged = false`; check
+    /// `worker_iterations` when an eager run stops unexpectedly soon.
+    Eager,
+}
+
+/// Configuration for the simulated distributed solvers.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Relative-residual tolerance.
+    pub tol: f64,
+    /// Norm for the tolerance test.
+    pub norm: Norm,
+    /// Hard cap on simulated time (ticks).
+    pub max_time: f64,
+    /// Hard cap on any rank's iteration count.
+    pub max_iterations: u64,
+    /// Cost model (see [`CostModel::distributed`]).
+    pub cost: CostModel,
+    /// Optional slow rank.
+    pub delay: Option<SimDelay>,
+    /// Residual sampling cadence in relaxations.
+    pub sample_every: u64,
+    /// Termination rule.
+    pub stop: StopRule,
+    /// Asynchronous update discipline.
+    pub variant: DistVariant,
+    /// Relaxation weight ω (1.0 = plain Jacobi; damping ω < 1 shrinks the
+    /// spectrum of the local iteration).
+    pub omega: f64,
+    /// Local subdomain solver.
+    pub local_solve: LocalSolve,
+    /// When set, the asynchronous solver stops through the distributed
+    /// termination-detection protocol of [`crate::termination`] instead of
+    /// the omniscient monitor (which then only records curves).
+    ///
+    /// The protocol always aggregates **L1** residual norms (the norm
+    /// Theorem 1 makes non-increasing, and the only one that decomposes as
+    /// a sum of per-rank contributions); `tol` is therefore interpreted in
+    /// the L1 norm for detection even when [`DistConfig::norm`] selects a
+    /// different norm for monitoring.
+    pub termination: Option<TerminationProtocol>,
+}
+
+impl DistConfig {
+    /// Defaults for an `n`-row problem.
+    pub fn new(n: usize, seed: u64) -> Self {
+        DistConfig {
+            tol: 1e-3,
+            norm: Norm::L1,
+            max_time: 1e13,
+            max_iterations: 1_000_000,
+            cost: CostModel::distributed(seed),
+            delay: None,
+            sample_every: n as u64,
+            stop: StopRule::Tolerance,
+            variant: DistVariant::Racy,
+            omega: 1.0,
+            local_solve: LocalSolve::Jacobi,
+            termination: None,
+        }
+    }
+}
+
+/// Per-rank simulation state.
+struct Rank {
+    local: LocalSystem,
+    /// Owned values followed by the ghost tail (window).
+    x: Vec<f64>,
+    b: Vec<f64>,
+    /// For each neighbour: `(positions into our owned vector to send,
+    ///  ghost-slot positions at the receiver)`.
+    sends: Vec<SendPlan>,
+    iterations: u64,
+    jitter: WorkerJitter,
+    /// Eager-variant state: did any ghost change since the last sweep?
+    dirty: bool,
+    /// Eager-variant state: is the rank parked waiting for fresh data?
+    parked: bool,
+    /// Termination protocol: rank received the stop broadcast.
+    stopped: bool,
+}
+
+struct SendPlan {
+    to: usize,
+    /// Local owned indices whose values are sent.
+    source_local: Vec<usize>,
+    /// Ghost-tail slot index at the *receiver* for each value.
+    target_slot: Vec<usize>,
+}
+
+fn build_ranks(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    plan: &CommPlan,
+    cost: &CostModel,
+) -> Vec<Rank> {
+    let nparts = plan.nparts();
+    // Ghost slot lookup per part: global index → position in ghost tail.
+    let ghost_slot: Vec<std::collections::HashMap<usize, usize>> = (0..nparts)
+        .map(|p| {
+            plan.plan(p)
+                .ghosts
+                .iter()
+                .enumerate()
+                .map(|(slot, &g)| (g, slot))
+                .collect()
+        })
+        .collect();
+    (0..nparts)
+        .map(|p| {
+            let sp = plan.plan(p);
+            let local = LocalSystem::build(a, sp);
+            let owned_pos: std::collections::HashMap<usize, usize> =
+                sp.owned.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+            let mut x = Vec::with_capacity(local.n_owned() + local.n_ghost());
+            x.extend(sp.owned.iter().map(|&g| x0[g]));
+            x.extend(sp.ghosts.iter().map(|&g| x0[g]));
+            let b_local: Vec<f64> = sp.owned.iter().map(|&g| b[g]).collect();
+            let sends = sp
+                .send_to
+                .iter()
+                .map(|(to, globals)| SendPlan {
+                    to: *to,
+                    source_local: globals.iter().map(|g| owned_pos[g]).collect(),
+                    target_slot: globals.iter().map(|g| ghost_slot[*to][g]).collect(),
+                })
+                .collect();
+            Rank {
+                local,
+                x,
+                b: b_local,
+                sends,
+                iterations: 0,
+                jitter: WorkerJitter::new(&cost.jitter, p),
+                dirty: true,
+                parked: false,
+                stopped: false,
+            }
+        })
+        .collect()
+}
+
+enum Event {
+    /// Rank's sweep finishes: relax owned rows against the freshest window
+    /// contents (just-in-time reads), then send puts.
+    Sweep(usize),
+    /// A put lands in `rank`'s window.
+    PutArrive {
+        rank: usize,
+        slots: Vec<usize>,
+        values: Vec<f64>,
+    },
+    /// A residual report reaches the root (termination protocol).
+    Report { rank: usize, norm: f64 },
+    /// The root's stop decision reaches `rank`.
+    StopArrive { rank: usize },
+}
+
+/// Runs **asynchronous** distributed Jacobi over a partition.
+///
+/// # Panics
+/// Panics on dimension mismatches or a delayed-rank index out of range.
+pub fn run_dist_async(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    partition: &Partition,
+    config: &DistConfig,
+) -> SimOutcome {
+    let n = a.nrows();
+    assert_eq!(b.len(), n);
+    assert_eq!(x0.len(), n);
+    let plan = CommPlan::build(a, partition);
+    let nparts = plan.nparts();
+    if let Some(d) = config.delay {
+        assert!(d.worker < nparts, "delayed rank {} out of range", d.worker);
+    }
+    let mut ranks = build_ranks(a, b, x0, &plan, &config.cost);
+    // Global mirror of owned values, for residual monitoring.
+    let mut x_global = x0.to_vec();
+    let mut monitor = ResidualMonitor::new(a, b, config.norm, config.tol, config.sample_every);
+    let mut relaxations = 0u64;
+    monitor.observe(0.0, 0, &x_global);
+
+    let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut payloads: Vec<Option<Event>> = Vec::new();
+    let mut order = 0u64;
+    let push = |queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+                payloads: &mut Vec<Option<Event>>,
+                tick: u64,
+                order: &mut u64,
+                ev: Event| {
+        payloads.push(Some(ev));
+        queue.push(Reverse((tick, *order, payloads.len() - 1)));
+        *order += 1;
+    };
+    let schedule_sweep = |queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+                          payloads: &mut Vec<Option<Event>>,
+                          order: &mut u64,
+                          tick: u64,
+                          r: usize,
+                          rank: &mut Rank,
+                          config: &DistConfig| {
+        let mut cost = config.cost.sweep_cost(rank.local.matrix.nnz()) * rank.jitter.next_factor();
+        if let Some(d) = config.delay {
+            if d.worker == r {
+                cost += d.extra_ticks;
+            }
+        }
+        payloads.push(Some(Event::Sweep(r)));
+        queue.push(Reverse((
+            tick + ((cost * TICK_SCALE).max(1.0) as u64),
+            *order,
+            payloads.len() - 1,
+        )));
+        *order += 1;
+    };
+    for r in 0..nparts {
+        schedule_sweep(
+            &mut queue,
+            &mut payloads,
+            &mut order,
+            0,
+            r,
+            &mut ranks[r],
+            config,
+        );
+    }
+
+    // Termination-detection state (root = rank 0).
+    let norm_b = aj_linalg::vecops::norm(b, aj_linalg::vecops::Norm::L1);
+    let mut aggregator = config.termination.map(|t| {
+        RootAggregator::new(
+            nparts,
+            config.tol * t.safety_factor,
+            norm_b,
+            t.confirmations,
+        )
+    });
+    let mut term_stats = TerminationStats::default();
+    let mut stopped_count = 0usize;
+    let mut comm = crate::monitor::CommVolume::default();
+
+    let mut now = 0.0f64;
+    let mut done = false;
+    while let Some(Reverse((tick, _, slot))) = queue.pop() {
+        if done {
+            break;
+        }
+        now = tick as f64 / TICK_SCALE;
+        if now > config.max_time {
+            break;
+        }
+        match payloads[slot].take().expect("event consumed twice") {
+            Event::Sweep(r) => {
+                // Relax against the freshest window contents as of now.
+                let n_owned = ranks[r].local.n_owned();
+                match config.local_solve {
+                    LocalSolve::Jacobi => {
+                        // Two-phase: all residuals from the same state.
+                        let mut values = Vec::with_capacity(n_owned);
+                        {
+                            let rank = &ranks[r];
+                            for row in 0..n_owned {
+                                let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
+                                values.push(
+                                    rank.x[row] + config.omega * rank.local.diag_inv[row] * res,
+                                );
+                            }
+                        }
+                        for (l, v) in values.iter().enumerate() {
+                            ranks[r].x[l] = *v;
+                            x_global[ranks[r].local.global_owned[l]] = *v;
+                        }
+                    }
+                    LocalSolve::GaussSeidel => {
+                        // In-place: each row sees its predecessors' updates.
+                        let rank = &mut ranks[r];
+                        for row in 0..n_owned {
+                            let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
+                            rank.x[row] += config.omega * rank.local.diag_inv[row] * res;
+                            x_global[rank.local.global_owned[row]] = rank.x[row];
+                        }
+                    }
+                }
+                ranks[r].iterations += 1;
+                relaxations += n_owned as u64;
+
+                // One-sided puts toward every neighbour.
+                for s in 0..ranks[r].sends.len() {
+                    let (to, slots, vals, volume) = {
+                        let sp = &ranks[r].sends[s];
+                        let vals: Vec<f64> =
+                            sp.source_local.iter().map(|&l| ranks[r].x[l]).collect();
+                        (sp.to, sp.target_slot.clone(), vals, sp.source_local.len())
+                    };
+                    comm.puts += 1;
+                    comm.values += volume as u64;
+                    let arrive = tick
+                        + (((config.cost.put_latency + config.cost.per_value_comm * volume as f64)
+                            * TICK_SCALE)
+                            .max(1.0) as u64);
+                    push(
+                        &mut queue,
+                        &mut payloads,
+                        arrive,
+                        &mut order,
+                        Event::PutArrive {
+                            rank: to,
+                            slots,
+                            values: vals,
+                        },
+                    );
+                }
+
+                let hit_tol = monitor.observe(now, relaxations, &x_global);
+                match config.stop {
+                    StopRule::Tolerance => {
+                        // With the protocol active, the omniscient monitor
+                        // only records; stopping is the protocol's job.
+                        if hit_tol && config.termination.is_none() {
+                            done = true;
+                        }
+                    }
+                    StopRule::FixedIterations(k) => {
+                        if ranks.iter().all(|rk| rk.iterations >= k) {
+                            done = true;
+                        }
+                    }
+                }
+                // Periodic residual report toward the root.
+                if let Some(proto) = config.termination {
+                    if !ranks[r].stopped
+                        && ranks[r]
+                            .iterations
+                            .is_multiple_of(proto.check_interval.max(1))
+                    {
+                        let rank = &ranks[r];
+                        let mut local_norm = 0.0;
+                        for row in 0..rank.local.n_owned() {
+                            local_norm +=
+                                (rank.b[row] - rank.local.matrix.row_dot(row, &rank.x)).abs();
+                        }
+                        term_stats.reports_sent += 1;
+                        let arrive =
+                            tick + ((config.cost.put_latency * TICK_SCALE).max(1.0) as u64);
+                        payloads.push(Some(Event::Report {
+                            rank: r,
+                            norm: local_norm,
+                        }));
+                        queue.push(Reverse((arrive, order, payloads.len() - 1)));
+                        order += 1;
+                    }
+                }
+                if !done && !ranks[r].stopped && ranks[r].iterations < config.max_iterations {
+                    // Eager variant: park until a neighbour's put brings
+                    // new information (ranks without neighbours never park).
+                    if config.variant == DistVariant::Eager
+                        && !ranks[r].dirty
+                        && !ranks[r].sends.is_empty()
+                    {
+                        ranks[r].parked = true;
+                    } else {
+                        ranks[r].dirty = false;
+                        schedule_sweep(
+                            &mut queue,
+                            &mut payloads,
+                            &mut order,
+                            tick,
+                            r,
+                            &mut ranks[r],
+                            config,
+                        );
+                    }
+                }
+            }
+            Event::PutArrive {
+                rank: r,
+                slots,
+                values,
+            } => {
+                let n_owned = ranks[r].local.n_owned();
+                for (slot, v) in slots.into_iter().zip(values) {
+                    ranks[r].x[n_owned + slot] = v;
+                }
+                ranks[r].dirty = true;
+                if ranks[r].parked && !ranks[r].stopped {
+                    ranks[r].parked = false;
+                    ranks[r].dirty = false;
+                    schedule_sweep(
+                        &mut queue,
+                        &mut payloads,
+                        &mut order,
+                        tick,
+                        r,
+                        &mut ranks[r],
+                        config,
+                    );
+                }
+            }
+            Event::Report { rank, norm } => {
+                if let Some(agg) = aggregator.as_mut() {
+                    if let Some(rel) = agg.ingest(rank, norm) {
+                        // Root decides: broadcast the stop to every rank.
+                        term_stats.detected_at = Some(now);
+                        term_stats.detected_residual = Some(rel);
+                        for target in 0..nparts {
+                            term_stats.stops_sent += 1;
+                            let arrive =
+                                tick + ((config.cost.put_latency * TICK_SCALE).max(1.0) as u64);
+                            payloads.push(Some(Event::StopArrive { rank: target }));
+                            queue.push(Reverse((arrive, order, payloads.len() - 1)));
+                            order += 1;
+                        }
+                    }
+                }
+            }
+            Event::StopArrive { rank } => {
+                if !ranks[rank].stopped {
+                    ranks[rank].stopped = true;
+                    stopped_count += 1;
+                    if stopped_count == nparts {
+                        done = true;
+                    }
+                }
+            }
+        }
+    }
+    monitor.finalize(now, relaxations, &x_global);
+    let converged = monitor.converged();
+    SimOutcome {
+        samples: monitor.into_samples(),
+        x: x_global,
+        time: now,
+        relaxations,
+        worker_iterations: ranks.iter().map(|r| r.iterations).collect(),
+        converged,
+        termination: config.termination.map(|_| term_stats),
+        comm,
+    }
+}
+
+/// Runs **synchronous** distributed Jacobi: one global Jacobi iteration per
+/// step; simulated time per step is the slowest rank's sweep plus the
+/// point-to-point exchange (latency + bandwidth on the largest message).
+pub fn run_dist_sync(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    partition: &Partition,
+    config: &DistConfig,
+) -> SimOutcome {
+    let n = a.nrows();
+    let plan = CommPlan::build(a, partition);
+    let nparts = plan.nparts();
+    let diag_inv: Vec<f64> = a.diagonal().iter().map(|d| 1.0 / d).collect();
+    let rank_nnz: Vec<usize> = (0..nparts)
+        .map(|p| plan.plan(p).owned.iter().map(|&i| a.row_nnz(i)).sum())
+        .collect();
+    let max_send: usize = (0..nparts)
+        .map(|p| {
+            plan.plan(p)
+                .send_to
+                .iter()
+                .map(|(_, v)| v.len())
+                .sum::<usize>()
+        })
+        .max()
+        .unwrap_or(0);
+    let msgs_per_iter: u64 = (0..nparts).map(|p| plan.plan(p).send_to.len() as u64).sum();
+    let values_per_iter: u64 = plan.total_volume() as u64;
+    let mut jitters: Vec<WorkerJitter> = (0..nparts)
+        .map(|p| WorkerJitter::new(&config.cost.jitter, p))
+        .collect();
+
+    let mut x = x0.to_vec();
+    let mut x_next = vec![0.0; n];
+    let mut now = 0.0f64;
+    let mut iters = 0u64;
+    let mut relaxations = 0u64;
+    let mut monitor = ResidualMonitor::new(a, b, config.norm, config.tol, config.sample_every);
+    monitor.observe(0.0, 0, &x);
+
+    loop {
+        match config.stop {
+            StopRule::Tolerance => {
+                if monitor.converged() {
+                    break;
+                }
+            }
+            StopRule::FixedIterations(k) => {
+                if iters >= k {
+                    break;
+                }
+            }
+        }
+        if now > config.max_time || iters >= config.max_iterations {
+            break;
+        }
+        let mut slowest = 0.0f64;
+        for r in 0..nparts {
+            let mut cost = config.cost.sweep_cost(rank_nnz[r]) * jitters[r].next_factor();
+            if let Some(d) = config.delay {
+                if d.worker == r {
+                    cost += d.extra_ticks;
+                }
+            }
+            slowest = slowest.max(cost);
+        }
+        let exchange = config.cost.put_latency + config.cost.per_value_comm * max_send as f64;
+        aj_linalg::sweeps::weighted_jacobi_iteration(
+            a,
+            b,
+            &diag_inv,
+            config.omega,
+            &x,
+            &mut x_next,
+        );
+        std::mem::swap(&mut x, &mut x_next);
+        now += slowest + exchange;
+        iters += 1;
+        relaxations += n as u64;
+        monitor.observe(now, relaxations, &x);
+    }
+    monitor.finalize(now, relaxations, &x);
+    let converged = monitor.converged();
+    SimOutcome {
+        samples: monitor.into_samples(),
+        x,
+        time: now,
+        relaxations,
+        worker_iterations: vec![iters; nparts],
+        converged,
+        termination: None,
+        comm: crate::monitor::CommVolume {
+            puts: msgs_per_iter * iters,
+            values: values_per_iter * iters,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_matrices::{fd, rhs};
+    use aj_partition::block_partition;
+
+    fn problem(nx: usize, ny: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+        let a = fd::laplacian_2d(nx, ny).scale_to_unit_diagonal().unwrap();
+        let (b, x0) = rhs::paper_problem(a.nrows(), 99);
+        (a, b, x0)
+    }
+
+    #[test]
+    fn async_distributed_converges() {
+        let (a, b, x0) = problem(12, 12);
+        let p = block_partition(a.nrows(), 8);
+        let cfg = DistConfig::new(a.nrows(), 1);
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        assert!(out.converged, "residual {}", out.final_residual());
+        assert!(out.worker_iterations.iter().all(|&i| i > 0));
+    }
+
+    #[test]
+    fn sync_distributed_matches_global_jacobi_relaxation_count() {
+        let (a, b, x0) = problem(10, 10);
+        let p = block_partition(a.nrows(), 4);
+        let cfg = DistConfig::new(a.nrows(), 2);
+        let out = run_dist_sync(&a, &b, &x0, &p, &cfg);
+        assert!(out.converged);
+        // Reference sequential Jacobi with the same tolerance/norm.
+        let (_, hist) =
+            aj_linalg::sweeps::jacobi_solve(&a, &b, &x0, cfg.tol, 100_000, cfg.norm).unwrap();
+        let sync_iters = out.worker_iterations[0];
+        assert_eq!(
+            sync_iters as usize,
+            hist.len() - 1,
+            "sync dist must be exactly global Jacobi"
+        );
+    }
+
+    #[test]
+    fn async_needs_no_more_relaxations_than_sync() {
+        // The Figure 7 headline: asynchronous Jacobi tends to converge in
+        // fewer relaxations.
+        let (a, b, x0) = problem(16, 16);
+        let p = block_partition(a.nrows(), 16);
+        let cfg = DistConfig::new(a.nrows(), 3);
+        let asy = run_dist_async(&a, &b, &x0, &p, &cfg);
+        let syn = run_dist_sync(&a, &b, &x0, &p, &cfg);
+        assert!(asy.converged && syn.converged);
+        let ra = asy.relaxations_to_tolerance(cfg.tol).unwrap();
+        let rs = syn.relaxations_to_tolerance(cfg.tol).unwrap();
+        assert!(ra <= rs * 1.15, "async {ra} vs sync {rs} relaxations/n");
+    }
+
+    #[test]
+    fn delayed_rank_hurts_sync_much_more() {
+        let (a, b, x0) = problem(12, 12);
+        let p = block_partition(a.nrows(), 12);
+        let mut cfg = DistConfig::new(a.nrows(), 4);
+        cfg.delay = Some(SimDelay {
+            worker: 5,
+            extra_ticks: 1e6,
+        });
+        let asy = run_dist_async(&a, &b, &x0, &p, &cfg);
+        let syn = run_dist_sync(&a, &b, &x0, &p, &cfg);
+        assert!(asy.converged && syn.converged);
+        let ta = asy.time_to_tolerance(cfg.tol).unwrap();
+        let ts = syn.time_to_tolerance(cfg.tol).unwrap();
+        assert!(ts > 2.0 * ta, "sync {ts} vs async {ta}");
+    }
+
+    #[test]
+    fn ghost_values_propagate_through_puts() {
+        // With exactly two ranks on a chain, rank 1's interface value must
+        // reach rank 0's window, otherwise rank 0 converges to the wrong
+        // solution. Convergence of the global residual proves delivery.
+        let a = fd::laplacian_1d(20).scale_to_unit_diagonal().unwrap();
+        let (b, x0) = rhs::paper_problem(20, 5);
+        let p = block_partition(20, 2);
+        let mut cfg = DistConfig::new(20, 5);
+        cfg.tol = 1e-8;
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        assert!(out.converged);
+        assert!(a.relative_residual(&out.x, &b, Norm::L1) < 1e-7);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (a, b, x0) = problem(8, 8);
+        let p = block_partition(64, 4);
+        let cfg = DistConfig::new(64, 6);
+        let o1 = run_dist_async(&a, &b, &x0, &p, &cfg);
+        let o2 = run_dist_async(&a, &b, &x0, &p, &cfg);
+        assert_eq!(o1.time, o2.time);
+        assert_eq!(o1.x, o2.x);
+    }
+
+    #[test]
+    fn eager_variant_converges_with_fewer_wasted_relaxations() {
+        // Eager ranks skip sweeps that would reuse stale ghosts, so at a
+        // high put latency they spend no more relaxations than racy ranks.
+        let (a, b, x0) = problem(12, 12);
+        let p = block_partition(a.nrows(), 12);
+        let mut racy = DistConfig::new(a.nrows(), 9);
+        racy.cost.put_latency = 3_000.0;
+        let mut eager = racy.clone();
+        eager.variant = DistVariant::Eager;
+        let o_racy = run_dist_async(&a, &b, &x0, &p, &racy);
+        let o_eager = run_dist_async(&a, &b, &x0, &p, &eager);
+        assert!(o_racy.converged && o_eager.converged);
+        assert!(
+            o_eager.relaxations <= o_racy.relaxations,
+            "eager {} vs racy {}",
+            o_eager.relaxations,
+            o_racy.relaxations
+        );
+    }
+
+    #[test]
+    fn eager_single_rank_never_parks() {
+        let (a, b, x0) = problem(6, 6);
+        let p = block_partition(a.nrows(), 1);
+        let mut cfg = DistConfig::new(a.nrows(), 2);
+        cfg.variant = DistVariant::Eager;
+        cfg.tol = 1e-6;
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        assert!(out.converged, "residual {}", out.final_residual());
+    }
+
+    #[test]
+    fn gauss_seidel_local_solve_converges_faster_per_relaxation() {
+        // Jager & Bradley's inexact block Jacobi: local GS sweeps propagate
+        // information within the subdomain, so fewer relaxations are needed.
+        let (a, b, x0) = problem(14, 14);
+        let p = block_partition(a.nrows(), 7);
+        let mut jac = DistConfig::new(a.nrows(), 3);
+        jac.tol = 1e-4;
+        let mut gs = jac.clone();
+        gs.local_solve = LocalSolve::GaussSeidel;
+        let oj = run_dist_async(&a, &b, &x0, &p, &jac);
+        let og = run_dist_async(&a, &b, &x0, &p, &gs);
+        assert!(oj.converged && og.converged);
+        let rj = oj.relaxations_to_tolerance(1e-4).unwrap();
+        let rg = og.relaxations_to_tolerance(1e-4).unwrap();
+        assert!(
+            rg < rj,
+            "GS blocks {rg} vs Jacobi blocks {rj} relaxations/n"
+        );
+    }
+
+    #[test]
+    fn damped_omega_changes_but_preserves_convergence_on_spd() {
+        let (a, b, x0) = problem(10, 10);
+        let p = block_partition(a.nrows(), 5);
+        let mut cfg = DistConfig::new(a.nrows(), 4);
+        cfg.tol = 1e-4;
+        cfg.omega = 0.7;
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        assert!(out.converged);
+        // Damping slows convergence on this well-behaved matrix.
+        let mut plain = DistConfig::new(a.nrows(), 4);
+        plain.tol = 1e-4;
+        let out_plain = run_dist_async(&a, &b, &x0, &p, &plain);
+        assert!(
+            out.relaxations > out_plain.relaxations,
+            "ω=0.7 should need more relaxations ({} vs {})",
+            out.relaxations,
+            out_plain.relaxations
+        );
+    }
+
+    #[test]
+    fn termination_protocol_stops_all_ranks_at_tolerance() {
+        let (a, b, x0) = problem(14, 14);
+        let p = block_partition(a.nrows(), 7);
+        let mut cfg = DistConfig::new(a.nrows(), 3);
+        cfg.tol = 1e-4;
+        cfg.termination = Some(crate::termination::TerminationProtocol::default());
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        let stats = out.termination.as_ref().expect("protocol stats present");
+        assert!(stats.detected_at.is_some(), "root must detect convergence");
+        assert!(stats.reports_sent > 0);
+        assert_eq!(stats.stops_sent, 7);
+        // Theorem 1 safety: the true residual at stop time meets the
+        // tolerance the root saw (W.D.D. ⇒ non-increasing residual), up to
+        // the inconsistency of per-rank ghost views in the reports.
+        let true_res = a.relative_residual(&out.x, &b, Norm::L1);
+        assert!(true_res < 2.0 * cfg.tol, "true residual {true_res}");
+        // The protocol detects no earlier than the omniscient monitor.
+        let mut oracle = cfg.clone();
+        oracle.termination = None;
+        let o = run_dist_async(&a, &b, &x0, &p, &oracle);
+        let oracle_t = o.time_to_tolerance(cfg.tol).unwrap();
+        assert!(
+            stats.detected_at.unwrap() >= oracle_t * 0.9,
+            "protocol {:?} vs oracle {oracle_t}",
+            stats.detected_at
+        );
+    }
+
+    #[test]
+    fn termination_protocol_never_fires_on_non_converging_run() {
+        let (a, b, x0) = problem(8, 8);
+        let p = block_partition(a.nrows(), 4);
+        let mut cfg = DistConfig::new(a.nrows(), 5);
+        cfg.tol = 1e-30; // unreachable
+        cfg.max_iterations = 200;
+        cfg.termination = Some(crate::termination::TerminationProtocol::default());
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        let stats = out.termination.as_ref().unwrap();
+        assert!(stats.detected_at.is_none());
+        assert_eq!(stats.stops_sent, 0);
+        assert!(out.worker_iterations.iter().all(|&i| i == 200));
+    }
+
+    #[test]
+    fn communication_volume_is_accounted() {
+        let (a, b, x0) = problem(8, 8);
+        let p = block_partition(a.nrows(), 4);
+        let mut cfg = DistConfig::new(a.nrows(), 6);
+        cfg.stop = StopRule::FixedIterations(10);
+        cfg.tol = 0.0;
+        let asy = run_dist_async(&a, &b, &x0, &p, &cfg);
+        // Every rank has ≤ 2 neighbours on a block-partitioned grid; each
+        // iteration sends one put per neighbour.
+        assert!(asy.comm.puts > 0);
+        assert!(
+            asy.comm.values >= asy.comm.puts,
+            "each put carries ≥ 1 value"
+        );
+        let syn = run_dist_sync(&a, &b, &x0, &p, &cfg);
+        assert!(syn.comm.puts > 0);
+        assert_eq!(
+            syn.comm.puts % 10,
+            0,
+            "sync sends the same messages every iteration"
+        );
+    }
+
+    #[test]
+    fn fixed_iterations_stop_in_distributed_mode() {
+        let (a, b, x0) = problem(8, 8);
+        let p = block_partition(64, 4);
+        let mut cfg = DistConfig::new(64, 7);
+        cfg.stop = StopRule::FixedIterations(25);
+        cfg.tol = 0.0;
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        assert!(out.worker_iterations.iter().all(|&i| i >= 25));
+    }
+}

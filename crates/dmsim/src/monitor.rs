@@ -1,0 +1,271 @@
+//! Residual monitoring for simulated runs.
+//!
+//! The figures need two x-axes: *relaxations / n* (Figures 6, 7, 9) and
+//! *wall-clock (simulated) time* (Figures 4, 5, 8). The monitor samples the
+//! true global residual whenever the run crosses a relaxation-count
+//! checkpoint, recording both coordinates.
+
+use aj_linalg::vecops::{self, Norm};
+use aj_linalg::CsrMatrix;
+
+/// One residual sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Simulated time in ticks.
+    pub time: f64,
+    /// Total relaxations performed so far, divided by `n`.
+    pub relaxations_per_n: f64,
+    /// Relative residual `‖b − Ax‖ / ‖b‖`.
+    pub residual: f64,
+}
+
+/// Outcome of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Residual samples in time order (first entry is the initial state).
+    pub samples: Vec<Sample>,
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Simulated finish time (ticks).
+    pub time: f64,
+    /// Total row relaxations.
+    pub relaxations: u64,
+    /// Iterations per worker.
+    pub worker_iterations: Vec<u64>,
+    /// True on tolerance-met termination.
+    pub converged: bool,
+    /// Termination-detection statistics, when the distributed protocol ran
+    /// (see [`crate::termination`]); `None` for oracle-monitored runs.
+    pub termination: Option<crate::termination::TerminationStats>,
+    /// Communication accounting (distributed runs; zeros in shared memory).
+    pub comm: CommVolume,
+}
+
+/// Message/volume counters for distributed runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommVolume {
+    /// One-sided puts issued.
+    pub puts: u64,
+    /// Total values carried by those puts.
+    pub values: u64,
+}
+
+impl SimOutcome {
+    /// First simulated time at which the sampled residual fell below `tol`.
+    pub fn time_to_tolerance(&self, tol: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.residual < tol)
+            .map(|s| s.time)
+    }
+
+    /// First relaxations/n at which the sampled residual fell below `tol`.
+    pub fn relaxations_to_tolerance(&self, tol: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.residual < tol)
+            .map(|s| s.relaxations_per_n)
+    }
+
+    /// Final sampled residual.
+    pub fn final_residual(&self) -> f64 {
+        self.samples.last().map_or(f64::NAN, |s| s.residual)
+    }
+
+    /// Simulated time at which the residual first dropped below
+    /// `factor × initial residual`, linearly interpolated on
+    /// `log10(residual)` as the paper does for its Figure 8 wall-clock
+    /// numbers. `None` when the run never got there.
+    pub fn time_to_reduction(&self, factor: f64) -> Option<f64> {
+        let target = self.samples.first()?.residual * factor;
+        if target <= 0.0 {
+            return None;
+        }
+        let lt = target.log10();
+        let mut prev = self.samples.first()?;
+        if prev.residual <= target {
+            return Some(prev.time);
+        }
+        for s in &self.samples[1..] {
+            if s.residual <= target {
+                let (l0, l1) = (prev.residual.log10(), s.residual.log10());
+                if (l1 - l0).abs() < 1e-300 {
+                    return Some(s.time);
+                }
+                let w = (lt - l0) / (l1 - l0);
+                return Some(prev.time + w * (s.time - prev.time));
+            }
+            prev = s;
+        }
+        None
+    }
+}
+
+/// Samples the residual every `sample_every` relaxations.
+#[derive(Debug)]
+pub struct ResidualMonitor<'a> {
+    a: &'a CsrMatrix,
+    b: &'a [f64],
+    nb: f64,
+    norm: Norm,
+    tol: f64,
+    sample_every: u64,
+    next_checkpoint: u64,
+    samples: Vec<Sample>,
+    converged: bool,
+}
+
+impl<'a> ResidualMonitor<'a> {
+    /// Creates a monitor; `sample_every` is in units of row relaxations
+    /// (a value around `n` samples once per "global iteration equivalent").
+    pub fn new(a: &'a CsrMatrix, b: &'a [f64], norm: Norm, tol: f64, sample_every: u64) -> Self {
+        let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
+        ResidualMonitor {
+            a,
+            b,
+            nb,
+            norm,
+            tol,
+            sample_every: sample_every.max(1),
+            next_checkpoint: 0,
+            samples: Vec::new(),
+            converged: false,
+        }
+    }
+
+    /// Whether the tolerance has been observed.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Samples collected so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Consumes the monitor, returning its samples.
+    pub fn into_samples(self) -> Vec<Sample> {
+        self.samples
+    }
+
+    /// Called by simulators after relaxations were performed; takes a sample
+    /// when a checkpoint is crossed. Returns `true` when the tolerance has
+    /// been met (the caller decides whether to stop).
+    pub fn observe(&mut self, time: f64, total_relaxations: u64, x: &[f64]) -> bool {
+        if total_relaxations >= self.next_checkpoint {
+            let res = vecops::norm(&self.a.residual(x, self.b), self.norm) / self.nb;
+            self.samples.push(Sample {
+                time,
+                relaxations_per_n: total_relaxations as f64 / self.a.nrows() as f64,
+                residual: res,
+            });
+            self.next_checkpoint = total_relaxations + self.sample_every;
+            if res < self.tol {
+                self.converged = true;
+            }
+        }
+        self.converged
+    }
+
+    /// Unconditional final sample (e.g. at termination time).
+    pub fn finalize(&mut self, time: f64, total_relaxations: u64, x: &[f64]) {
+        let res = vecops::norm(&self.a.residual(x, self.b), self.norm) / self.nb;
+        self.samples.push(Sample {
+            time,
+            relaxations_per_n: total_relaxations as f64 / self.a.nrows() as f64,
+            residual: res,
+        });
+        if res < self.tol {
+            self.converged = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_matrices::fd;
+
+    #[test]
+    fn monitor_samples_at_checkpoints() {
+        let a = fd::laplacian_1d(4);
+        let b = vec![1.0; 4];
+        let x = vec![0.0; 4];
+        let mut m = ResidualMonitor::new(&a, &b, Norm::L1, 1e-10, 8);
+        assert!(!m.observe(0.0, 0, &x)); // initial sample at checkpoint 0
+        assert_eq!(m.samples().len(), 1);
+        assert!(!m.observe(1.0, 4, &x)); // below next checkpoint: no sample
+        assert_eq!(m.samples().len(), 1);
+        assert!(!m.observe(2.0, 8, &x));
+        assert_eq!(m.samples().len(), 2);
+    }
+
+    #[test]
+    fn monitor_detects_convergence() {
+        let a = fd::laplacian_1d(3);
+        let b = a.spmv(&[1.0, 1.0, 1.0]);
+        let mut m = ResidualMonitor::new(&a, &b, Norm::L1, 1e-8, 1);
+        assert!(m.observe(0.0, 0, &[1.0, 1.0, 1.0]));
+        assert!(m.converged());
+    }
+
+    #[test]
+    fn time_to_reduction_interpolates_logarithmically() {
+        let outcome = SimOutcome {
+            samples: vec![
+                Sample {
+                    time: 0.0,
+                    relaxations_per_n: 0.0,
+                    residual: 1.0,
+                },
+                Sample {
+                    time: 10.0,
+                    relaxations_per_n: 1.0,
+                    residual: 1e-2,
+                },
+            ],
+            x: vec![],
+            time: 10.0,
+            relaxations: 0,
+            worker_iterations: vec![],
+            converged: true,
+            termination: None,
+            comm: CommVolume::default(),
+        };
+        // 10× reduction on a log-linear path from 1 to 1e-2 over t∈[0,10]
+        // happens exactly at t = 5.
+        let t = outcome.time_to_reduction(0.1).unwrap();
+        assert!((t - 5.0).abs() < 1e-12, "t = {t}");
+        // Unreachable factor.
+        assert!(outcome.time_to_reduction(1e-6).is_none());
+    }
+
+    #[test]
+    fn outcome_tolerance_queries() {
+        let outcome = SimOutcome {
+            samples: vec![
+                Sample {
+                    time: 0.0,
+                    relaxations_per_n: 0.0,
+                    residual: 1.0,
+                },
+                Sample {
+                    time: 3.0,
+                    relaxations_per_n: 2.0,
+                    residual: 1e-4,
+                },
+            ],
+            x: vec![],
+            time: 3.0,
+            relaxations: 8,
+            worker_iterations: vec![4, 4],
+            converged: true,
+            termination: None,
+            comm: CommVolume::default(),
+        };
+        assert_eq!(outcome.time_to_tolerance(1e-3), Some(3.0));
+        assert_eq!(outcome.relaxations_to_tolerance(1e-3), Some(2.0));
+        assert_eq!(outcome.time_to_tolerance(1e-9), None);
+        assert_eq!(outcome.final_residual(), 1e-4);
+    }
+}

@@ -1,0 +1,194 @@
+//! Coordinate-format (triplet) matrix builder.
+//!
+//! All generators in `aj-matrices` assemble into a [`CooMatrix`] and then
+//! convert to CSR once. Duplicate entries are *summed* on conversion, which
+//! is exactly the semantics finite-element assembly needs.
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix under construction, stored as `(row, col, value)` triplets.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with room for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicates accumulate on conversion.
+    ///
+    /// # Panics
+    /// Panics if the position is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.nrows, "row {row} out of bounds ({})", self.nrows);
+        assert!(col < self.ncols, "col {col} out of bounds ({})", self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+    }
+
+    /// Adds `value` at `(row, col)` and `(col, row)`; the diagonal is added
+    /// once. Convenient for symmetric assembly.
+    pub fn push_sym(&mut self, row: usize, col: usize, value: f64) {
+        self.push(row, col, value);
+        if row != col {
+            self.push(col, row, value);
+        }
+    }
+
+    /// Iterates over the raw triplets in insertion order.
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.vals.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping entries that
+    /// cancel to exactly zero is *not* done (explicit zeros are kept so that
+    /// sparsity patterns stay predictable for tests).
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Sort triplets by (row, col), then compress duplicates in one pass.
+        let n = self.nrows;
+        let mut order: Vec<usize> = (0..self.vals.len()).collect();
+        order.sort_unstable_by_key(|&k| (self.rows[k], self.cols[k]));
+
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::with_capacity(self.vals.len());
+        let mut values = Vec::with_capacity(self.vals.len());
+        indptr.push(0);
+        let mut cur_row = 0usize;
+        for &k in &order {
+            let (r, c, v) = (self.rows[k], self.cols[k], self.vals[k]);
+            while cur_row < r {
+                indptr.push(indices.len());
+                cur_row += 1;
+            }
+            if let Some(&last_col) = indices.last() {
+                if *indptr.last().unwrap() < indices.len() && last_col == c {
+                    // Same row (we only close rows above) and same column:
+                    // accumulate.
+                    let lv: &mut f64 = values.last_mut().unwrap();
+                    *lv += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            values.push(v);
+        }
+        while cur_row < n {
+            indptr.push(indices.len());
+            cur_row += 1;
+        }
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, indptr, indices, values)
+            .expect("COO→CSR conversion produced invalid structure")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::new(3, 3);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 0, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 0), 3.5);
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert_eq!(csr.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn push_sym_mirrors_offdiagonal() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_sym(0, 2, 4.0);
+        coo.push_sym(1, 1, 5.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 2), 4.0);
+        assert_eq!(csr.get(2, 0), 4.0);
+        assert_eq!(csr.get(1, 1), 5.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn rows_out_of_order_are_sorted() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(2, 1, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 0, 3.0);
+        coo.push(0, 0, 4.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_indices(0), &[0, 2]);
+        assert_eq!(csr.row_values(0), &[4.0, 2.0]);
+        assert_eq!(csr.row_indices(2), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn rectangular_shapes_supported() {
+        let mut coo = CooMatrix::new(2, 4);
+        coo.push(1, 3, 9.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 2);
+        assert_eq!(csr.ncols(), 4);
+        assert_eq!(csr.get(1, 3), 9.0);
+    }
+}

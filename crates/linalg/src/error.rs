@@ -1,0 +1,81 @@
+//! Error type shared across the linear-algebra crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// What the caller was doing, e.g. `"spmv"`.
+        op: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Extent actually supplied.
+        found: usize,
+    },
+    /// An index exceeded the matrix dimensions.
+    IndexOutOfBounds { index: usize, bound: usize },
+    /// A CSR invariant was violated (non-monotone indptr, unsorted columns…).
+    InvalidStructure(String),
+    /// An iterative routine failed to converge within its budget.
+    NoConvergence {
+        what: &'static str,
+        iterations: usize,
+    },
+    /// A zero (or numerically zero) diagonal entry prevented scaling or
+    /// relaxation.
+    ZeroDiagonal { row: usize },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{op}: dimension mismatch (expected {expected}, found {found})"
+                )
+            }
+            LinalgError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (dimension {bound})")
+            }
+            LinalgError::InvalidStructure(msg) => write!(f, "invalid matrix structure: {msg}"),
+            LinalgError::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge within {iterations} iterations")
+            }
+            LinalgError::ZeroDiagonal { row } => {
+                write!(f, "zero diagonal entry in row {row}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "spmv",
+            expected: 4,
+            found: 3,
+        };
+        assert!(e.to_string().contains("spmv"));
+        assert!(e.to_string().contains('4'));
+        let e = LinalgError::ZeroDiagonal { row: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = LinalgError::NoConvergence {
+            what: "lanczos",
+            iterations: 10,
+        };
+        assert!(e.to_string().contains("lanczos"));
+    }
+}

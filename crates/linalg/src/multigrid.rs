@@ -1,0 +1,361 @@
+//! Geometric two-grid multigrid for 2-D grid Laplacians, with weighted
+//! Jacobi smoothing.
+//!
+//! The modern job of Jacobi-type iterations is *smoothing* inside multigrid
+//! — exactly the context in which asynchronous Jacobi matters downstream.
+//! This module provides a compact two-grid V-cycle for five-point Laplacians
+//! on `nx × ny` interior grids: damped-Jacobi pre/post smoothing,
+//! full-weighting restriction, bilinear prolongation, and a CG coarse solve.
+//! It both demonstrates the smoother API end-to-end and provides the
+//! classical convergence yardstick (grid-independent rates) that plain
+//! Jacobi lacks.
+
+use crate::csr::CsrMatrix;
+use crate::error::LinalgError;
+use crate::sweeps;
+use crate::vecops::{self, Norm};
+
+/// A two-grid hierarchy for an `nx × ny` interior-point grid problem.
+#[derive(Debug, Clone)]
+pub struct TwoGrid {
+    nx: usize,
+    ny: usize,
+    fine: CsrMatrix,
+    coarse: CsrMatrix,
+    diag_inv: Vec<f64>,
+    /// Damping weight for the Jacobi smoother (2/3 is optimal for the
+    /// 1-D/2-D Laplacian high-frequency band).
+    pub omega: f64,
+    /// Pre- and post-smoothing sweeps.
+    pub smooth_steps: usize,
+}
+
+impl TwoGrid {
+    /// Builds the hierarchy. `fine` must be the five-point Laplacian (or a
+    /// same-structure operator) on the `nx × ny` interior grid with
+    /// row-major numbering; the coarse grid takes every second point in
+    /// each direction, so `nx` and `ny` must be odd and ≥ 3 (interior
+    /// counts of a power-of-two cell split).
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] when the matrix size does not
+    /// match `nx·ny`; [`LinalgError::InvalidStructure`] for even or tiny
+    /// grid dimensions.
+    pub fn new(fine: CsrMatrix, nx: usize, ny: usize) -> Result<TwoGrid, LinalgError> {
+        if fine.nrows() != nx * ny {
+            return Err(LinalgError::DimensionMismatch {
+                op: "TwoGrid::new",
+                expected: nx * ny,
+                found: fine.nrows(),
+            });
+        }
+        if nx < 3 || ny < 3 || nx.is_multiple_of(2) || ny.is_multiple_of(2) {
+            return Err(LinalgError::InvalidStructure(format!(
+                "two-grid coarsening needs odd nx, ny ≥ 3 (got {nx} × {ny})"
+            )));
+        }
+        // Galerkin-free coarse operator: rediscretize (the standard choice
+        // for geometric multigrid on the Laplacian). The coarse grid has
+        // (nx-1)/2 × (ny-1)/2 interior points.
+        let (cx, cy) = ((nx - 1) / 2, (ny - 1) / 2);
+        // Rebuild a five-point operator scaled like the fine one: infer the
+        // stencil weights from an interior fine row.
+        let coarse = coarse_five_point(&fine, nx, ny, cx, cy)?;
+        let diag_inv = fine.diagonal().iter().map(|d| 1.0 / d).collect();
+        Ok(TwoGrid {
+            nx,
+            ny,
+            fine,
+            coarse,
+            diag_inv,
+            omega: 2.0 / 3.0,
+            smooth_steps: 2,
+        })
+    }
+
+    /// Fine-grid matrix.
+    pub fn fine(&self) -> &CsrMatrix {
+        &self.fine
+    }
+
+    /// Coarse-grid dimensions.
+    pub fn coarse_dims(&self) -> (usize, usize) {
+        ((self.nx - 1) / 2, (self.ny - 1) / 2)
+    }
+
+    /// One V-cycle (two-grid correction scheme): smooth, restrict the
+    /// residual, solve coarsely (CG), prolong and correct, smooth again.
+    pub fn v_cycle(&self, b: &[f64], x: &mut [f64]) -> Result<(), LinalgError> {
+        let diag_inv = &self.diag_inv;
+        let n = self.fine.nrows();
+        let mut tmp = vec![0.0; n];
+        // Pre-smoothing (weighted Jacobi; two-phase to stay a true Jacobi).
+        for _ in 0..self.smooth_steps {
+            sweeps::weighted_jacobi_iteration(&self.fine, b, diag_inv, self.omega, x, &mut tmp);
+            x.copy_from_slice(&tmp);
+        }
+        // Coarse-grid correction.
+        let r = self.fine.residual(x, b);
+        let rc = restrict_full_weighting(&r, self.nx, self.ny);
+        let (cx, cy) = self.coarse_dims();
+        let ec = crate::krylov::conjugate_gradient(
+            &self.coarse,
+            &rc,
+            &vec![0.0; cx * cy],
+            1e-10,
+            10 * (cx * cy),
+            Norm::L2,
+        )?;
+        let ef = prolong_bilinear(&ec.x, self.nx, self.ny);
+        vecops::axpy(1.0, &ef, x);
+        // Post-smoothing.
+        for _ in 0..self.smooth_steps {
+            sweeps::weighted_jacobi_iteration(&self.fine, b, diag_inv, self.omega, x, &mut tmp);
+            x.copy_from_slice(&tmp);
+        }
+        Ok(())
+    }
+
+    /// Runs V-cycles to `tol`; returns `(x, per-cycle relative residuals)`.
+    pub fn solve(
+        &self,
+        b: &[f64],
+        x0: &[f64],
+        tol: f64,
+        max_cycles: usize,
+    ) -> Result<(Vec<f64>, Vec<f64>), LinalgError> {
+        let nb = vecops::norm(b, Norm::L2).max(f64::MIN_POSITIVE);
+        let mut x = x0.to_vec();
+        let mut history = vec![vecops::norm(&self.fine.residual(&x, b), Norm::L2) / nb];
+        for _ in 0..max_cycles {
+            if *history.last().unwrap() < tol {
+                break;
+            }
+            self.v_cycle(b, &mut x)?;
+            history.push(vecops::norm(&self.fine.residual(&x, b), Norm::L2) / nb);
+        }
+        Ok((x, history))
+    }
+}
+
+/// Rediscretized coarse operator with the same stencil scaling as the fine
+/// one (reads the center/off weights from an interior fine row).
+fn coarse_five_point(
+    fine: &CsrMatrix,
+    nx: usize,
+    ny: usize,
+    cx: usize,
+    cy: usize,
+) -> Result<CsrMatrix, LinalgError> {
+    // Interior fine row: center of the grid.
+    let mid = (nx / 2) * ny + ny / 2;
+    let mut center = 0.0;
+    let mut off = 0.0;
+    for (j, v) in fine.row_iter(mid) {
+        if j == mid {
+            center = v;
+        } else if off == 0.0 {
+            off = v;
+        } else if (v - off).abs() > 1e-12 * off.abs() {
+            // Rediscretization below assumes one coefficient for both
+            // directions; refuse anisotropic stencils rather than silently
+            // building the wrong coarse operator.
+            return Err(LinalgError::InvalidStructure(format!(
+                "anisotropic stencil (off-diagonals {off} vs {v}); two-grid                  rediscretization supports isotropic five-point operators only"
+            )));
+        }
+    }
+    if center == 0.0 || off == 0.0 {
+        return Err(LinalgError::InvalidStructure(
+            "fine operator does not look like a five-point stencil".into(),
+        ));
+    }
+    // Standard h → 2h rediscretization keeps the same stencil values for
+    // the unit-spacing convention used by `laplacian_2d` (entries are
+    // spacing-independent).
+    let mut coo = crate::coo::CooMatrix::with_capacity(cx * cy, cx * cy, 5 * cx * cy);
+    let idx = |i: usize, j: usize| i * cy + j;
+    for i in 0..cx {
+        for j in 0..cy {
+            let me = idx(i, j);
+            coo.push(me, me, center);
+            if i + 1 < cx {
+                coo.push_sym(me, idx(i + 1, j), off);
+            }
+            if j + 1 < cy {
+                coo.push_sym(me, idx(i, j + 1), off);
+            }
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+/// Full-weighting restriction: coarse point (I, J) at fine (2I+1, 2J+1)
+/// takes the 9-point weighted average of its fine neighbourhood.
+pub fn restrict_full_weighting(r: &[f64], nx: usize, ny: usize) -> Vec<f64> {
+    let (cx, cy) = ((nx - 1) / 2, (ny - 1) / 2);
+    let at = |i: isize, j: isize| -> f64 {
+        if i < 0 || j < 0 || i >= nx as isize || j >= ny as isize {
+            0.0
+        } else {
+            r[i as usize * ny + j as usize]
+        }
+    };
+    let mut rc = vec![0.0; cx * cy];
+    for bi in 0..cx {
+        for bj in 0..cy {
+            let (fi, fj) = ((2 * bi + 1) as isize, (2 * bj + 1) as isize);
+            let mut acc = 4.0 * at(fi, fj);
+            acc += 2.0 * (at(fi - 1, fj) + at(fi + 1, fj) + at(fi, fj - 1) + at(fi, fj + 1));
+            acc +=
+                at(fi - 1, fj - 1) + at(fi - 1, fj + 1) + at(fi + 1, fj - 1) + at(fi + 1, fj + 1);
+            rc[bi * cy + bj] = acc / 16.0 * 4.0; // ×4: operator scaling h→2h
+        }
+    }
+    rc
+}
+
+/// Bilinear prolongation (transpose of full weighting up to scaling).
+pub fn prolong_bilinear(ec: &[f64], nx: usize, ny: usize) -> Vec<f64> {
+    let (cx, cy) = ((nx - 1) / 2, (ny - 1) / 2);
+    let coarse_at = |i: isize, j: isize| -> f64 {
+        if i < 0 || j < 0 || i >= cx as isize || j >= cy as isize {
+            0.0
+        } else {
+            ec[i as usize * cy + j as usize]
+        }
+    };
+    let mut ef = vec![0.0; nx * ny];
+    for fi in 0..nx {
+        for fj in 0..ny {
+            // Fine (fi, fj) sits among coarse points at odd fine coords.
+            let (qi, ri) = (
+                ((fi as isize) - 1).div_euclid(2),
+                ((fi as isize) - 1).rem_euclid(2),
+            );
+            let (qj, rj) = (
+                ((fj as isize) - 1).div_euclid(2),
+                ((fj as isize) - 1).rem_euclid(2),
+            );
+            ef[fi * ny + fj] = match (ri, rj) {
+                (0, 0) => coarse_at(qi, qj),
+                (1, 0) => 0.5 * (coarse_at(qi, qj) + coarse_at(qi + 1, qj)),
+                (0, 1) => 0.5 * (coarse_at(qi, qj) + coarse_at(qi, qj + 1)),
+                _ => {
+                    0.25 * (coarse_at(qi, qj)
+                        + coarse_at(qi + 1, qj)
+                        + coarse_at(qi, qj + 1)
+                        + coarse_at(qi + 1, qj + 1))
+                }
+            };
+        }
+    }
+    ef
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn laplacian2d(nx: usize, ny: usize) -> CsrMatrix {
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut coo = CooMatrix::new(nx * ny, nx * ny);
+        for i in 0..nx {
+            for j in 0..ny {
+                coo.push(idx(i, j), idx(i, j), 4.0);
+                if i + 1 < nx {
+                    coo.push_sym(idx(i, j), idx(i + 1, j), -1.0);
+                }
+                if j + 1 < ny {
+                    coo.push_sym(idx(i, j), idx(i, j + 1), -1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn constructor_validates_dimensions() {
+        assert!(TwoGrid::new(laplacian2d(8, 9), 8, 9).is_err()); // even nx
+        assert!(TwoGrid::new(laplacian2d(9, 9), 9, 7).is_err()); // size mismatch
+        assert!(TwoGrid::new(laplacian2d(9, 9), 9, 9).is_ok());
+    }
+
+    #[test]
+    fn anisotropic_stencils_are_rejected() {
+        // Silent misbuilds are worse than errors: the rediscretized coarse
+        // grid only matches isotropic operators.
+        let idx = |i: usize, j: usize| i * 9 + j;
+        let mut coo = CooMatrix::new(81, 81);
+        for i in 0..9 {
+            for j in 0..9 {
+                coo.push(idx(i, j), idx(i, j), 12.0);
+                if i + 1 < 9 {
+                    coo.push_sym(idx(i, j), idx(i + 1, j), -1.0);
+                }
+                if j + 1 < 9 {
+                    coo.push_sym(idx(i, j), idx(i, j + 1), -5.0);
+                }
+            }
+        }
+        let err = TwoGrid::new(coo.to_csr(), 9, 9);
+        assert!(matches!(err, Err(LinalgError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn restriction_and_prolongation_shapes() {
+        let r = vec![1.0; 9 * 9];
+        let rc = restrict_full_weighting(&r, 9, 9);
+        assert_eq!(rc.len(), 16);
+        let ef = prolong_bilinear(&[1.0; 16], 9, 9);
+        assert_eq!(ef.len(), 81);
+        // Interior coarse-coincident points prolong exactly.
+        assert_eq!(ef[9 + 1], 1.0);
+    }
+
+    #[test]
+    fn v_cycles_converge_fast_and_grid_independently() {
+        for (nx, ny) in [(15usize, 15usize), (31, 31)] {
+            let a = laplacian2d(nx, ny);
+            let n = nx * ny;
+            let x_exact: Vec<f64> = (0..n)
+                .map(|i| ((i * 37 % 100) as f64) / 100.0 - 0.5)
+                .collect();
+            let b = a.spmv(&x_exact);
+            let mg = TwoGrid::new(a.clone(), nx, ny).unwrap();
+            let (x, hist) = mg.solve(&b, &vec![0.0; n], 1e-8, 50).unwrap();
+            assert!(
+                *hist.last().unwrap() < 1e-8,
+                "{nx}×{ny}: residual {}",
+                hist.last().unwrap()
+            );
+            // Grid-independent-ish: well under 25 cycles on both sizes,
+            // versus thousands of plain Jacobi sweeps.
+            assert!(hist.len() <= 25, "{nx}×{ny}: {} cycles", hist.len());
+            assert!(vecops::rel_diff(&x, &x_exact) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn smoother_damping_matters() {
+        // ω = 2/3 smoothing beats undamped smoothing in cycle count on the
+        // same hierarchy (undamped Jacobi does not damp the mid-frequency
+        // band as uniformly).
+        let (nx, ny) = (31, 31);
+        let a = laplacian2d(nx, ny);
+        let b: Vec<f64> = (0..nx * ny)
+            .map(|i| ((i % 17) as f64 - 8.0) / 8.0)
+            .collect();
+        let mut mg = TwoGrid::new(a, nx, ny).unwrap();
+        let (_, h_damped) = mg.solve(&b, &vec![0.0; nx * ny], 1e-8, 100).unwrap();
+        mg.omega = 1.0;
+        let (_, h_plain) = mg.solve(&b, &vec![0.0; nx * ny], 1e-8, 100).unwrap();
+        assert!(
+            h_damped.len() <= h_plain.len(),
+            "damped {} cycles vs plain {}",
+            h_damped.len(),
+            h_plain.len()
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Matrix-free linear operators.
+//!
+//! The paper's analysis revolves around the Jacobi iteration matrix
+//! `G = I − D⁻¹A` (which equals `I − A` once `A` is scaled to unit diagonal)
+//! and the per-step propagation matrices `Ĝ(k) = I − D̂(k)A`,
+//! `Ĥ(k) = I − A D̂(k)`. None of these need to be formed explicitly to be
+//! applied; [`LinearOperator`] lets the eigensolvers work off `y = Op·x`
+//! callbacks, and [`IterationMatrix`] implements `G` itself.
+
+use crate::csr::CsrMatrix;
+
+/// Anything that can be applied to a vector.
+pub trait LinearOperator {
+    /// Operator dimension (operators here are square).
+    fn dim(&self) -> usize;
+
+    /// `y ← Op · x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience allocating apply.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        assert_eq!(
+            self.nrows(),
+            self.ncols(),
+            "LinearOperator needs a square matrix"
+        );
+        self.nrows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into(x, y);
+    }
+}
+
+/// The synchronous Jacobi iteration matrix `G = I − D⁻¹A`, applied
+/// matrix-free. `diag_inv` holds `1/a_ii`; for unit-diagonal matrices it is
+/// all ones and `G = I − A`.
+pub struct IterationMatrix<'a> {
+    a: &'a CsrMatrix,
+    diag_inv: Vec<f64>,
+}
+
+impl<'a> IterationMatrix<'a> {
+    /// Builds `G` for a general matrix (divides by the diagonal).
+    ///
+    /// # Panics
+    /// Panics if any diagonal entry is zero.
+    pub fn new(a: &'a CsrMatrix) -> Self {
+        let diag = a.diagonal();
+        let diag_inv: Vec<f64> = diag
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                assert!(d != 0.0, "zero diagonal in row {i}");
+                1.0 / d
+            })
+            .collect();
+        IterationMatrix { a, diag_inv }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        self.a
+    }
+
+    /// Forms `G` explicitly as CSR (small matrices / tests).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let scaled = {
+            let mut m = self.a.clone();
+            // Row-scale by 1/a_ii: D^{-1} A.
+            let mut coo = crate::coo::CooMatrix::new(m.nrows(), m.ncols());
+            for i in 0..m.nrows() {
+                for (j, v) in m.row_iter(i) {
+                    coo.push(i, j, v * self.diag_inv[i]);
+                }
+            }
+            m = coo.to_csr();
+            m
+        };
+        CsrMatrix::identity(self.a.nrows())
+            .add_scaled(1.0, &scaled, -1.0)
+            .expect("same dimensions by construction")
+    }
+
+    /// Entry-wise absolute value `|G|` as CSR, for the Chazan–Miranker
+    /// asynchronous-convergence condition `ρ(|G|) < 1`.
+    pub fn abs_csr(&self) -> CsrMatrix {
+        self.to_csr().abs()
+    }
+}
+
+impl LinearOperator for IterationMatrix<'_> {
+    fn dim(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        // y = x − D⁻¹ A x
+        self.a.spmv_into(x, y);
+        for i in 0..y.len() {
+            y[i] = x[i] - self.diag_inv[i] * y[i];
+        }
+    }
+}
+
+/// Operator scaling: `αA`.
+pub struct Scaled<'a, T: LinearOperator> {
+    /// Underlying operator.
+    pub op: &'a T,
+    /// Scale factor.
+    pub alpha: f64,
+}
+
+impl<T: LinearOperator> LinearOperator for Scaled<'_, T> {
+    fn dim(&self) -> usize {
+        self.op.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.op.apply(x, y);
+        for v in y.iter_mut() {
+            *v *= self.alpha;
+        }
+    }
+}
+
+/// Operator shift: `A + σI`.
+pub struct Shifted<'a, T: LinearOperator> {
+    /// Underlying operator.
+    pub op: &'a T,
+    /// Shift σ.
+    pub sigma: f64,
+}
+
+impl<T: LinearOperator> LinearOperator for Shifted<'_, T> {
+    fn dim(&self) -> usize {
+        self.op.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.op.apply(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += self.sigma * xi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn laplacian3() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 2.0);
+        }
+        coo.push_sym(0, 1, -1.0);
+        coo.push_sym(1, 2, -1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn iteration_matrix_apply_matches_explicit() {
+        let a = laplacian3();
+        let g = IterationMatrix::new(&a);
+        let gm = g.to_csr();
+        let x = vec![1.0, -2.0, 0.5];
+        let y1 = g.apply_vec(&x);
+        let y2 = gm.spmv(&x);
+        assert!(crate::vecops::rel_diff(&y1, &y2) < 1e-14);
+    }
+
+    #[test]
+    fn iteration_matrix_for_unit_diagonal_is_i_minus_a() {
+        let a = laplacian3().scale_to_unit_diagonal().unwrap();
+        let g = IterationMatrix::new(&a).to_csr();
+        let expect = CsrMatrix::identity(3).add_scaled(1.0, &a, -1.0).unwrap();
+        assert!((g.to_dense().max_abs_diff(&expect.to_dense())) < 1e-14);
+    }
+
+    #[test]
+    fn abs_csr_is_nonnegative() {
+        let a = laplacian3();
+        let g = IterationMatrix::new(&a).abs_csr();
+        assert!(g.values().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn scaled_and_shifted_wrappers() {
+        let a = laplacian3();
+        let x = vec![1.0, 1.0, 1.0];
+        let s = Scaled { op: &a, alpha: 2.0 };
+        assert_eq!(s.apply_vec(&x), vec![2.0, 0.0, 2.0]);
+        let sh = Shifted { op: &a, sigma: 1.0 };
+        assert_eq!(sh.apply_vec(&x), vec![2.0, 1.0, 2.0]);
+        assert_eq!(s.dim(), 3);
+        assert_eq!(sh.dim(), 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Permutation utilities.
+//!
+//! §IV-C of the paper reorders systems as `P A Pᵀ (P x) = P b` so that all
+//! delayed rows come first, exposing the active principal submatrix `G̃`.
+//! These helpers build and apply such permutations.
+
+/// A permutation of `0..n`, stored as `perm[new] = old` — i.e. entry `new`
+/// of the permuted object is entry `perm[new]` of the original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<usize>,
+}
+
+impl Permutation {
+    /// Identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            forward: (0..n).collect(),
+        }
+    }
+
+    /// Builds from a `perm[new] = old` vector, validating it is a bijection.
+    ///
+    /// # Panics
+    /// Panics when `forward` is not a permutation of `0..n`.
+    pub fn from_vec(forward: Vec<usize>) -> Self {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &p in &forward {
+            assert!(p < n, "permutation entry {p} out of range");
+            assert!(!seen[p], "duplicate permutation entry {p}");
+            seen[p] = true;
+        }
+        Permutation { forward }
+    }
+
+    /// Builds the "delayed rows first" permutation of the paper's §IV-C:
+    /// indices in `delayed` (in order) come first, all remaining indices
+    /// follow in ascending order.
+    pub fn delayed_first(n: usize, delayed: &[usize]) -> Self {
+        let mut is_delayed = vec![false; n];
+        for &d in delayed {
+            assert!(d < n, "delayed index {d} out of range");
+            assert!(!is_delayed[d], "duplicate delayed index {d}");
+            is_delayed[d] = true;
+        }
+        let mut forward = Vec::with_capacity(n);
+        forward.extend_from_slice(delayed);
+        forward.extend((0..n).filter(|&i| !is_delayed[i]));
+        Permutation { forward }
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The raw `perm[new] = old` mapping.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.forward.len()];
+        for (new, &old) in self.forward.iter().enumerate() {
+            inv[old] = new;
+        }
+        Permutation { forward: inv }
+    }
+
+    /// Applies to a vector: `out[new] = x[perm[new]]` (i.e. computes `Px`).
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.forward.len(), "permutation length mismatch");
+        self.forward.iter().map(|&old| x[old]).collect()
+    }
+
+    /// Applies the inverse to a vector (computes `Pᵀx`).
+    pub fn apply_inverse(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.forward.len(), "permutation length mismatch");
+        let mut out = vec![0.0; x.len()];
+        for (new, &old) in self.forward.iter().enumerate() {
+            out[old] = x[new];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Permutation::identity(3);
+        assert_eq!(p.apply(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn apply_and_inverse_round_trip() {
+        let p = Permutation::from_vec(vec![2, 0, 1]);
+        let x = [10.0, 20.0, 30.0];
+        let y = p.apply(&x);
+        assert_eq!(y, vec![30.0, 10.0, 20.0]);
+        assert_eq!(p.apply_inverse(&y), x.to_vec());
+        assert_eq!(p.inverse().apply(&y), x.to_vec());
+    }
+
+    #[test]
+    fn delayed_first_orders_delayed_rows_first() {
+        let p = Permutation::delayed_first(5, &[3, 1]);
+        assert_eq!(p.as_slice(), &[3, 1, 0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        Permutation::from_vec(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_original() {
+        let p = Permutation::from_vec(vec![1, 3, 0, 2]);
+        assert_eq!(p.inverse().inverse(), p);
+    }
+}

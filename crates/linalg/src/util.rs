@@ -1,0 +1,47 @@
+//! Small shared utilities.
+
+/// Splits `0..n` into `k` contiguous ranges whose lengths differ by at most
+/// one (the first `n % k` ranges get the extra element). This is the single
+/// source of truth for "one contiguous block per worker" ownership used by
+/// the thread solvers, the simulators, and the block partitioner — they must
+/// all agree on block boundaries.
+///
+/// # Panics
+/// Panics unless `1 <= k <= n`.
+pub fn even_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n (got k = {k}, n = {n})");
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for p in 0..k {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_and_balances() {
+        let r = even_ranges(10, 3);
+        assert_eq!(r, vec![0..4, 4..7, 7..10]);
+        let r = even_ranges(6, 6);
+        assert!(r
+            .iter()
+            .enumerate()
+            .all(|(i, rg)| rg.start == i && rg.len() == 1));
+        let r = even_ranges(5, 1);
+        assert_eq!(r, vec![0..5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= k <= n")]
+    fn rejects_zero_workers() {
+        even_ranges(3, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # aj-matrices
+//!
+//! Test-problem generators for the asynchronous Jacobi reproduction.
+//!
+//! * [`fd`] — finite-difference Laplacians. The paper's "FD" matrices are
+//!   five-point centered-difference discretizations of the Laplace equation
+//!   on rectangular domains; the sizes quoted in the paper decode exactly as
+//!   grids (68 rows / 298 nnz = 4×17, 40/174 = 5×8, 272/1294 = 16×17,
+//!   4624/22848 = 68×68), all of which [`fd::laplacian_2d`] reproduces.
+//! * [`mesh`] + [`fe`] — an unstructured triangulation of the unit square
+//!   and P1 finite-element stiffness assembly. With sufficient vertex
+//!   perturbation the assembled matrix is symmetric positive definite but
+//!   *not* weakly diagonally dominant and has `ρ(G) > 1`, matching the
+//!   paper's "FE" matrix on which synchronous Jacobi diverges.
+//! * [`suite`] — synthetic analogues of the Table I SuiteSparse problems
+//!   (thermal2, G3_circuit, ecology2, apache2, parabolic_fem,
+//!   thermomech_dm, Dubcova2), scaled to laptop size while preserving the
+//!   properties that drive (a)synchronous Jacobi behaviour.
+//! * [`mm`] — Matrix Market I/O so the real SuiteSparse files can be used
+//!   when available.
+//! * [`rhs`] — the paper's random right-hand sides and initial iterates
+//!   (uniform in `[-1, 1]`).
+
+// Index-based loops over coupled arrays are the clearest form for these
+// numeric kernels; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod fd;
+pub mod fe;
+pub mod manufactured;
+pub mod mesh;
+pub mod mm;
+pub mod rhs;
+pub mod suite;
+
+pub use fd::{laplacian_1d, laplacian_2d, laplacian_3d};
+pub use fe::assemble_p1_stiffness;
+pub use mesh::TriangleMesh;
+pub use suite::{suite_problems, SuiteProblem};

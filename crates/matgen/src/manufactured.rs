@@ -1,0 +1,120 @@
+//! Manufactured solutions: pick `x*`, set `b = A x*`, and every solver can
+//! be checked against a known exact answer (error norms, not just residual
+//! norms — the quantity Theorem 1 bounds in the ∞-norm).
+
+use aj_linalg::vecops::{self, Norm};
+use aj_linalg::CsrMatrix;
+
+/// A problem with a known exact solution.
+#[derive(Debug, Clone)]
+pub struct Manufactured {
+    /// Right-hand side `b = A x*`.
+    pub b: Vec<f64>,
+    /// The exact solution `x*`.
+    pub x_exact: Vec<f64>,
+}
+
+impl Manufactured {
+    /// Error `‖x − x*‖` in the requested norm.
+    pub fn error(&self, x: &[f64], norm: Norm) -> f64 {
+        vecops::norm(&vecops::sub(x, &self.x_exact), norm)
+    }
+
+    /// Relative error against `‖x*‖` (absolute error when `x*` is zero).
+    pub fn relative_error(&self, x: &[f64], norm: Norm) -> f64 {
+        let nx = vecops::norm(&self.x_exact, norm);
+        if nx == 0.0 {
+            self.error(x, norm)
+        } else {
+            self.error(x, norm) / nx
+        }
+    }
+}
+
+/// Manufactures `b` from a smooth solution evaluated on grid coordinates:
+/// `x*_i = sin(π ξ_i) sin(π η_i)` where `(ξ, η)` are the supplied unit-square
+/// coordinates — the classic Poisson test mode.
+pub fn smooth_on_coords(a: &CsrMatrix, coords: &[(f64, f64)]) -> Manufactured {
+    assert_eq!(coords.len(), a.nrows(), "one coordinate pair per row");
+    let x_exact: Vec<f64> = coords
+        .iter()
+        .map(|&(x, y)| (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin())
+        .collect();
+    Manufactured {
+        b: a.spmv(&x_exact),
+        x_exact,
+    }
+}
+
+/// Manufactures `b` from a seeded random solution in `[-1, 1]^n`.
+pub fn random(a: &CsrMatrix, seed: u64) -> Manufactured {
+    let x_exact = crate::rhs::random_uniform(a.nrows(), seed);
+    Manufactured {
+        b: a.spmv(&x_exact),
+        x_exact,
+    }
+}
+
+/// Unit-square coordinates of the interior points of an `nx × ny` grid in
+/// the row-major ordering used by [`crate::fd::laplacian_2d`].
+pub fn grid_unit_coords(nx: usize, ny: usize) -> Vec<(f64, f64)> {
+    let mut coords = Vec::with_capacity(nx * ny);
+    for i in 0..nx {
+        for j in 0..ny {
+            coords.push((
+                (i + 1) as f64 / (nx + 1) as f64,
+                (j + 1) as f64 / (ny + 1) as f64,
+            ));
+        }
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_linalg::sweeps;
+
+    #[test]
+    fn jacobi_drives_error_to_zero_on_manufactured_problem() {
+        let a = crate::fd::laplacian_2d(9, 9);
+        let m = smooth_on_coords(&a, &grid_unit_coords(9, 9));
+        let (x, _) = sweeps::jacobi_solve(&a, &m.b, &[0.0; 81], 1e-12, 100_000, Norm::L2).unwrap();
+        assert!(
+            m.relative_error(&x, Norm::Inf) < 1e-10,
+            "error {}",
+            m.relative_error(&x, Norm::Inf)
+        );
+    }
+
+    #[test]
+    fn random_manufactured_solution_round_trips() {
+        let a = crate::fd::laplacian_1d(20);
+        let m = random(&a, 7);
+        // Plugging x* in gives zero residual by construction.
+        let r = a.residual(&m.x_exact, &m.b);
+        assert!(vecops::norm(&r, Norm::Inf) < 1e-14);
+        assert_eq!(m.error(&m.x_exact, Norm::L2), 0.0);
+        assert!(m.relative_error(&[0.0; 20], Norm::L2) > 0.5);
+    }
+
+    #[test]
+    fn grid_coords_are_interior_and_ordered() {
+        let c = grid_unit_coords(3, 2);
+        assert_eq!(c.len(), 6);
+        assert!(c
+            .iter()
+            .all(|&(x, y)| x > 0.0 && x < 1.0 && y > 0.0 && y < 1.0));
+        assert_eq!(c[0], (0.25, 1.0 / 3.0));
+        assert_eq!(c[1].1, 2.0 / 3.0);
+    }
+
+    #[test]
+    fn zero_exact_solution_uses_absolute_error() {
+        let m = Manufactured {
+            b: vec![0.0; 4],
+            x_exact: vec![0.0; 4],
+        };
+        assert_eq!(m.relative_error(&[0.1, 0.0, 0.0, 0.0], Norm::Inf), 0.1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Right-hand sides and initial iterates.
+//!
+//! §VII-A: "We used a random initial approximation x(0) and right-hand side
+//! b in the range [-1, 1]." All randomness is seeded for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random vector in `[-1, 1]^n`, deterministic in `seed`.
+pub fn random_uniform(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(-1.0..=1.0)).collect()
+}
+
+/// The paper's standard problem setup: random `b` and `x0` in `[-1,1]`.
+/// Separate seeds keep them independent.
+pub fn paper_problem(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    (random_uniform(n, seed ^ 0xb), random_uniform(n, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_in_range_and_deterministic() {
+        let v = random_uniform(1000, 7);
+        assert!(v.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+        assert_eq!(v, random_uniform(1000, 7));
+        assert_ne!(v, random_uniform(1000, 8));
+    }
+
+    #[test]
+    fn paper_problem_vectors_differ() {
+        let (b, x0) = paper_problem(50, 3);
+        assert_eq!(b.len(), 50);
+        assert_eq!(x0.len(), 50);
+        assert_ne!(b, x0);
+    }
+
+    #[test]
+    fn vectors_are_dense_random_not_constant() {
+        let v = random_uniform(100, 1);
+        let first = v[0];
+        assert!(v.iter().any(|&x| (x - first).abs() > 1e-6));
+    }
+}

@@ -1,0 +1,204 @@
+//! Synthetic analogues of the paper's Table I SuiteSparse problems.
+//!
+//! The originals (thermal2, G3_circuit, ecology2, apache2, parabolic_fem,
+//! thermomech_dm, Dubcova2) are up to 1.6M equations; this machine-scale
+//! reproduction substitutes generators that preserve the properties the
+//! paper's experiments exercise:
+//!
+//! * symmetric positive definite,
+//! * Jacobi converges slowly (`ρ(G)` just below 1) for the six convergent
+//!   problems, and **diverges** for the Dubcova2 analogue (`ρ(G) > 1`),
+//! * comparable sparsity structure (2-D/3-D stencils, FE meshes).
+//!
+//! Every matrix is returned after symmetric unit-diagonal scaling, which is
+//! the normalization the paper assumes throughout. Real `.mtx` files can be
+//! substituted via [`crate::mm::read_matrix_market_file`].
+
+use crate::{fd, fe};
+use aj_linalg::CsrMatrix;
+
+/// How large an analogue to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~1.5–2k unknowns; unit tests.
+    Tiny,
+    /// ~20k unknowns; default for figure regeneration.
+    Small,
+    /// ~100k unknowns; closer-to-paper runs.
+    Medium,
+}
+
+impl Scale {
+    /// Grid edge for 2-D generators.
+    fn grid2(self) -> usize {
+        match self {
+            Scale::Tiny => 40,
+            Scale::Small => 140,
+            Scale::Medium => 320,
+        }
+    }
+
+    /// Grid edge for 3-D generators.
+    fn grid3(self) -> usize {
+        match self {
+            Scale::Tiny => 12,
+            Scale::Small => 27,
+            Scale::Medium => 47,
+        }
+    }
+}
+
+/// One Table I problem: paper metadata plus our analogue generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteProblem {
+    /// SuiteSparse name as printed in Table I.
+    pub name: &'static str,
+    /// Equations in the original matrix (Table I).
+    pub paper_equations: usize,
+    /// Nonzeros in the original matrix (Table I).
+    pub paper_nonzeros: usize,
+    /// Whether synchronous Jacobi converges on it (true for all but
+    /// Dubcova2, per §VII-C).
+    pub jacobi_converges: bool,
+    /// What we generate instead.
+    pub analogue: &'static str,
+}
+
+impl SuiteProblem {
+    /// Generates the analogue matrix at the requested scale, unit-diagonal
+    /// scaled.
+    pub fn build(&self, scale: Scale) -> CsrMatrix {
+        let g2 = scale.grid2();
+        let g3 = scale.grid3();
+        let a = match self.name {
+            "thermal2" => fd::laplacian_2d_anisotropic(g2, g2, 1.0, 25.0),
+            "G3_circuit" => fd::random_conductance_2d(g2, g2, 9.0, 0xC1C),
+            "ecology2" => fd::laplacian_2d(g2, g2),
+            "apache2" => fd::laplacian_3d(g3, g3, g3),
+            "parabolic_fem" => fd::parabolic_2d(g2, g2, 0.3),
+            "thermomech_dm" => return fe::fe_matrix_shifted(g2, g2, 0.12, 0.25, 0xD3),
+            "Dubcova2" => return fe::fe_matrix(g2, g2, 0.45, 0xD0B),
+            other => panic!("unknown suite problem {other}"),
+        };
+        a.scale_to_unit_diagonal()
+            .expect("generators have positive diagonals")
+    }
+}
+
+/// The full Table I roster, in the paper's order.
+pub fn suite_problems() -> Vec<SuiteProblem> {
+    vec![
+        SuiteProblem {
+            name: "thermal2",
+            paper_equations: 1_227_087,
+            paper_nonzeros: 8_579_355,
+            jacobi_converges: true,
+            analogue: "2-D anisotropic FD Laplacian (cy/cx = 25)",
+        },
+        SuiteProblem {
+            name: "G3_circuit",
+            paper_equations: 1_585_478,
+            paper_nonzeros: 7_660_826,
+            jacobi_converges: true,
+            analogue: "2-D random-conductance network (spread 9)",
+        },
+        SuiteProblem {
+            name: "ecology2",
+            paper_equations: 999_999,
+            paper_nonzeros: 4_995_991,
+            jacobi_converges: true,
+            analogue: "2-D 5-point FD Laplacian",
+        },
+        SuiteProblem {
+            name: "apache2",
+            paper_equations: 715_176,
+            paper_nonzeros: 4_817_870,
+            jacobi_converges: true,
+            analogue: "3-D 7-point FD Laplacian",
+        },
+        SuiteProblem {
+            name: "parabolic_fem",
+            paper_equations: 525_825,
+            paper_nonzeros: 3_674_625,
+            jacobi_converges: true,
+            analogue: "2-D FD Laplacian + mass shift (implicit time step)",
+        },
+        SuiteProblem {
+            name: "thermomech_dm",
+            paper_equations: 204_316,
+            paper_nonzeros: 1_423_116,
+            jacobi_converges: true,
+            analogue: "P1 FE Laplacian + reaction shift, perturbed mesh (0.12)",
+        },
+        SuiteProblem {
+            name: "Dubcova2",
+            paper_equations: 65_025,
+            paper_nonzeros: 1_030_225,
+            jacobi_converges: false,
+            analogue: "P1 FE Laplacian, heavily perturbed mesh (0.45), ρ(G) > 1",
+        },
+    ]
+}
+
+/// Looks a problem up by (case-insensitive) name.
+pub fn find_problem(name: &str) -> Option<SuiteProblem> {
+    suite_problems()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_linalg::eigen;
+
+    #[test]
+    fn roster_matches_table_one() {
+        let ps = suite_problems();
+        assert_eq!(ps.len(), 7);
+        assert_eq!(ps[0].name, "thermal2");
+        assert_eq!(ps[6].name, "Dubcova2");
+        assert_eq!(ps[2].paper_equations, 999_999);
+        assert!(ps.iter().filter(|p| !p.jacobi_converges).count() == 1);
+    }
+
+    #[test]
+    fn all_analogues_build_with_unit_diagonal() {
+        for p in suite_problems() {
+            let a = p.build(Scale::Tiny);
+            assert!(a.nrows() > 500, "{} too small: {}", p.name, a.nrows());
+            assert!(a.is_symmetric(1e-12), "{} not symmetric", p.name);
+            for i in (0..a.nrows()).step_by(97) {
+                assert!((a.get(i, i) - 1.0).abs() < 1e-12, "{} diag row {i}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_property_matches_flag() {
+        for p in suite_problems() {
+            let a = p.build(Scale::Tiny);
+            let rho = eigen::jacobi_spectral_radius_unit_diag(&a, 150).unwrap();
+            if p.jacobi_converges {
+                assert!(rho < 1.0, "{}: ρ(G) = {rho}, expected < 1", p.name);
+            } else {
+                assert!(rho > 1.0, "{}: ρ(G) = {rho}, expected > 1", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scales_order_sizes() {
+        let p = find_problem("ecology2").unwrap();
+        let t = p.build(Scale::Tiny).nrows();
+        let s = p.build(Scale::Small).nrows();
+        assert!(t < s);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(find_problem("dubcova2").is_some());
+        assert!(find_problem("DUBCOVA2").is_some());
+        assert!(find_problem("nope").is_none());
+    }
+}

@@ -1,0 +1,252 @@
+//! The sequential model executor (paper §VII-B, Figures 3 and 4).
+//!
+//! The model is "a mathematical simplification of actual asynchronous
+//! computations": time advances in unit steps, every step relaxes the rows
+//! the [`DelaySchedule`] activates using fully up-to-date information, and
+//! the synchronous comparison pays the barrier cost (δ time units per
+//! iteration when a thread is δ-delayed).
+
+use crate::mask::ActiveMask;
+use crate::propagation::apply_step;
+use crate::schedule::DelaySchedule;
+use aj_linalg::vecops::{self, Norm};
+use aj_linalg::{CsrMatrix, LinalgError};
+
+/// Result of one model run.
+#[derive(Debug, Clone)]
+pub struct ModelRun {
+    /// `(model time, relative residual)` samples; entry 0 is the initial
+    /// residual at time 0.
+    pub residual_history: Vec<(u64, f64)>,
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Total number of row relaxations performed.
+    pub relaxations: u64,
+    /// Whether the tolerance was reached within the step budget.
+    pub converged: bool,
+    /// Model steps executed.
+    pub steps: u64,
+}
+
+impl ModelRun {
+    /// First model time at which the relative residual dropped below `tol`,
+    /// or `None` if it never did.
+    pub fn time_to_tolerance(&self, tol: f64) -> Option<u64> {
+        self.residual_history
+            .iter()
+            .find(|&&(_, r)| r < tol)
+            .map(|&(t, _)| t)
+    }
+
+    /// Final relative residual.
+    pub fn final_residual(&self) -> f64 {
+        self.residual_history.last().map_or(f64::NAN, |&(_, r)| r)
+    }
+}
+
+fn diag_inv_of(a: &CsrMatrix) -> Result<Vec<f64>, LinalgError> {
+    a.diagonal()
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            if d == 0.0 {
+                Err(LinalgError::ZeroDiagonal { row: i })
+            } else {
+                Ok(1.0 / d)
+            }
+        })
+        .collect()
+}
+
+/// Runs the **asynchronous** model: at step `k` the schedule's mask is
+/// relaxed, model time advances by 1. Terminates when the relative residual
+/// (in `norm`) drops below `tol` or after `max_steps`.
+pub fn run_async_model(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    schedule: &DelaySchedule,
+    tol: f64,
+    max_steps: u64,
+    norm: Norm,
+) -> Result<ModelRun, LinalgError> {
+    let n = a.nrows();
+    let diag_inv = diag_inv_of(a)?;
+    let mut x = x0.to_vec();
+    let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
+    let mut history = vec![(0u64, vecops::norm(&a.residual(&x, b), norm) / nb)];
+    let mut relaxations = 0u64;
+    let mut steps = 0u64;
+    let mut converged = history[0].1 < tol;
+    while !converged && steps < max_steps {
+        let k = steps + 1;
+        let mask = schedule.mask_at(n, k);
+        apply_step(a, b, &diag_inv, &mask, &mut x);
+        relaxations += mask.num_active() as u64;
+        steps = k;
+        let r = vecops::norm(&a.residual(&x, b), norm) / nb;
+        history.push((k, r));
+        converged = r < tol;
+    }
+    Ok(ModelRun {
+        residual_history: history,
+        x,
+        relaxations,
+        converged,
+        steps,
+    })
+}
+
+/// Runs the **synchronous** model: every iteration relaxes all rows, but the
+/// barrier stretches each iteration to `schedule.sync_iteration_cost()`
+/// model-time units (δ when one thread is δ-delayed).
+pub fn run_sync_model(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    schedule: &DelaySchedule,
+    tol: f64,
+    max_steps: u64,
+    norm: Norm,
+) -> Result<ModelRun, LinalgError> {
+    let n = a.nrows();
+    let diag_inv = diag_inv_of(a)?;
+    let cost = schedule.sync_iteration_cost();
+    let mut x = x0.to_vec();
+    let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
+    let mut history = vec![(0u64, vecops::norm(&a.residual(&x, b), norm) / nb)];
+    let mut relaxations = 0u64;
+    let mut steps = 0u64;
+    let mask = ActiveMask::all(n);
+    let mut converged = history[0].1 < tol;
+    // `max_steps` bounds *model time* so sync and async runs are comparable.
+    while !converged && (steps + 1) * cost <= max_steps {
+        steps += 1;
+        apply_step(a, b, &diag_inv, &mask, &mut x);
+        relaxations += n as u64;
+        let r = vecops::norm(&a.residual(&x, b), norm) / nb;
+        history.push((steps * cost, r));
+        converged = r < tol;
+    }
+    Ok(ModelRun {
+        residual_history: history,
+        x,
+        relaxations,
+        converged,
+        steps,
+    })
+}
+
+/// The Figure 3 quantity: `speedup = (sync model time to tol) /
+/// (async model time to tol)` for one δ-delayed row. Returns
+/// `(sync_time, async_time, speedup)`; `None` when either run fails to reach
+/// the tolerance within `max_steps` of model time.
+pub fn model_speedup(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    row: usize,
+    delta: u64,
+    tol: f64,
+    max_steps: u64,
+) -> Result<Option<(u64, u64, f64)>, LinalgError> {
+    let schedule = DelaySchedule::single_slow_row(row, delta);
+    let sync = run_sync_model(a, b, x0, &schedule, tol, max_steps, Norm::L1)?;
+    let async_ = run_async_model(a, b, x0, &schedule, tol, max_steps, Norm::L1)?;
+    match (sync.time_to_tolerance(tol), async_.time_to_tolerance(tol)) {
+        (Some(ts), Some(ta)) if ta > 0 => Ok(Some((ts, ta, ts as f64 / ta as f64))),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_matrices::{fd, rhs};
+
+    fn paper68() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+        let a = fd::paper_fd("fd68")
+            .unwrap()
+            .scale_to_unit_diagonal()
+            .unwrap();
+        let (b, x0) = rhs::paper_problem(a.nrows(), 42);
+        (a, b, x0)
+    }
+
+    #[test]
+    fn async_with_no_delay_equals_sync() {
+        let (a, b, x0) = paper68();
+        let s = DelaySchedule::None;
+        let sync = run_sync_model(&a, &b, &x0, &s, 1e-3, 10_000, Norm::L1).unwrap();
+        let asyn = run_async_model(&a, &b, &x0, &s, 1e-3, 10_000, Norm::L1).unwrap();
+        assert!(sync.converged && asyn.converged);
+        assert_eq!(sync.steps, asyn.steps);
+        assert!(vecops::rel_diff(&sync.x, &asyn.x) < 1e-14);
+    }
+
+    #[test]
+    fn delayed_async_still_converges_and_sync_pays_barrier() {
+        let (a, b, x0) = paper68();
+        let s = DelaySchedule::single_slow_row(34, 20);
+        let asyn = run_async_model(&a, &b, &x0, &s, 1e-3, 200_000, Norm::L1).unwrap();
+        assert!(asyn.converged, "async residual {}", asyn.final_residual());
+        let sync = run_sync_model(&a, &b, &x0, &s, 1e-3, 200_000, Norm::L1).unwrap();
+        assert!(sync.converged);
+        let ts = sync.time_to_tolerance(1e-3).unwrap();
+        let ta = asyn.time_to_tolerance(1e-3).unwrap();
+        assert!(ts > ta, "sync {ts} should exceed async {ta}");
+    }
+
+    #[test]
+    fn speedup_grows_with_delay() {
+        // The Figure 3 shape: larger δ ⇒ larger async-over-sync speedup.
+        let (a, b, x0) = paper68();
+        let s5 = model_speedup(&a, &b, &x0, 34, 5, 1e-3, 500_000)
+            .unwrap()
+            .unwrap();
+        let s50 = model_speedup(&a, &b, &x0, 34, 50, 1e-3, 500_000)
+            .unwrap()
+            .unwrap();
+        assert!(
+            s50.2 > s5.2,
+            "speedup(50) = {} vs speedup(5) = {}",
+            s50.2,
+            s5.2
+        );
+        assert!(s50.2 > 5.0, "expected a large speedup, got {}", s50.2);
+    }
+
+    #[test]
+    fn residual_never_increases_in_l1_for_wdd_matrix() {
+        // Theorem 1 consequence: ‖Ĥ‖₁ = 1 ⇒ the residual 1-norm is
+        // non-increasing no matter the masks.
+        let (a, b, x0) = paper68();
+        let s = DelaySchedule::Random {
+            density: 0.4,
+            seed: 5,
+        };
+        let run = run_async_model(&a, &b, &x0, &s, 0.0, 300, Norm::L1).unwrap();
+        for w in run.residual_history.windows(2) {
+            assert!(w[1].1 <= w[0].1 * (1.0 + 1e-12), "residual grew: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn history_starts_at_time_zero_and_is_monotone_in_time() {
+        let (a, b, x0) = paper68();
+        let s = DelaySchedule::single_slow_row(10, 7);
+        let run = run_sync_model(&a, &b, &x0, &s, 1e-3, 50_000, Norm::L1).unwrap();
+        assert_eq!(run.residual_history[0].0, 0);
+        for w in run.residual_history.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, 7, "sync time stride must equal δ");
+        }
+    }
+
+    #[test]
+    fn relaxation_counts_are_tracked() {
+        let (a, b, x0) = paper68();
+        let run =
+            run_async_model(&a, &b, &x0, &DelaySchedule::None, 1e-2, 1_000, Norm::L1).unwrap();
+        assert_eq!(run.relaxations, run.steps * 68);
+    }
+}

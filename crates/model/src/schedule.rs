@@ -1,0 +1,136 @@
+//! Delay schedules: who relaxes at each model step.
+//!
+//! §VII-B of the paper: "For the model, time is in unit steps, and δ is the
+//! number of those steps that row i is delayed by. In the asynchronous case,
+//! row i only relaxes at multiples of δ, while all other rows relax at every
+//! time step. In the synchronous case, all rows relax at multiples of δ to
+//! simulate waiting for the slowest process."
+
+use crate::mask::ActiveMask;
+
+/// Chooses the active set `Ψ(k)` for every model step `k = 1, 2, …`.
+#[derive(Debug, Clone)]
+pub enum DelaySchedule {
+    /// Nobody is delayed: every step relaxes every row.
+    None,
+    /// The listed rows only relax when `k` is a multiple of `delta`
+    /// (`delta = 0` or `1` means no delay). All other rows relax each step.
+    SlowRows {
+        /// Delayed row indices.
+        rows: Vec<usize>,
+        /// Delay factor δ in model steps.
+        delta: u64,
+    },
+    /// Each row independently active with probability `density` per step
+    /// (fresh pseudo-random draw each step, deterministic in `seed`).
+    Random {
+        /// Activation probability per row per step.
+        density: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// An explicit sequence of masks, cycled if the run is longer.
+    Explicit(Vec<ActiveMask>),
+}
+
+impl DelaySchedule {
+    /// Convenience constructor for the paper's single-slow-thread scenario.
+    pub fn single_slow_row(row: usize, delta: u64) -> Self {
+        DelaySchedule::SlowRows {
+            rows: vec![row],
+            delta,
+        }
+    }
+
+    /// The mask for model step `k` (1-based) on an `n`-row problem.
+    pub fn mask_at(&self, n: usize, k: u64) -> ActiveMask {
+        match self {
+            DelaySchedule::None => ActiveMask::all(n),
+            DelaySchedule::SlowRows { rows, delta } => {
+                if *delta <= 1 || k.is_multiple_of(*delta) {
+                    ActiveMask::all(n)
+                } else {
+                    ActiveMask::all_except(n, rows)
+                }
+            }
+            DelaySchedule::Random { density, seed } => {
+                ActiveMask::random(n, *density, seed.wrapping_add(k))
+            }
+            DelaySchedule::Explicit(masks) => {
+                assert!(
+                    !masks.is_empty(),
+                    "explicit schedule needs at least one mask"
+                );
+                masks[((k - 1) % masks.len() as u64) as usize].clone()
+            }
+        }
+    }
+
+    /// Model time consumed by one *synchronous* iteration under this
+    /// schedule: the barrier makes everyone wait for the slowest row, so a
+    /// delay factor δ stretches each iteration to δ time units.
+    pub fn sync_iteration_cost(&self) -> u64 {
+        match self {
+            DelaySchedule::SlowRows { delta, .. } => (*delta).max(1),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_activates_everyone() {
+        let s = DelaySchedule::None;
+        assert_eq!(s.mask_at(4, 1).num_active(), 4);
+        assert_eq!(s.sync_iteration_cost(), 1);
+    }
+
+    #[test]
+    fn slow_row_fires_only_on_multiples_of_delta() {
+        let s = DelaySchedule::single_slow_row(2, 3);
+        assert!(!s.mask_at(5, 1).is_active(2));
+        assert!(!s.mask_at(5, 2).is_active(2));
+        assert!(s.mask_at(5, 3).is_active(2));
+        assert!(!s.mask_at(5, 4).is_active(2));
+        assert!(s.mask_at(5, 6).is_active(2));
+        // Other rows always relax.
+        assert!(s.mask_at(5, 1).is_active(0));
+        assert_eq!(s.sync_iteration_cost(), 3);
+    }
+
+    #[test]
+    fn delta_zero_and_one_mean_no_delay() {
+        for delta in [0, 1] {
+            let s = DelaySchedule::single_slow_row(0, delta);
+            assert!(s.mask_at(3, 1).is_active(0));
+            assert_eq!(s.sync_iteration_cost(), 1);
+        }
+    }
+
+    #[test]
+    fn random_schedule_varies_by_step_but_is_reproducible() {
+        let s = DelaySchedule::Random {
+            density: 0.5,
+            seed: 77,
+        };
+        let m1 = s.mask_at(100, 1);
+        let m2 = s.mask_at(100, 2);
+        assert_ne!(m1, m2);
+        assert_eq!(m1, s.mask_at(100, 1));
+    }
+
+    #[test]
+    fn explicit_schedule_cycles() {
+        let masks = vec![
+            ActiveMask::from_rows(3, &[0]),
+            ActiveMask::from_rows(3, &[1]),
+        ];
+        let s = DelaySchedule::Explicit(masks);
+        assert!(s.mask_at(3, 1).is_active(0));
+        assert!(s.mask_at(3, 2).is_active(1));
+        assert!(s.mask_at(3, 3).is_active(0)); // cycled
+    }
+}

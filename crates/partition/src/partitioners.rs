@@ -1,0 +1,234 @@
+//! Partitioning algorithms.
+//!
+//! Three strategies covering the paper's needs:
+//!
+//! * [`block_partition`] — equal contiguous row blocks, what the paper's own
+//!   shared-memory implementation uses directly;
+//! * [`bfs_partition`] — greedy graph growing by breadth-first search, our
+//!   METIS substitute for unstructured problems (balanced parts, locally
+//!   connected, modest edge cut);
+//! * [`coordinate_bisection`] — recursive coordinate bisection for problems
+//!   with geometry (grids, meshes), which yields box-like subdomains.
+
+use crate::partition::Partition;
+use aj_linalg::CsrMatrix;
+use std::collections::VecDeque;
+
+/// Splits `n` rows into `nparts` contiguous blocks whose sizes differ by at
+/// most one (the first `n % nparts` blocks get the extra row).
+///
+/// # Panics
+/// Panics if `nparts == 0` or `nparts > n`.
+pub fn block_partition(n: usize, nparts: usize) -> Partition {
+    assert!(
+        nparts > 0 && nparts <= n,
+        "need 1 ≤ nparts ≤ n (got {nparts} for n = {n})"
+    );
+    let base = n / nparts;
+    let extra = n % nparts;
+    let mut assignment = Vec::with_capacity(n);
+    for p in 0..nparts {
+        let size = base + usize::from(p < extra);
+        assignment.extend(std::iter::repeat_n(p, size));
+    }
+    Partition::from_assignment(nparts, assignment)
+}
+
+/// Greedy BFS graph growing over the matrix adjacency. Parts are grown one
+/// at a time from the lowest-numbered unassigned vertex; each part absorbs
+/// vertices in BFS order until it reaches its target size, then the next
+/// part starts. Produces connected (where the graph allows), balanced parts.
+pub fn bfs_partition(a: &CsrMatrix, nparts: usize) -> Partition {
+    let n = a.nrows();
+    assert!(
+        nparts > 0 && nparts <= n,
+        "need 1 ≤ nparts ≤ n (got {nparts} for n = {n})"
+    );
+    let mut assignment = vec![usize::MAX; n];
+    let mut assigned = 0usize;
+    let mut next_seed = 0usize;
+    let mut queue = VecDeque::new();
+    for p in 0..nparts {
+        // Remaining rows spread over remaining parts keeps sizes within one.
+        let target = (n - assigned) / (nparts - p);
+        let mut grown = 0usize;
+        queue.clear();
+        while grown < target {
+            let v = match queue.pop_front() {
+                Some(v) if assignment[v] == usize::MAX => v,
+                Some(_) => continue,
+                None => {
+                    // Graph exhausted locally; restart from the next
+                    // unassigned vertex (handles disconnected components).
+                    while assignment[next_seed] != usize::MAX {
+                        next_seed += 1;
+                    }
+                    next_seed
+                }
+            };
+            assignment[v] = p;
+            grown += 1;
+            assigned += 1;
+            for (u, _) in a.row_iter(v) {
+                if u != v && assignment[u] == usize::MAX {
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    // Any stragglers (only possible when rounding left rows behind) join the
+    // last part.
+    for slot in assignment.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = nparts - 1;
+        }
+    }
+    Partition::from_assignment(nparts, assignment)
+}
+
+/// Recursive coordinate bisection: recursively splits the vertex set at the
+/// median of its widest coordinate direction. `nparts` may be any positive
+/// number (non-powers of two get uneven splits proportional to the target
+/// sizes).
+pub fn coordinate_bisection(coords: &[(f64, f64)], nparts: usize) -> Partition {
+    let n = coords.len();
+    assert!(
+        nparts > 0 && nparts <= n,
+        "need 1 ≤ nparts ≤ n (got {nparts} for n = {n})"
+    );
+    let mut assignment = vec![0usize; n];
+    let all: Vec<usize> = (0..n).collect();
+    rcb_recurse(coords, &all, 0, nparts, &mut assignment);
+    Partition::from_assignment(nparts, assignment)
+}
+
+fn rcb_recurse(
+    coords: &[(f64, f64)],
+    subset: &[usize],
+    first_part: usize,
+    nparts: usize,
+    assignment: &mut [usize],
+) {
+    if nparts == 1 {
+        for &v in subset {
+            assignment[v] = first_part;
+        }
+        return;
+    }
+    let left_parts = nparts / 2;
+    let split_at = subset.len() * left_parts / nparts;
+    // Pick the wider direction.
+    let (min_x, max_x) = subset
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(coords[v].0), hi.max(coords[v].0))
+        });
+    let (min_y, max_y) = subset
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(coords[v].1), hi.max(coords[v].1))
+        });
+    let use_x = (max_x - min_x) >= (max_y - min_y);
+    let mut sorted: Vec<usize> = subset.to_vec();
+    sorted.sort_by(|&a, &b| {
+        let ka = if use_x { coords[a].0 } else { coords[a].1 };
+        let kb = if use_x { coords[b].0 } else { coords[b].1 };
+        ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+    });
+    let (left, right) = sorted.split_at(split_at);
+    rcb_recurse(coords, left, first_part, left_parts, assignment);
+    rcb_recurse(
+        coords,
+        right,
+        first_part + left_parts,
+        nparts - left_parts,
+        assignment,
+    );
+}
+
+/// Grid-point coordinates for an `nx × ny` structured grid in row-major
+/// order, matching the numbering of `aj_matrices::fd::laplacian_2d`.
+pub fn grid_coordinates(nx: usize, ny: usize) -> Vec<(f64, f64)> {
+    let mut coords = Vec::with_capacity(nx * ny);
+    for i in 0..nx {
+        for j in 0..ny {
+            coords.push((i as f64, j as f64));
+        }
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_matrices::fd;
+
+    #[test]
+    fn block_partition_sizes_differ_by_at_most_one() {
+        let p = block_partition(10, 3);
+        assert_eq!(p.sizes(), vec![4, 3, 3]);
+        assert_eq!(p.part_of(0), 0);
+        assert_eq!(p.part_of(9), 2);
+        // Blocks are contiguous.
+        let ranges = p.contiguous_ranges();
+        for (part, range) in ranges.iter().enumerate() {
+            for i in range.clone() {
+                assert_eq!(p.part_of(i), part);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_partition_is_balanced_with_lower_cut_than_stripes() {
+        let a = fd::laplacian_2d(16, 16);
+        let p = bfs_partition(&a, 8);
+        assert_eq!(p.sizes(), vec![32; 8]);
+        let striped = {
+            // Worst-case round-robin assignment for comparison.
+            let assignment: Vec<usize> = (0..a.nrows()).map(|i| i % 8).collect();
+            Partition::from_assignment(8, assignment)
+        };
+        assert!(p.edge_cut(&a) < striped.edge_cut(&a));
+    }
+
+    #[test]
+    fn bfs_partition_handles_disconnected_graphs() {
+        // Two decoupled 1-D chains.
+        let mut coo = aj_linalg::CooMatrix::new(8, 8);
+        for i in 0..8 {
+            coo.push(i, i, 2.0);
+        }
+        for i in 0..3 {
+            coo.push_sym(i, i + 1, -1.0);
+            coo.push_sym(4 + i, 5 + i, -1.0);
+        }
+        let a = coo.to_csr();
+        let p = bfs_partition(&a, 2);
+        assert_eq!(p.sizes(), vec![4, 4]);
+        assert_eq!(p.edge_cut(&a), 0, "components should map to separate parts");
+    }
+
+    #[test]
+    fn rcb_splits_grid_into_boxes() {
+        let coords = grid_coordinates(8, 8);
+        let p = coordinate_bisection(&coords, 4);
+        assert_eq!(p.sizes(), vec![16; 4]);
+        let a = fd::laplacian_2d(8, 8);
+        // A 4-way box split of an 8×8 grid cuts 2 interfaces of 8 edges.
+        assert_eq!(p.edge_cut(&a), 16);
+    }
+
+    #[test]
+    fn rcb_handles_non_power_of_two() {
+        let coords = grid_coordinates(9, 5);
+        let p = coordinate_bisection(&coords, 3);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 45);
+        assert!(p.imbalance() < 1.1, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    #[should_panic(expected = "nparts")]
+    fn more_parts_than_rows_rejected() {
+        block_partition(3, 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's Figure 1 examples as ready-made traces.
+//!
+//! Four processes each relax once. Red dots in the figure are relaxations;
+//! blue arrows are the information flows recorded here as `(neighbour,
+//! version)` reads. Rows are 0-based (`p1` → row 0, …, `p4` → row 3).
+
+use crate::trace::{RelaxationEvent, Trace};
+
+/// Figure 1(a): expressible as the sequence `Φ(1) = {p4}`,
+/// `Φ(2) = {p1, p2}`, `Φ(3) = {p3}`.
+///
+/// Reads: `s12 = 0, s13 = 0; s21 = 0, s24 = 1; s31 = 1, s34 = 1;
+/// s42 = 0, s43 = 0`.
+pub fn figure1a() -> Trace {
+    Trace::from_events(
+        4,
+        vec![
+            RelaxationEvent {
+                row: 0,
+                seq: 1,
+                reads: vec![(1, 0), (2, 0)],
+            },
+            RelaxationEvent {
+                row: 1,
+                seq: 2,
+                reads: vec![(0, 0), (3, 1)],
+            },
+            RelaxationEvent {
+                row: 2,
+                seq: 3,
+                reads: vec![(0, 1), (3, 1)],
+            },
+            RelaxationEvent {
+                row: 3,
+                seq: 0,
+                reads: vec![(1, 0), (2, 0)],
+            },
+        ],
+    )
+}
+
+/// Figure 1(b): `s12 = 1` and `s34 = 0` (otherwise like (a)); `p3`'s
+/// relaxation cannot be expressed as part of any propagation-matrix
+/// sequence, so 3 of 4 relaxations are propagated.
+pub fn figure1b() -> Trace {
+    Trace::from_events(
+        4,
+        vec![
+            RelaxationEvent {
+                row: 0,
+                seq: 1,
+                reads: vec![(1, 1), (2, 0)],
+            },
+            RelaxationEvent {
+                row: 1,
+                seq: 2,
+                reads: vec![(0, 0), (3, 1)],
+            },
+            RelaxationEvent {
+                row: 2,
+                seq: 3,
+                reads: vec![(0, 1), (3, 0)],
+            },
+            RelaxationEvent {
+                row: 3,
+                seq: 0,
+                reads: vec![(1, 0), (2, 0)],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::reconstruct;
+
+    #[test]
+    fn figure1a_is_fully_expressible() {
+        let a = reconstruct(&figure1a());
+        assert_eq!(a.fraction(), 1.0);
+        assert_eq!(a.steps, vec![vec![3], vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn figure1b_loses_exactly_p3() {
+        let a = reconstruct(&figure1b());
+        assert_eq!(a.propagated, 3);
+        assert_eq!(a.non_propagated, vec![(2, 0)]);
+    }
+}

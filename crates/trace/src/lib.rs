@@ -1,0 +1,29 @@
+//! # aj-trace
+//!
+//! Relaxation traces and the paper's §IV-A question: *which relaxations of a
+//! real asynchronous execution can be expressed as a sequence of propagation
+//! matrices?*
+//!
+//! A [`Trace`] records, for every relaxation of every row, the *version*
+//! (relaxation count) of each neighbour value the row read — the mapping
+//! `s_ij(k)` of Equation (5). [`propagation::reconstruct`] then greedily
+//! builds the parallel steps `Φ(l)` subject to the paper's two conditions:
+//!
+//! 1. row `i` may relax only when every neighbour `j` has relaxed *exactly*
+//!    `s_ij` times (the information it read is the current state), and
+//! 2. relaxing `i` must not strand another row `j` whose next relaxation
+//!    read the current version of `i` (it would later read an old value).
+//!
+//! When the conditions deadlock (Figure 1(b)), condition 2 is waived for one
+//! step and the stranded relaxations are counted as *non-propagated*,
+//! exactly as the paper treats `p₃` in its example. The fraction of
+//! propagated relaxations is the Figure 2 quantity.
+
+pub mod examples;
+pub mod propagation;
+pub mod stats;
+pub mod trace;
+
+pub use propagation::{reconstruct, PropagationAnalysis};
+pub use stats::{trace_stats, TraceStats};
+pub use trace::{RelaxationEvent, Trace};

@@ -1,0 +1,408 @@
+//! Greedy reconstruction of propagation-matrix sequences from traces
+//! (paper §IV-A).
+
+use crate::trace::Trace;
+
+/// Result of reconstructing `Φ(1), Φ(2), …` from a trace.
+#[derive(Debug, Clone)]
+pub struct PropagationAnalysis {
+    /// Total relaxations in the trace.
+    pub total: usize,
+    /// Relaxations expressible through propagation matrices.
+    pub propagated: usize,
+    /// The reconstructed parallel steps: `steps[l]` is `Φ(l+1)` (rows relaxed
+    /// at that step, ascending). Includes only propagated relaxations.
+    pub steps: Vec<Vec<usize>>,
+    /// `(row, relaxation index 0-based)` of relaxations that could *not* be
+    /// expressed (they read a version that the reconstructed timeline had
+    /// already passed, typically after a condition-2 waiver).
+    pub non_propagated: Vec<(usize, usize)>,
+}
+
+impl PropagationAnalysis {
+    /// The Figure 2 quantity: `propagated / total` (1.0 for empty traces).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.propagated as f64 / self.total as f64
+        }
+    }
+}
+
+/// Status of one read `(j, s)` against the reconstruction state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadStatus {
+    /// The reconstructed value of `j` is exactly physical version `s`.
+    Satisfied,
+    /// The timeline moved past version `s`; it can never be reproduced.
+    Hopeless,
+    /// Version `s` was already produced physically but by relaxations that
+    /// were deferred out of the matrix sequence; the timeline can be
+    /// advanced to it by inserting those deferred relaxations (as separate,
+    /// non-propagated operations) at this point.
+    Advanceable,
+    /// Version `s` lies in the future; keep waiting.
+    Waiting,
+}
+
+/// Reconstruction state.
+///
+/// * `next[i]` — index (0-based) of row `i`'s next unprocessed relaxation.
+/// * `clean[i]` — the physical version the reconstructed value of row `i`
+///   currently equals. Propagating relaxation `k` of row `i` sets
+///   `clean[i] = k + 1`; *skipping* one leaves `clean[i]` untouched, because
+///   a non-propagated relaxation is deferred out of the reconstructed
+///   timeline entirely (the paper "treats it separately"). A Jacobi
+///   relaxation of row `i` does not read `x_i` itself (for the new value),
+///   so a later relaxation of `i` with clean reads restores
+///   `clean[i] = that version` regardless of skips in between.
+struct State {
+    next: Vec<usize>,
+    clean: Vec<u64>,
+}
+
+impl State {
+    fn read_status(&self, j: usize, s: u64) -> ReadStatus {
+        if self.clean[j] == s {
+            ReadStatus::Satisfied
+        } else if s < self.clean[j] {
+            ReadStatus::Hopeless
+        } else if s <= self.next[j] as u64 {
+            ReadStatus::Advanceable
+        } else {
+            ReadStatus::Waiting
+        }
+    }
+}
+
+/// Reconstructs the parallel steps.
+///
+/// Each round:
+///
+/// 1. **Skip hopeless relaxations**: a pending relaxation with a read the
+///    timeline can never reproduce is recorded as non-propagated and
+///    deferred (its row's clean version does not change).
+/// 2. **Ready set** `R`: rows whose next relaxation's reads are all
+///    satisfied by the current reconstructed state (condition 1).
+/// 3. **Condition 2 pruning** to a fixpoint: drop `i` from `R` when some row
+///    `j ∉ R` still needs the *current* clean version of `i` for its next
+///    relaxation — relaxing `i` now would strand `j`. Rows relaxed in the
+///    same step read pre-step values, so mutual dependencies inside `R` are
+///    fine.
+/// 4. A non-empty pruned set becomes `Φ(l)`. If pruning emptied a non-empty
+///    ready set (the Figure 1(b) deadlock), condition 2 is waived and the
+///    whole ready set relaxes; its victims surface as hopeless in the next
+///    round, exactly how the paper strands `p₃`. If nothing is ready at
+///    all, the earliest pending event's producers are advanced through
+///    their deferred versions (re-inserting skipped relaxations into the
+///    timeline as separate operations), which lets the reconstruction
+///    re-synchronize after a burst of stranding instead of collapsing.
+pub fn reconstruct(trace: &Trace) -> PropagationAnalysis {
+    let n = trace.n();
+    let mut st = State {
+        next: vec![0usize; n],
+        clean: vec![0u64; n],
+    };
+    let mut remaining = trace.len();
+    let mut steps: Vec<Vec<usize>> = Vec::new();
+    let mut non_propagated: Vec<(usize, usize)> = Vec::new();
+    let mut propagated = 0usize;
+
+    let pending = |i: usize, st: &State| st.next[i] < trace.relaxations_of(i);
+
+    while remaining > 0 {
+        // 1. Skip hopeless pending relaxations until none remain. Skipping
+        // never changes clean versions, so one pass per outer round
+        // suffices; new hopelessness only arises from step application.
+        for i in 0..n {
+            while pending(i, &st)
+                && trace
+                    .event_of(i, st.next[i])
+                    .reads
+                    .iter()
+                    .any(|&(j, s)| st.read_status(j, s) == ReadStatus::Hopeless)
+            {
+                non_propagated.push((i, st.next[i]));
+                st.next[i] += 1;
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+
+        // 2. Ready set: every read satisfied.
+        let ready: Vec<usize> = (0..n)
+            .filter(|&i| {
+                pending(i, &st)
+                    && trace
+                        .event_of(i, st.next[i])
+                        .reads
+                        .iter()
+                        .all(|&(j, s)| st.read_status(j, s) == ReadStatus::Satisfied)
+            })
+            .collect();
+
+        if ready.is_empty() {
+            // Deadlock. Guided by physical completion order, take the
+            // earliest pending event and try to unblock it by advancing its
+            // producers' timelines through their deferred (skipped)
+            // versions — those relaxations happened physically, so the
+            // values exist; inserting them here strands only readers of the
+            // versions being jumped over, which the next round's skip pass
+            // collects (the paper's "uses old information ⇒ not counted").
+            let earliest = (0..n)
+                .filter(|&i| pending(i, &st))
+                .min_by_key(|&i| trace.event_of(i, st.next[i]).seq)
+                .expect("remaining > 0 implies a pending event");
+            let mut advanced = false;
+            for &(j, s) in &trace.event_of(earliest, st.next[earliest]).reads {
+                if st.read_status(j, s) == ReadStatus::Advanceable {
+                    st.clean[j] = s;
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                // The event waits on versions that do not exist yet while
+                // nothing else is ready — impossible for physically
+                // consistent traces, but force progress for robustness.
+                non_propagated.push((earliest, st.next[earliest]));
+                st.next[earliest] += 1;
+                remaining -= 1;
+            }
+            continue;
+        }
+
+        // 3. Condition-2 pruning to a fixpoint.
+        let mut in_set = vec![false; n];
+        for &i in &ready {
+            in_set[i] = true;
+        }
+        loop {
+            let mut changed = false;
+            for &i in &ready {
+                if !in_set[i] {
+                    continue;
+                }
+                let strands_someone = (0..n).any(|j| {
+                    j != i
+                        && !in_set[j]
+                        && pending(j, &st)
+                        && trace
+                            .event_of(j, st.next[j])
+                            .reads
+                            .iter()
+                            .any(|&(r, s)| r == i && s == st.clean[i])
+                });
+                if strands_someone {
+                    in_set[i] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut phi: Vec<usize> = ready.iter().copied().filter(|&i| in_set[i]).collect();
+        if phi.is_empty() {
+            // 4. Deadlock: waive condition 2 — but minimally, for the single
+            // ready row that physically completed first, so the stranding it
+            // causes stays as small as possible (the paper's example waives
+            // exactly one row, p₄).
+            let first = ready
+                .iter()
+                .copied()
+                .min_by_key(|&i| trace.event_of(i, st.next[i]).seq)
+                .expect("ready is non-empty");
+            phi = vec![first];
+        }
+
+        for &i in &phi {
+            st.clean[i] = st.next[i] as u64 + 1;
+            st.next[i] += 1;
+            remaining -= 1;
+            propagated += 1;
+        }
+        steps.push(phi);
+    }
+
+    PropagationAnalysis {
+        total: trace.len(),
+        propagated,
+        steps,
+        non_propagated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{RelaxationEvent, Trace};
+
+    fn ev(row: usize, seq: u64, reads: &[(usize, u64)]) -> RelaxationEvent {
+        RelaxationEvent {
+            row,
+            seq,
+            reads: reads.to_vec(),
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_fully_propagated() {
+        let t = Trace::from_events(3, vec![]);
+        let a = reconstruct(&t);
+        assert_eq!(a.total, 0);
+        assert_eq!(a.fraction(), 1.0);
+        assert!(a.steps.is_empty());
+    }
+
+    #[test]
+    fn synchronous_round_is_one_step() {
+        // All rows relax once reading everyone's initial values: one Φ with
+        // all rows (a synchronous Jacobi iteration).
+        let t = Trace::from_events(
+            3,
+            vec![
+                ev(0, 0, &[(1, 0)]),
+                ev(1, 1, &[(0, 0), (2, 0)]),
+                ev(2, 2, &[(1, 0)]),
+            ],
+        );
+        let a = reconstruct(&t);
+        assert_eq!(a.propagated, 3);
+        assert_eq!(a.steps.len(), 1);
+        assert_eq!(a.steps[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn gauss_seidel_order_is_one_row_per_step() {
+        // Row k reads the *new* values of rows < k: forced sequentialization.
+        let t = Trace::from_events(
+            3,
+            vec![
+                ev(0, 0, &[(1, 0)]),
+                ev(1, 1, &[(0, 1), (2, 0)]),
+                ev(2, 2, &[(1, 1)]),
+            ],
+        );
+        let a = reconstruct(&t);
+        assert_eq!(a.fraction(), 1.0);
+        assert_eq!(a.steps, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn paper_example_a_reconstructs_in_three_steps() {
+        // Figure 1(a): s12=0, s13=0; s21=0, s24=1; s31=1, s34=1; s42=0,
+        // s43=0 (1-based rows in the paper, 0-based here). Expected:
+        // Φ(1)={p4}, Φ(2)={p1,p2}, Φ(3)={p3}, all propagated.
+        let t = Trace::from_events(
+            4,
+            vec![
+                ev(0, 10, &[(1, 0), (2, 0)]),
+                ev(1, 11, &[(0, 0), (3, 1)]),
+                ev(2, 12, &[(0, 1), (3, 1)]),
+                ev(3, 9, &[(1, 0), (2, 0)]),
+            ],
+        );
+        let a = reconstruct(&t);
+        assert_eq!(a.fraction(), 1.0, "all four relaxations are propagated");
+        assert_eq!(a.steps, vec![vec![3], vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn paper_example_b_strands_row_three() {
+        // Figure 1(b): like (a) but s12=1 and s34=0. p3 (our row 2) cannot
+        // be expressed; the paper reconstructs Φ(1)={p4}, Φ(2)={p2},
+        // Φ(3)={p1} and treats p3's relaxation separately. Fraction 3/4.
+        let t = Trace::from_events(
+            4,
+            vec![
+                ev(0, 10, &[(1, 1), (2, 0)]),
+                ev(1, 11, &[(0, 0), (3, 1)]),
+                ev(2, 12, &[(0, 1), (3, 0)]),
+                ev(3, 9, &[(1, 0), (2, 0)]),
+            ],
+        );
+        let a = reconstruct(&t);
+        assert_eq!(a.propagated, 3);
+        assert_eq!(a.non_propagated, vec![(2, 0)]);
+        assert!((a.fraction() - 0.75).abs() < 1e-15);
+        assert_eq!(a.steps, vec![vec![3], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn waiver_victims_become_non_propagated() {
+        // Row 1 needs both the initial value of row 0 and the *first new*
+        // value of row 2, while row 2 needs the first new value of row 0:
+        // row 0 must relax before row 2, stranding row 1's read of (0, 0).
+        let t = Trace::from_events(
+            3,
+            vec![
+                ev(0, 0, &[(1, 0)]),
+                ev(2, 1, &[(0, 1)]),
+                ev(1, 2, &[(0, 0), (2, 1)]),
+            ],
+        );
+        let a = reconstruct(&t);
+        assert_eq!(a.propagated, 2);
+        assert_eq!(a.non_propagated, vec![(1, 0)]);
+        assert_eq!(a.steps, vec![vec![0], vec![2]]);
+    }
+
+    #[test]
+    fn skipped_relaxation_does_not_taint_initial_reads() {
+        // Row 2's relaxation is stranded, but row 0 read version 0 of row 2,
+        // which stays reproducible because the skip is deferred out of the
+        // timeline (this is the Figure 1(b) subtlety).
+        let t = Trace::from_events(
+            3,
+            vec![
+                ev(1, 0, &[(2, 0)]),
+                ev(2, 1, &[(1, 0)]), // will be stranded by row 1 relaxing first? no: reads (1,0)
+                ev(0, 2, &[(2, 0)]),
+            ],
+        );
+        // Here everything is actually propagatable in two steps:
+        // Φ(1) ⊇ {0,1,2} all read version 0.
+        let a = reconstruct(&t);
+        assert_eq!(a.fraction(), 1.0);
+        assert_eq!(a.steps.len(), 1);
+        assert_eq!(a.steps[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn interleaved_two_row_ping_pong_is_fully_propagated() {
+        // Rows alternate, each reading the other's freshest value — pure
+        // Gauss–Seidel behaviour, fully expressible.
+        let t = Trace::from_events(
+            2,
+            vec![
+                ev(0, 0, &[(1, 0)]),
+                ev(1, 1, &[(0, 1)]),
+                ev(0, 2, &[(1, 1)]),
+                ev(1, 3, &[(0, 2)]),
+            ],
+        );
+        let a = reconstruct(&t);
+        assert_eq!(a.fraction(), 1.0);
+        assert_eq!(a.steps, vec![vec![0], vec![1], vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn counts_are_conserved() {
+        let t = Trace::from_events(
+            3,
+            vec![
+                ev(0, 0, &[(1, 0)]),
+                ev(1, 1, &[(0, 0), (2, 1)]),
+                ev(2, 2, &[(1, 0)]),
+                ev(0, 3, &[(1, 0)]),
+            ],
+        );
+        let a = reconstruct(&t);
+        assert_eq!(a.propagated + a.non_propagated.len(), a.total);
+        let in_steps: usize = a.steps.iter().map(|s| s.len()).sum();
+        assert_eq!(in_steps, a.propagated);
+    }
+}

@@ -1,0 +1,203 @@
+//! Trace diagnostics: how asynchronous was an execution, quantitatively?
+//!
+//! The propagated fraction (Figure 2) compresses a trace to one number;
+//! these statistics expose the structure behind it — how stale reads were,
+//! how unevenly rows progressed, and how far the execution sat from the
+//! synchronous ideal.
+
+use crate::trace::Trace;
+
+/// Summary statistics of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total relaxation events.
+    pub total_relaxations: usize,
+    /// Total neighbour reads recorded.
+    pub total_reads: usize,
+    /// Histogram of read lag: entry `k` counts reads whose version was `k`
+    /// behind the producer's version *at the reader's completion time*
+    /// (0 = the read used the producer's then-current value).
+    pub lag_histogram: Vec<usize>,
+    /// Mean read lag.
+    pub mean_lag: f64,
+    /// Maximum read lag.
+    pub max_lag: u64,
+    /// Per-row relaxation counts: (min, max).
+    pub relaxations_min_max: (usize, usize),
+    /// Progress imbalance: max/min relaxation count (1.0 = perfectly even;
+    /// infinite if some row never relaxed).
+    pub imbalance: f64,
+}
+
+/// Computes [`TraceStats`].
+///
+/// Read lag is measured against the producer's version at the *reader's*
+/// completion stamp: replaying events in `seq` order, a read `(j, s)` made
+/// by an event at which `j` had completed `v_j` relaxations has lag
+/// `v_j − s`. Lag 0 for every read characterizes a sequentially consistent
+/// (fully propagatable) execution; large lags mark the delayed-worker and
+/// stale-ghost regimes.
+pub fn trace_stats(trace: &Trace) -> TraceStats {
+    let n = trace.n();
+    let mut versions = vec![0u64; n];
+    let mut lag_histogram: Vec<usize> = Vec::new();
+    let mut total_reads = 0usize;
+    let mut lag_sum = 0u128;
+    let mut max_lag = 0u64;
+    let mut per_row = vec![0usize; n];
+    for e in trace.events() {
+        for &(j, s) in &e.reads {
+            // Reads of future versions (possible for exotic traces) count
+            // as lag 0.
+            let lag = versions[j].saturating_sub(s);
+            if lag as usize >= lag_histogram.len() {
+                lag_histogram.resize(lag as usize + 1, 0);
+            }
+            lag_histogram[lag as usize] += 1;
+            lag_sum += lag as u128;
+            max_lag = max_lag.max(lag);
+            total_reads += 1;
+        }
+        versions[e.row] += 1;
+        per_row[e.row] += 1;
+    }
+    let (min_r, max_r) = per_row
+        .iter()
+        .fold((usize::MAX, 0usize), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+    let min_r = if n == 0 { 0 } else { min_r };
+    TraceStats {
+        total_relaxations: trace.len(),
+        total_reads,
+        mean_lag: if total_reads == 0 {
+            0.0
+        } else {
+            lag_sum as f64 / total_reads as f64
+        },
+        max_lag,
+        lag_histogram,
+        relaxations_min_max: (min_r, max_r),
+        imbalance: if min_r == 0 {
+            f64::INFINITY
+        } else {
+            max_r as f64 / min_r as f64
+        },
+    }
+}
+
+/// Writes a trace as CSV (`row,seq,reads`) where `reads` is a
+/// `;`-separated list of `j:version` pairs — a portable interchange format
+/// for offline analysis.
+pub fn write_trace_csv<W: std::io::Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "row,seq,reads")?;
+    for e in trace.events() {
+        let reads: Vec<String> = e.reads.iter().map(|(j, s)| format!("{j}:{s}")).collect();
+        writeln!(w, "{},{},{}", e.row, e.seq, reads.join(";"))?;
+    }
+    Ok(())
+}
+
+/// Reads a trace back from the [`write_trace_csv`] format.
+pub fn read_trace_csv<R: std::io::BufRead>(n: usize, r: R) -> std::io::Result<Trace> {
+    let mut events = Vec::new();
+    for (ln, line) in r.lines().enumerate() {
+        let line = line?;
+        if ln == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let bad = || {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad trace CSV line {}: {line}", ln + 1),
+            )
+        };
+        let mut parts = line.splitn(3, ',');
+        let row: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let seq: u64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let reads_str = parts.next().ok_or_else(bad)?;
+        let mut reads = Vec::new();
+        for pair in reads_str.split(';').filter(|p| !p.is_empty()) {
+            let (j, s) = pair.split_once(':').ok_or_else(bad)?;
+            reads.push((j.parse().map_err(|_| bad())?, s.parse().map_err(|_| bad())?));
+        }
+        events.push(crate::trace::RelaxationEvent { row, seq, reads });
+    }
+    Ok(Trace::from_events(n, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RelaxationEvent;
+
+    fn ev(row: usize, seq: u64, reads: &[(usize, u64)]) -> RelaxationEvent {
+        RelaxationEvent {
+            row,
+            seq,
+            reads: reads.to_vec(),
+        }
+    }
+
+    #[test]
+    fn sequential_trace_has_zero_lag() {
+        // Each event reads the producer's current version.
+        let t = Trace::from_events(
+            2,
+            vec![
+                ev(0, 0, &[(1, 0)]),
+                ev(1, 1, &[(0, 1)]),
+                ev(0, 2, &[(1, 1)]),
+            ],
+        );
+        let s = trace_stats(&t);
+        assert_eq!(s.total_relaxations, 3);
+        assert_eq!(s.total_reads, 3);
+        assert_eq!(s.mean_lag, 0.0);
+        assert_eq!(s.max_lag, 0);
+        assert_eq!(s.lag_histogram, vec![3]);
+        assert_eq!(s.relaxations_min_max, (1, 2));
+        assert_eq!(s.imbalance, 2.0);
+    }
+
+    #[test]
+    fn stale_reads_show_up_as_lag() {
+        // Row 1 reads version 0 of row 0 after row 0 relaxed twice: lag 2.
+        let t = Trace::from_events(2, vec![ev(0, 0, &[]), ev(0, 1, &[]), ev(1, 2, &[(0, 0)])]);
+        let s = trace_stats(&t);
+        assert_eq!(s.max_lag, 2);
+        assert_eq!(s.lag_histogram, vec![0, 0, 1]);
+        assert_eq!(s.mean_lag, 2.0);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = trace_stats(&Trace::from_events(3, vec![]));
+        assert_eq!(s.total_relaxations, 0);
+        assert_eq!(s.mean_lag, 0.0);
+        assert!(s.imbalance.is_infinite());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = Trace::from_events(
+            3,
+            vec![
+                ev(0, 0, &[(1, 0), (2, 0)]),
+                ev(1, 1, &[(0, 1)]),
+                ev(2, 2, &[]),
+            ],
+        );
+        let mut buf = Vec::new();
+        write_trace_csv(&t, &mut buf).unwrap();
+        let back = read_trace_csv(3, &buf[..]).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (a, b) in t.events().iter().zip(back.events()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let garbage = "row,seq,reads\nnot,a,row:x\n";
+        assert!(read_trace_csv(3, garbage.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Trace data structures.
+
+/// One relaxation of one row, with the neighbour versions it read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelaxationEvent {
+    /// The row that relaxed.
+    pub row: usize,
+    /// Global completion stamp (wall-clock order across all rows). Ties are
+    /// broken by row index when sorting.
+    pub seq: u64,
+    /// `(neighbour row j, version s_ij read)` — the relaxation count of `j`
+    /// whose value this relaxation consumed. Version 0 is the initial guess.
+    pub reads: Vec<(usize, u64)>,
+}
+
+/// A complete asynchronous execution history.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    n: usize,
+    /// Events sorted by `(seq, row)`.
+    events: Vec<RelaxationEvent>,
+    /// `per_row[i]` = indices into `events` of row `i`'s relaxations, in
+    /// order (so `per_row[i][k]` is relaxation `k + 1` of row `i`).
+    per_row: Vec<Vec<usize>>,
+}
+
+impl Trace {
+    /// Builds a trace from unordered events; sorts by `(seq, row)` and
+    /// indexes per-row relaxation sequences.
+    ///
+    /// # Panics
+    /// Panics on out-of-range row indices or self-reads.
+    pub fn from_events(n: usize, mut events: Vec<RelaxationEvent>) -> Trace {
+        for e in &events {
+            assert!(e.row < n, "event row {} out of range ({n})", e.row);
+            for &(j, _) in &e.reads {
+                assert!(j < n, "read of out-of-range row {j}");
+                assert!(
+                    j != e.row,
+                    "row {} reads itself; record neighbours only",
+                    e.row
+                );
+            }
+        }
+        events.sort_by_key(|e| (e.seq, e.row));
+        let mut per_row = vec![Vec::new(); n];
+        for (idx, e) in events.iter().enumerate() {
+            per_row[e.row].push(idx);
+        }
+        Trace { n, events, per_row }
+    }
+
+    /// Problem size (number of rows).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of relaxation events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events, sorted by `(seq, row)`.
+    pub fn events(&self) -> &[RelaxationEvent] {
+        &self.events
+    }
+
+    /// Number of relaxations row `i` performed.
+    pub fn relaxations_of(&self, i: usize) -> usize {
+        self.per_row[i].len()
+    }
+
+    /// The `k`-th (0-based) relaxation event of row `i`.
+    pub fn event_of(&self, i: usize, k: usize) -> &RelaxationEvent {
+        &self.events[self.per_row[i][k]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sorted_and_indexed_per_row() {
+        let events = vec![
+            RelaxationEvent {
+                row: 1,
+                seq: 5,
+                reads: vec![(0, 0)],
+            },
+            RelaxationEvent {
+                row: 0,
+                seq: 2,
+                reads: vec![(1, 0)],
+            },
+            RelaxationEvent {
+                row: 0,
+                seq: 9,
+                reads: vec![(1, 1)],
+            },
+        ];
+        let t = Trace::from_events(2, events);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].row, 0);
+        assert_eq!(t.relaxations_of(0), 2);
+        assert_eq!(t.relaxations_of(1), 1);
+        assert_eq!(t.event_of(0, 1).seq, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "reads itself")]
+    fn self_reads_are_rejected() {
+        Trace::from_events(
+            2,
+            vec![RelaxationEvent {
+                row: 0,
+                seq: 1,
+                reads: vec![(0, 0)],
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_row_rejected() {
+        Trace::from_events(
+            1,
+            vec![RelaxationEvent {
+                row: 1,
+                seq: 0,
+                reads: vec![],
+            }],
+        );
+    }
+
+    #[test]
+    fn tie_breaking_by_row() {
+        let events = vec![
+            RelaxationEvent {
+                row: 1,
+                seq: 3,
+                reads: vec![],
+            },
+            RelaxationEvent {
+                row: 0,
+                seq: 3,
+                reads: vec![],
+            },
+        ];
+        let t = Trace::from_events(2, events);
+        assert_eq!(t.events()[0].row, 0);
+        assert!(!t.is_empty());
+    }
+}

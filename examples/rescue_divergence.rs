@@ -1,0 +1,70 @@
+//! "Asynchronous Jacobi can converge when synchronous Jacobi does not"
+//! (§IV-D, Figure 6): on a finite-element matrix with ρ(G) > 1, plain
+//! Jacobi blows up, but asynchronous relaxation with enough workers behaves
+//! multiplicatively (Gauss–Seidel-like) and converges.
+//!
+//! ```sh
+//! cargo run --release --example rescue_divergence
+//! ```
+
+use async_jacobi_repro::dmsim::shmem_sim::{
+    run_shmem_async_rowwise, run_shmem_sync, ShmemSimConfig, StopRule,
+};
+use async_jacobi_repro::linalg::eigen;
+use async_jacobi_repro::model::analysis;
+use async_jacobi_repro::Problem;
+
+fn main() {
+    let p = Problem::paper_fe(2018);
+    let rho = eigen::jacobi_spectral_radius_unit_diag(&p.a, 150).expect("Lanczos runs");
+    println!(
+        "FE matrix: n = {}, ρ(G) = {rho:.3} > 1 → synchronous Jacobi diverges\n",
+        p.n()
+    );
+
+    // §IV-D mechanism: delaying rows shrinks the active principal submatrix
+    // and its spectral radius. Demonstrate on a small FE matrix so the
+    // dense eigensolver stays fast.
+    let small = async_jacobi_repro::matrices::fe::fe_matrix(14, 14, 0.45, 3);
+    let keep_every = |k: usize| (0..small.nrows()).step_by(k).collect::<Vec<_>>();
+    for k in [1usize, 2, 4] {
+        let active = keep_every(k);
+        let d = analysis::analyze_delay(&small, &active).expect("analysis runs");
+        println!(
+            "active 1/{k} of rows: ρ(G̃) = {:.3} ({} decoupled blocks)",
+            d.rho_active, d.num_blocks
+        );
+    }
+    println!();
+
+    // Now the actual runs: 300 iterations, sync vs async at growing worker
+    // counts. The row-granular engine resolves within-window read freshness,
+    // which is what decides convergence here.
+    let iters = 300u64;
+    let mk_cfg = |threads: usize| {
+        let mut cfg = ShmemSimConfig::new(threads, p.n(), 2018);
+        cfg.cost.per_iteration = 40.0 + 0.05 * p.n() as f64;
+        cfg.stop = StopRule::FixedIterations(iters);
+        cfg.tol = 0.0;
+        cfg.max_time = 1e14;
+        cfg
+    };
+    let syn = run_shmem_sync(&p.a, &p.b, &p.x0, &mk_cfg(68));
+    println!(
+        "sync Jacobi, {iters} iterations:      residual {:.2e}  (diverged)",
+        syn.final_residual()
+    );
+    for threads in [68usize, 136, 272] {
+        let asy = run_shmem_async_rowwise(&p.a, &p.b, &p.x0, &mk_cfg(threads));
+        let verdict = if asy.final_residual() < 1.0 {
+            "converging"
+        } else {
+            "diverging"
+        };
+        println!(
+            "async Jacobi, {threads:>3} workers:        residual {:.2e}  ({verdict})",
+            asy.final_residual()
+        );
+    }
+    println!("\nMore workers → more multiplicative behaviour → convergence despite ρ(G) > 1.");
+}

@@ -1,0 +1,61 @@
+//! Distributed termination detection in action (the paper's §VI future
+//! work, built on its own Theorem 1).
+//!
+//! The paper's distributed runs stop after a fixed iteration count because
+//! detecting a *global* residual criterion without synchronizing is hard.
+//! Here each rank streams cheap asynchronous residual reports to a root,
+//! which broadcasts a stop once the aggregate meets the tolerance — no
+//! barrier, no all-reduce, messages ride the same simulated network as the
+//! ghost puts.
+//!
+//! ```sh
+//! cargo run --release --example termination_detection
+//! ```
+
+use async_jacobi_repro::dmsim::{run_dist_async, DistConfig, TerminationProtocol};
+use async_jacobi_repro::linalg::vecops::Norm;
+use async_jacobi_repro::matrices::suite::Scale;
+use async_jacobi_repro::partition::block_partition;
+use async_jacobi_repro::Problem;
+
+fn main() {
+    let p = Problem::suite("ecology2", Scale::Tiny, 2018).expect("known problem");
+    let ranks = 32;
+    let tol = 1e-3;
+    let partition = block_partition(p.n(), ranks);
+    println!(
+        "problem {} (n = {}), {ranks} ranks, tolerance {tol:.0e}\n",
+        p.name,
+        p.n()
+    );
+
+    // Reference: the omniscient monitor (knows the global residual at every
+    // instant — impossible on a real machine).
+    let mut oracle = DistConfig::new(p.n(), 2018);
+    oracle.tol = tol;
+    let o = run_dist_async(&p.a, &p.b, &p.x0, &partition, &oracle);
+    let oracle_time = o.time_to_tolerance(tol).expect("converges");
+    println!("oracle stop:    t = {oracle_time:>10.0} ticks");
+
+    for interval in [2u64, 5, 20] {
+        let mut cfg = DistConfig::new(p.n(), 2018);
+        cfg.tol = tol;
+        cfg.termination = Some(TerminationProtocol {
+            check_interval: interval,
+            ..Default::default()
+        });
+        let out = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
+        let stats = out.termination.as_ref().expect("protocol ran");
+        let detected = stats.detected_at.expect("detected");
+        let true_res = p.relative_residual(&out.x, Norm::L1);
+        println!(
+            "report every {interval:>2} iters: stop t = {detected:>10.0} \
+             (+{:>4.1}% vs oracle), {:>5} reports, final residual {true_res:.2e}",
+            100.0 * (detected - oracle_time) / oracle_time,
+            stats.reports_sent,
+        );
+        assert!(true_res < tol, "the protocol must not stop early");
+    }
+    println!("\nDenser reporting detects sooner but costs more messages; either way the");
+    println!("protocol never stops before the tolerance is truly met (Theorem 1 + margin).");
+}

@@ -1,0 +1,62 @@
+//! Dissecting an asynchronous execution with traces (paper §IV-A,
+//! Figure 2): which relaxations were expressible as propagation matrices,
+//! and how stale were the reads?
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis
+//! ```
+
+use async_jacobi_repro::dmsim::shmem_sim::{run_shmem_async_traced, ShmemSimConfig, StopRule};
+use async_jacobi_repro::trace::{reconstruct, trace_stats};
+use async_jacobi_repro::Problem;
+
+fn main() {
+    // The paper's own worked examples first.
+    for (name, trace) in [
+        (
+            "Figure 1(a)",
+            async_jacobi_repro::trace::examples::figure1a(),
+        ),
+        (
+            "Figure 1(b)",
+            async_jacobi_repro::trace::examples::figure1b(),
+        ),
+    ] {
+        let a = reconstruct(&trace);
+        println!(
+            "{name}: {}/{} relaxations propagated",
+            a.propagated, a.total
+        );
+    }
+    println!();
+
+    // Now real (simulated) executions on the paper's 272-row FD matrix.
+    let p = Problem::paper_fd("fd272", 2018).expect("fd272");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "threads", "rows/thread", "fraction", "steps", "mean lag", "max lag"
+    );
+    for threads in [17usize, 68, 272] {
+        let mut cfg = ShmemSimConfig::new(threads, p.n(), 2018);
+        cfg.stop = StopRule::FixedIterations(20);
+        cfg.tol = 0.0;
+        let (_, trace) = run_shmem_async_traced(&p.a, &p.b, &p.x0, &cfg);
+        let analysis = reconstruct(&trace);
+        let stats = trace_stats(&trace);
+        println!(
+            "{threads:>8} {:>12} {:>12.3} {:>10} {:>10.3} {:>10}",
+            p.n() / threads,
+            analysis.fraction(),
+            analysis.steps.len(),
+            stats.mean_lag,
+            stats.max_lag
+        );
+        // Sanity: accounting always balances.
+        assert_eq!(
+            analysis.propagated + analysis.non_propagated.len(),
+            analysis.total
+        );
+    }
+    println!("\nOne row per thread → reads are nearly current (lag ≈ 0) and almost every");
+    println!("relaxation fits a propagation-matrix sequence — the paper's Figure 2 trend.");
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the asynchronous Jacobi reproduction
+//! (Wolfson-Pou & Chow, IPDPS 2018).
+//!
+//! Everything lives in the `aj-*` workspace crates; this package hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). For library use, depend on [`aj_core`] — re-exported here as
+//! prelude-style modules.
+
+pub use aj_core::{dmsim, linalg, matrices, model, partition, shmem, trace};
+pub use aj_core::{interp, problem, report, Problem};

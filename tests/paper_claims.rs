@@ -1,0 +1,200 @@
+//! The paper's headline claims, asserted end-to-end (quick-sized versions
+//! of the figure experiments).
+
+use async_jacobi_repro::dmsim::shmem_sim::{
+    run_shmem_async, run_shmem_async_rowwise, run_shmem_async_traced, run_shmem_sync,
+    ShmemSimConfig, StopRule,
+};
+use async_jacobi_repro::dmsim::{run_dist_async, run_dist_sync, DistConfig};
+use async_jacobi_repro::linalg::vecops::Norm;
+use async_jacobi_repro::model::{model_speedup, run_async_model, DelaySchedule};
+use async_jacobi_repro::partition::block_partition;
+use async_jacobi_repro::trace::reconstruct;
+use async_jacobi_repro::Problem;
+
+/// §IV-C / Figure 3: asynchronous Jacobi gains over synchronous when one
+/// worker is delayed, in the model and the simulator, and the gain grows
+/// with the delay.
+#[test]
+fn claim_delay_speedup_grows() {
+    let p = Problem::paper_fd("fd68", 2018).unwrap();
+    let s10 = model_speedup(&p.a, &p.b, &p.x0, 34, 10, 1e-3, 1_000_000)
+        .unwrap()
+        .unwrap();
+    let s50 = model_speedup(&p.a, &p.b, &p.x0, 34, 50, 1e-3, 1_000_000)
+        .unwrap()
+        .unwrap();
+    assert!(s10.2 > 3.0, "δ=10 model speedup {}", s10.2);
+    assert!(s50.2 > s10.2, "speedup must grow: {} vs {}", s50.2, s10.2);
+}
+
+/// Theorem 1 / Figure 4 (largest delay): a row delayed *until convergence*
+/// does not stop the residual from decreasing.
+#[test]
+fn claim_infinite_delay_still_reduces_residual() {
+    let p = Problem::paper_fd("fd68", 2018).unwrap();
+    // Delay beyond the horizon: the row never relaxes during the run.
+    let schedule = DelaySchedule::SlowRows {
+        rows: vec![34],
+        delta: u64::MAX,
+    };
+    let run = run_async_model(&p.a, &p.b, &p.x0, &schedule, 0.0, 500, Norm::L1).unwrap();
+    let first = run.residual_history.first().unwrap().1;
+    let last = run.final_residual();
+    assert!(
+        last < 0.1 * first,
+        "residual should keep falling: {first} → {last}"
+    );
+    // And never increase (Theorem 1, L1 norm, W.D.D. matrix).
+    for w in run.residual_history.windows(2) {
+        assert!(w[1].1 <= w[0].1 * (1.0 + 1e-12));
+    }
+}
+
+/// Figure 2: the fraction of propagated relaxations grows as rows per
+/// thread shrink.
+#[test]
+fn claim_propagated_fraction_grows_with_threads() {
+    let p = Problem::paper_fd("fd40", 2018).unwrap();
+    let frac = |threads: usize| {
+        let mut cfg = ShmemSimConfig::new(threads, p.n(), 13);
+        cfg.stop = StopRule::FixedIterations(15);
+        cfg.tol = 0.0;
+        let (_, trace) = run_shmem_async_traced(&p.a, &p.b, &p.x0, &cfg);
+        reconstruct(&trace).fraction()
+    };
+    let f5 = frac(5);
+    let f40 = frac(40);
+    assert!(
+        f40 > 0.9,
+        "one row per worker should be nearly fully propagated: {f40}"
+    );
+    assert!(f40 > f5, "fraction must grow with threads: {f5} → {f40}");
+}
+
+/// Figure 5: with many workers, synchronous Jacobi pays for barriers and
+/// oversubscription while asynchronous keeps gaining.
+#[test]
+fn claim_async_scales_past_sync() {
+    let p = Problem::paper_fd("fd4624", 2018).unwrap();
+    let time_at = |threads: usize, asynchronous: bool| {
+        let mut cfg = ShmemSimConfig::new(threads, p.n(), 7);
+        cfg.cost.per_iteration = 40.0 + 0.5 * p.n() as f64;
+        cfg.tol = 1e-3;
+        cfg.max_time = 1e12;
+        let out = if asynchronous {
+            run_shmem_async(&p.a, &p.b, &p.x0, &cfg)
+        } else {
+            run_shmem_sync(&p.a, &p.b, &p.x0, &cfg)
+        };
+        out.time_to_tolerance(1e-3).expect("converges")
+    };
+    // Async at 272 beats sync at 272 clearly, and async improves 68 → 272
+    // while sync degrades.
+    let (s68, s272) = (time_at(68, false), time_at(272, false));
+    let (a68, a272) = (time_at(68, true), time_at(272, true));
+    assert!(
+        a272 < s272 / 2.0,
+        "async {a272} vs sync {s272} at 272 threads"
+    );
+    assert!(
+        a272 < a68,
+        "async should improve with threads: {a68} → {a272}"
+    );
+    assert!(
+        s272 > s68,
+        "sync should degrade past the core count: {s68} → {s272}"
+    );
+}
+
+/// Figure 6: on the FE matrix (ρ(G) > 1), synchronous Jacobi diverges but
+/// asynchronous converges once enough workers are used.
+#[test]
+fn claim_async_rescues_divergence_shared_memory() {
+    let p = Problem::paper_fe(2018);
+    let run_async_at = |threads: usize| {
+        let mut cfg = ShmemSimConfig::new(threads, p.n(), 2018);
+        cfg.cost.per_iteration = 40.0 + 0.05 * p.n() as f64;
+        cfg.stop = StopRule::FixedIterations(300);
+        cfg.tol = 0.0;
+        cfg.max_time = 1e14;
+        run_shmem_async_rowwise(&p.a, &p.b, &p.x0, &cfg).final_residual()
+    };
+    let sync_res = {
+        let mut cfg = ShmemSimConfig::new(68, p.n(), 2018);
+        cfg.stop = StopRule::FixedIterations(300);
+        cfg.tol = 0.0;
+        cfg.max_time = 1e14;
+        run_shmem_sync(&p.a, &p.b, &p.x0, &cfg).final_residual()
+    };
+    assert!(sync_res > 1e10, "sync must diverge: {sync_res}");
+    let r68 = run_async_at(68);
+    let r272 = run_async_at(272);
+    assert!(r68 > 1e3, "async at 68 workers still diverges: {r68}");
+    assert!(r272 < 1.0, "async at 272 workers converges: {r272}");
+}
+
+/// Figure 7: distributed asynchronous Jacobi converges in fewer relaxations
+/// than synchronous, and more ranks help.
+#[test]
+fn claim_distributed_async_needs_fewer_relaxations() {
+    let p = Problem::suite(
+        "ecology2",
+        async_jacobi_repro::matrices::suite::Scale::Tiny,
+        2018,
+    )
+    .unwrap();
+    let reduction_at = |ranks: usize, asynchronous: bool| {
+        let part = block_partition(p.n(), ranks);
+        let mut cfg = DistConfig::new(p.n(), 2018);
+        cfg.stop = StopRule::FixedIterations(300);
+        cfg.tol = 0.0;
+        cfg.max_time = 1e14;
+        let out = if asynchronous {
+            run_dist_async(&p.a, &p.b, &p.x0, &part, &cfg)
+        } else {
+            run_dist_sync(&p.a, &p.b, &p.x0, &part, &cfg)
+        };
+        let curve: Vec<(f64, f64)> = out
+            .samples
+            .iter()
+            .map(|s| (s.relaxations_per_n, s.residual))
+            .collect();
+        async_jacobi_repro::interp::time_to_reduction(&curve, 0.1).expect("reaches 10×")
+    };
+    let sync = reduction_at(32, false);
+    let a32 = reduction_at(32, true);
+    let a128 = reduction_at(128, true);
+    assert!(a32 < sync, "async {a32} vs sync {sync}");
+    assert!(
+        a128 < a32 * 1.05,
+        "more ranks should not hurt: {a32} → {a128}"
+    );
+}
+
+/// Figure 9: the distributed divergence rescue on the Dubcova2 analogue.
+#[test]
+fn claim_distributed_async_rescues_dubcova2() {
+    let p = Problem::suite(
+        "Dubcova2",
+        async_jacobi_repro::matrices::suite::Scale::Tiny,
+        2018,
+    )
+    .unwrap();
+    let final_at = |ranks: usize, asynchronous: bool| {
+        let part = block_partition(p.n(), ranks);
+        let mut cfg = DistConfig::new(p.n(), 2018);
+        cfg.stop = StopRule::FixedIterations(400);
+        cfg.tol = 0.0;
+        cfg.max_time = 1e15;
+        let out = if asynchronous {
+            run_dist_async(&p.a, &p.b, &p.x0, &part, &cfg)
+        } else {
+            run_dist_sync(&p.a, &p.b, &p.x0, &part, &cfg)
+        };
+        out.final_residual()
+    };
+    assert!(final_at(32, false) > 1e10, "sync must diverge");
+    assert!(final_at(32, true) > 1e3, "async at 32 ranks diverges");
+    assert!(final_at(128, true) < 1.0, "async at 128 ranks converges");
+}

