@@ -53,6 +53,66 @@ fn bench_model_step(c: &mut Criterion) {
     });
 }
 
+fn bench_residual(c: &mut Criterion) {
+    // The monitoring hot path: residual_into (no per-call Vec) and the
+    // fused residual_norm (no residual vector at all).
+    let p = Problem::paper_fd("fd4624", 1).unwrap();
+    let mut g = c.benchmark_group("residual");
+    g.bench_function("residual_alloc_fd4624", |b| {
+        b.iter(|| p.a.residual(black_box(&p.x0), &p.b));
+    });
+    g.bench_function("residual_into_fd4624", |b| {
+        let mut r = vec![0.0; p.n()];
+        b.iter(|| p.a.residual_into(black_box(&p.x0), &p.b, &mut r));
+    });
+    g.bench_function("residual_norm_fused_fd4624", |b| {
+        b.iter(|| {
+            p.a.residual_norm(black_box(&p.x0), &p.b, aj_core::linalg::vecops::Norm::L1)
+        });
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use aj_core::dmsim::EventQueue;
+    // Slot free-list under the simulator's steady-state pattern: each
+    // popped event schedules a successor, so slots recycle 1-for-1.
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("steady_state_churn_256_pending", |b| {
+        b.iter_batched(
+            || {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                for i in 0..256u64 {
+                    q.push(i, i);
+                }
+                q
+            },
+            |mut q| {
+                for i in 0..4096u64 {
+                    let (tick, v) = q.pop().unwrap();
+                    q.push(tick + 7 + (v & 3), i);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("burst_push_pop_4096", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..4096u64 {
+                q.push(black_box(i * 37 % 512), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
 fn bench_event_engine(c: &mut Criterion) {
     let p = Problem::paper_fd("fd272", 1).unwrap();
     c.bench_function("shmem_sim_50_iterations_68_workers", |b| {
@@ -149,6 +209,6 @@ fn bench_eigen(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_spmv, bench_relaxation, bench_model_step, bench_event_engine, bench_partitioning, bench_reconstruction, bench_orderings_and_krylov, bench_eigen
+    targets = bench_spmv, bench_relaxation, bench_model_step, bench_residual, bench_event_queue, bench_event_engine, bench_partitioning, bench_reconstruction, bench_orderings_and_krylov, bench_eigen
 }
 criterion_main!(kernels);

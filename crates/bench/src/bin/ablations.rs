@@ -13,7 +13,7 @@
 //! Run all: `cargo run --release -p aj-bench --bin ablations`
 //! or one:  `... --bin ablations jitter`
 
-use aj_bench::RunOptions;
+use aj_bench::{par_map, RunOptions};
 use aj_core::dmsim::cost::Jitter;
 use aj_core::dmsim::{run_dist_async, run_dist_sync, DistConfig, DistVariant};
 use aj_core::linalg::vecops::Norm;
@@ -61,16 +61,16 @@ fn main() {
 fn ablation_omega(opts: RunOptions) {
     use aj_core::dmsim::shmem_sim::{run_shmem_sync, ShmemSimConfig, StopRule};
     let p = Problem::paper_fe(opts.seed);
-    let mut finals = Vec::new();
-    for omega in [0.4, 0.55, 0.7, 0.85, 1.0] {
+    let omegas = [0.4, 0.55, 0.7, 0.85, 1.0];
+    let finals = par_map(&omegas, |&omega| {
         let mut cfg = ShmemSimConfig::new(8, p.n(), opts.seed);
         cfg.stop = StopRule::FixedIterations(400);
         cfg.tol = 0.0;
         cfg.max_time = 1e14;
         cfg.omega = omega;
         let out = run_shmem_sync(&p.a, &p.b, &p.x0, &cfg);
-        finals.push((omega, out.final_residual()));
-    }
+        (omega, out.final_residual())
+    });
     let series = vec![Series::new("sync final residual after 400 iters", finals)];
     print_table("Ablation: damping weight ω on the FE matrix", "ω", &series);
     write_csv(&results_path("ablation_omega"), &series).unwrap();
@@ -82,20 +82,25 @@ fn ablation_local_solve(opts: RunOptions) {
     use aj_core::dmsim::dist::LocalSolve;
     let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
     let tol = 1e-2;
+    let configs: Vec<(usize, LocalSolve)> = [8usize, 32, 128]
+        .iter()
+        .flat_map(|&r| [(r, LocalSolve::Jacobi), (r, LocalSolve::GaussSeidel)])
+        .collect();
+    let results = par_map(&configs, |&(ranks, solve)| {
+        let partition = block_partition(p.n(), ranks);
+        let mut cfg = DistConfig::new(p.n(), opts.seed);
+        cfg.tol = tol;
+        cfg.local_solve = solve;
+        let out = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
+        out.relaxations_to_tolerance(tol)
+    });
     let mut jac_pts = Vec::new();
     let mut gs_pts = Vec::new();
-    for ranks in [8usize, 32, 128] {
-        let partition = block_partition(p.n(), ranks);
-        for (solve, pts) in [
-            (LocalSolve::Jacobi, &mut jac_pts),
-            (LocalSolve::GaussSeidel, &mut gs_pts),
-        ] {
-            let mut cfg = DistConfig::new(p.n(), opts.seed);
-            cfg.tol = tol;
-            cfg.local_solve = solve;
-            let out = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
-            if let Some(r) = out.relaxations_to_tolerance(tol) {
-                pts.push((ranks as f64, r));
+    for (&(ranks, solve), r) in configs.iter().zip(results) {
+        if let Some(r) = r {
+            match solve {
+                LocalSolve::Jacobi => jac_pts.push((ranks as f64, r)),
+                LocalSolve::GaussSeidel => gs_pts.push((ranks as f64, r)),
             }
         }
     }
@@ -114,26 +119,35 @@ fn ablation_eager(opts: RunOptions) {
     let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
     let partition = block_partition(p.n(), 32);
     let tol = 1e-2;
+    let configs: Vec<(f64, DistVariant)> = [50.0, 300.0, 1000.0, 3000.0]
+        .iter()
+        .flat_map(|&lat| [(lat, DistVariant::Racy), (lat, DistVariant::Eager)])
+        .collect();
+    let results = par_map(&configs, |&(lat, variant)| {
+        let mut cfg = DistConfig::new(p.n(), opts.seed);
+        cfg.tol = tol;
+        cfg.cost.put_latency = lat;
+        cfg.variant = variant;
+        let out = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
+        (
+            out.relaxations_to_tolerance(tol),
+            out.time_to_tolerance(tol),
+        )
+    });
     let mut racy_relax = Vec::new();
     let mut eager_relax = Vec::new();
     let mut racy_time = Vec::new();
     let mut eager_time = Vec::new();
-    for lat in [50.0, 300.0, 1000.0, 3000.0] {
-        for (variant, relax_pts, time_pts) in [
-            (DistVariant::Racy, &mut racy_relax, &mut racy_time),
-            (DistVariant::Eager, &mut eager_relax, &mut eager_time),
-        ] {
-            let mut cfg = DistConfig::new(p.n(), opts.seed);
-            cfg.tol = tol;
-            cfg.cost.put_latency = lat;
-            cfg.variant = variant;
-            let out = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
-            if let Some(r) = out.relaxations_to_tolerance(tol) {
-                relax_pts.push((lat, r));
-            }
-            if let Some(t) = out.time_to_tolerance(tol) {
-                time_pts.push((lat, t));
-            }
+    for (&(lat, variant), (r, t)) in configs.iter().zip(results) {
+        let (relax_pts, time_pts) = match variant {
+            DistVariant::Racy => (&mut racy_relax, &mut racy_time),
+            DistVariant::Eager => (&mut eager_relax, &mut eager_time),
+        };
+        if let Some(r) = r {
+            relax_pts.push((lat, r));
+        }
+        if let Some(t) = t {
+            time_pts.push((lat, t));
         }
     }
     let series = vec![
@@ -155,8 +169,8 @@ fn ablation_jitter(opts: RunOptions) {
     let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
     let partition = block_partition(p.n(), 32);
     let tol = 1e-2;
-    let mut pts = Vec::new();
-    for sigma in [0.0, 0.02, 0.05, 0.1, 0.2] {
+    let sigmas = [0.0, 0.02, 0.05, 0.1, 0.2];
+    let results = par_map(&sigmas, |&sigma| {
         let mut cfg = DistConfig::new(p.n(), opts.seed);
         cfg.tol = tol;
         cfg.cost.jitter = Jitter {
@@ -165,10 +179,13 @@ fn ablation_jitter(opts: RunOptions) {
             seed: opts.seed,
         };
         let asy = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
-        if let Some(r) = asy.relaxations_to_tolerance(tol) {
-            pts.push((sigma, r));
-        }
-    }
+        asy.relaxations_to_tolerance(tol)
+    });
+    let pts: Vec<(f64, f64)> = sigmas
+        .iter()
+        .zip(results)
+        .filter_map(|(&sigma, r)| r.map(|r| (sigma, r)))
+        .collect();
     let series = vec![Series::new("async relaxations/n to 1e-2", pts)];
     print_table("Ablation: jitter magnitude", "dynamic σ", &series);
     write_csv(&results_path("ablation_jitter"), &series).unwrap();
@@ -180,18 +197,25 @@ fn ablation_latency(opts: RunOptions) {
     let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
     let partition = block_partition(p.n(), 32);
     let tol = 1e-2;
-    let mut async_pts = Vec::new();
-    let mut sync_pts = Vec::new();
-    for lat in [0.0, 50.0, 100.0, 300.0, 1000.0, 3000.0] {
+    let latencies = [0.0, 50.0, 100.0, 300.0, 1000.0, 3000.0];
+    let results = par_map(&latencies, |&lat| {
         let mut cfg = DistConfig::new(p.n(), opts.seed);
         cfg.tol = tol;
         cfg.cost.put_latency = lat;
         let asy = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
         let syn = run_dist_sync(&p.a, &p.b, &p.x0, &partition, &cfg);
-        if let Some(r) = asy.relaxations_to_tolerance(tol) {
+        (
+            asy.relaxations_to_tolerance(tol),
+            syn.relaxations_to_tolerance(tol),
+        )
+    });
+    let mut async_pts = Vec::new();
+    let mut sync_pts = Vec::new();
+    for (&lat, (ra, rs)) in latencies.iter().zip(results) {
+        if let Some(r) = ra {
             async_pts.push((lat, r));
         }
-        if let Some(r) = syn.relaxations_to_tolerance(tol) {
+        if let Some(r) = rs {
             sync_pts.push((lat, r));
         }
     }
@@ -210,17 +234,22 @@ fn ablation_latency(opts: RunOptions) {
 /// §IV-D quantified: convergence of the random-mask model vs mask density.
 fn ablation_mask_density(opts: RunOptions) {
     let p = Problem::paper_fd("fd272", opts.seed).unwrap();
-    let mut per_step = Vec::new();
-    let mut per_relax = Vec::new();
-    for density in [0.2, 0.4, 0.6, 0.8, 1.0] {
+    let densities = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let results = par_map(&densities, |&density| {
         let schedule = DelaySchedule::Random {
             density,
             seed: opts.seed,
         };
         let run = run_async_model(&p.a, &p.b, &p.x0, &schedule, 1e-4, 200_000, Norm::L1).unwrap();
-        if let Some(t) = run.time_to_tolerance(1e-4) {
-            per_step.push((density, t as f64));
-            per_relax.push((density, run.relaxations as f64 / p.n() as f64));
+        run.time_to_tolerance(1e-4)
+            .map(|t| (t as f64, run.relaxations as f64 / p.n() as f64))
+    });
+    let mut per_step = Vec::new();
+    let mut per_relax = Vec::new();
+    for (&density, r) in densities.iter().zip(results) {
+        if let Some((t, relax)) = r {
+            per_step.push((density, t));
+            per_relax.push((density, relax));
         }
     }
     let series = vec![
@@ -235,30 +264,32 @@ fn ablation_mask_density(opts: RunOptions) {
 fn ablation_partition(opts: RunOptions) {
     let p = Problem::suite("ecology2", aj_core::matrices::suite::Scale::Tiny, opts.seed).unwrap();
     let tol = 1e-2;
+    let rank_counts = [8usize, 32, 128];
+    let results = par_map(&rank_counts, |&ranks| {
+        let pb = block_partition(p.n(), ranks);
+        let pg = bfs_partition(&p.a, ranks);
+        let mut cfg = DistConfig::new(p.n(), opts.seed);
+        cfg.tol = tol;
+        let ob = run_dist_async(&p.a, &p.b, &p.x0, &pb, &cfg);
+        let og = run_dist_async(&p.a, &p.b, &p.x0, &pg, &cfg);
+        (
+            pb.edge_cut(&p.a) as f64,
+            pg.edge_cut(&p.a) as f64,
+            ob.relaxations_to_tolerance(tol),
+            og.relaxations_to_tolerance(tol),
+        )
+    });
     let mut cut_block = Vec::new();
     let mut cut_bfs = Vec::new();
     let mut relax_block = Vec::new();
     let mut relax_bfs = Vec::new();
-    for ranks in [8usize, 32, 128] {
-        let pb = block_partition(p.n(), ranks);
-        let pg = bfs_partition(&p.a, ranks);
-        cut_block.push((ranks as f64, pb.edge_cut(&p.a) as f64));
-        cut_bfs.push((ranks as f64, pg.edge_cut(&p.a) as f64));
-        let cfg = DistConfig::new(p.n(), opts.seed);
-        let ob = run_dist_async(&p.a, &p.b, &p.x0, &pb, &{
-            let mut c = cfg.clone();
-            c.tol = tol;
-            c
-        });
-        let og = run_dist_async(&p.a, &p.b, &p.x0, &pg, &{
-            let mut c = cfg.clone();
-            c.tol = tol;
-            c
-        });
-        if let Some(r) = ob.relaxations_to_tolerance(tol) {
+    for (&ranks, (cb, cg, rb, rg)) in rank_counts.iter().zip(results) {
+        cut_block.push((ranks as f64, cb));
+        cut_bfs.push((ranks as f64, cg));
+        if let Some(r) = rb {
             relax_block.push((ranks as f64, r));
         }
-        if let Some(r) = og.relaxations_to_tolerance(tol) {
+        if let Some(r) = rg {
             relax_bfs.push((ranks as f64, r));
         }
     }

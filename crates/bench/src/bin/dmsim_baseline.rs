@@ -1,0 +1,72 @@
+//! Wall-clock baseline for the dmsim hot paths, written to
+//! `BENCH_dmsim.json` at the repo root (or the path given as the first
+//! non-flag argument). CI runs this so perf regressions in the event
+//! engine show up as a diffable number; the committed file records the
+//! reference host's timings.
+//!
+//! Timings are medians of `REPS` runs — the quick figure workloads finish
+//! in well under a second each, so a median over a few runs is stable
+//! enough to compare engine versions on one host. Cross-host numbers are
+//! not comparable; re-baseline when the reference machine changes.
+
+use aj_bench::{fig5_scaling, RunOptions};
+use aj_core::dmsim::shmem_sim::StopRule;
+use aj_core::dmsim::{run_dist_async, DistConfig};
+use aj_core::partition::block_partition;
+use aj_core::Problem;
+use std::time::Instant;
+
+const REPS: usize = 5;
+
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[REPS / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_dmsim.json".to_string());
+    let opts = RunOptions {
+        quick: true,
+        seed: 2018,
+    };
+
+    // Figure 5 quick sweep: the shmem engine across 4 thread counts × 2
+    // stop rules × sync/async (16 simulations).
+    let fig5 = median_secs(|| {
+        let _ = fig5_scaling(opts);
+    });
+
+    // Figure 7-style quick run: the dist engine at 256 ranks on the
+    // smallest Table-I problem, fixed 60 iterations.
+    let p = Problem::suite(
+        "thermomech_dm",
+        aj_core::matrices::suite::Scale::Tiny,
+        opts.seed,
+    )
+    .expect("known problem");
+    let partition = block_partition(p.n(), 256.min(p.n()));
+    let fig7 = median_secs(|| {
+        let mut cfg = DistConfig::new(p.n(), opts.seed);
+        cfg.stop = StopRule::FixedIterations(60);
+        cfg.tol = 0.0;
+        cfg.max_time = 1e14;
+        let _ = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
+    });
+
+    let json = format!(
+        "{{\n  \"description\": \"dmsim wall-clock baselines (median of {REPS} runs, seconds)\",\n  \"fig5_quick_seconds\": {fig5:.4},\n  \"dist_async_256r_60it_seconds\": {fig7:.4}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write baseline JSON");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

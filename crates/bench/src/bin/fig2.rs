@@ -7,7 +7,7 @@
 //! scales to 272 workers) and the real-`std::thread` traced solver as a
 //! cross-check at small counts.
 
-use aj_bench::RunOptions;
+use aj_bench::{par_map, RunOptions};
 use aj_core::dmsim::shmem_sim::{run_shmem_async_traced, ShmemSimConfig, StopRule};
 use aj_core::report::{print_series_blocks, results_path, write_csv, Series};
 use aj_core::trace::reconstruct;
@@ -22,15 +22,13 @@ fn main() {
         ("Phi (fd272)", "fd272", vec![17, 34, 68, 136, 272]),
     ] {
         let p = Problem::paper_fd(matrix, opts.seed).expect("paper FD matrix");
-        let mut pts = Vec::new();
-        for &t in &threads {
+        let pts = par_map(&threads, |&t| {
             let mut cfg = ShmemSimConfig::new(t, p.n(), opts.seed);
             cfg.stop = StopRule::FixedIterations(iterations as u64);
             cfg.tol = 0.0;
             let (_, trace) = run_shmem_async_traced(&p.a, &p.b, &p.x0, &cfg);
-            let frac = reconstruct(&trace).fraction();
-            pts.push((t as f64, frac));
-        }
+            (t as f64, reconstruct(&trace).fraction())
+        });
         all.push(Series::new(format!("simulated {label}"), pts));
     }
 

@@ -3,8 +3,10 @@
 //! synchronous Jacobi against asynchronous Jacobi at increasing rank counts
 //! (the paper's 1–128 nodes → 32–4096 ranks, green-to-blue gradient).
 
-use aj_bench::{dist_curve, fig7_problem_names, fig7_rank_counts, suite_scale, RunOptions};
-use aj_core::report::{print_table, results_path, write_csv, Series};
+use aj_bench::{
+    dist_curve, fig7_problem_names, fig7_rank_counts, par_map, suite_scale, RunOptions,
+};
+use aj_core::report::{print_table, results_path, write_csv};
 use aj_core::Problem;
 
 fn main() {
@@ -13,14 +15,15 @@ fn main() {
     let iters: u64 = if opts.quick { 60 } else { 200 };
     for name in fig7_problem_names() {
         let p = Problem::suite(name, suite_scale(opts.quick), opts.seed).expect("known problem");
-        let mut series: Vec<Series> = Vec::new();
-        series.push(dist_curve(&p, ranks[0], false, iters, opts.seed));
-        series.last_mut().unwrap().label = "sync".into();
-        for &r in &ranks {
-            if r <= p.n() {
-                series.push(dist_curve(&p, r, true, iters, opts.seed));
-            }
-        }
+        // One sync run plus one async run per rank count, fanned across
+        // cores; the (ranks, async?) list keeps the series in curve order.
+        let configs: Vec<(usize, bool)> = std::iter::once((ranks[0], false))
+            .chain(ranks.iter().filter(|&&r| r <= p.n()).map(|&r| (r, true)))
+            .collect();
+        let mut series = par_map(&configs, |&(r, asynchronous)| {
+            dist_curve(&p, r, asynchronous, iters, opts.seed)
+        });
+        series[0].label = "sync".into();
         print_table(
             &format!("Figure 7: {name} (n = {})", p.n()),
             "relaxations/n",

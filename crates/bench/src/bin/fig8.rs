@@ -3,7 +3,9 @@
 //! for the six convergent Table-I problems (log-interpolated, as in the
 //! paper).
 
-use aj_bench::{dist_time_curve, fig7_problem_names, fig7_rank_counts, suite_scale, RunOptions};
+use aj_bench::{
+    dist_time_curve, fig7_problem_names, fig7_rank_counts, par_map, suite_scale, RunOptions,
+};
 use aj_core::interp::time_to_reduction;
 use aj_core::report::{print_table, results_path, write_csv, Series};
 use aj_core::Problem;
@@ -15,18 +17,23 @@ fn main() {
     let mut all = Vec::new();
     for name in fig7_problem_names() {
         let p = Problem::suite(name, suite_scale(opts.quick), opts.seed).expect("known problem");
-        let mut sync_pts = Vec::new();
-        let mut async_pts = Vec::new();
-        for &r in &ranks {
-            if r > p.n() {
-                continue;
-            }
+        let feasible: Vec<usize> = ranks.iter().copied().filter(|&r| r <= p.n()).collect();
+        // Sync and async runs at every rank count fan across cores.
+        let times = par_map(&feasible, |&r| {
             let syn = dist_time_curve(&p, r, false, iters, opts.seed);
             let asy = dist_time_curve(&p, r, true, iters, opts.seed);
-            if let Some(t) = time_to_reduction(&syn.points, 0.1) {
+            (
+                time_to_reduction(&syn.points, 0.1),
+                time_to_reduction(&asy.points, 0.1),
+            )
+        });
+        let mut sync_pts = Vec::new();
+        let mut async_pts = Vec::new();
+        for (&r, &(ts, ta)) in feasible.iter().zip(times.iter()) {
+            if let Some(t) = ts {
                 sync_pts.push((r as f64, t));
             }
-            if let Some(t) = time_to_reduction(&asy.points, 0.1) {
+            if let Some(t) = ta {
                 async_pts.push((r as f64, t));
             }
         }

@@ -14,6 +14,9 @@ use aj_core::partition::block_partition;
 use aj_core::report::Series;
 use aj_core::Problem;
 
+pub mod par;
+pub use par::par_map;
+
 /// Global knobs for a regeneration run.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions {
@@ -169,32 +172,43 @@ pub fn fig5_scaling(opts: RunOptions) -> (Vec<Series>, Vec<Series>) {
     };
     let tol = 1e-3;
 
-    // (a) time to tolerance.
-    let mut sync_tol = Vec::new();
-    let mut async_tol = Vec::new();
-    // (b) time for 100 iterations.
-    let mut sync_100 = Vec::new();
-    let mut async_100 = Vec::new();
-    for &t in &threads {
+    // Each thread count is an independent simulation: fan the sweep across
+    // host cores, then reassemble the four curves in input order.
+    let per_count = par_map(&threads, |&t| {
         let mut cfg = shmem_cfg(t, &p, opts.seed);
         cfg.tol = tol;
         cfg.max_time = 1e12;
         let syn = run_shmem_sync(&p.a, &p.b, &p.x0, &cfg);
         let asy = run_shmem_async(&p.a, &p.b, &p.x0, &cfg);
-        if let Some(ts) = syn.time_to_tolerance(tol) {
-            sync_tol.push((t as f64, ts));
-        }
-        if let Some(ta) = asy.time_to_tolerance(tol) {
-            async_tol.push((t as f64, ta));
-        }
 
         let mut cfg100 = shmem_cfg(t, &p, opts.seed);
         cfg100.stop = StopRule::FixedIterations(100);
         cfg100.tol = 0.0;
         let syn100 = run_shmem_sync(&p.a, &p.b, &p.x0, &cfg100);
         let asy100 = run_shmem_async(&p.a, &p.b, &p.x0, &cfg100);
-        sync_100.push((t as f64, syn100.time));
-        async_100.push((t as f64, asy100.time));
+        (
+            syn.time_to_tolerance(tol),
+            asy.time_to_tolerance(tol),
+            syn100.time,
+            asy100.time,
+        )
+    });
+
+    // (a) time to tolerance.
+    let mut sync_tol = Vec::new();
+    let mut async_tol = Vec::new();
+    // (b) time for 100 iterations.
+    let mut sync_100 = Vec::new();
+    let mut async_100 = Vec::new();
+    for (&t, &(ts, ta, t_syn100, t_asy100)) in threads.iter().zip(per_count.iter()) {
+        if let Some(ts) = ts {
+            sync_tol.push((t as f64, ts));
+        }
+        if let Some(ta) = ta {
+            async_tol.push((t as f64, ta));
+        }
+        sync_100.push((t as f64, t_syn100));
+        async_100.push((t as f64, t_asy100));
     }
     (
         vec![

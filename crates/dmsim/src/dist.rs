@@ -15,14 +15,14 @@
 //! exchange.
 
 use crate::cost::{CostModel, WorkerJitter, TICK_SCALE};
+use crate::event::EventQueue;
 use crate::monitor::{ResidualMonitor, SimOutcome};
 use crate::shmem_sim::{SimDelay, StopRule};
 use crate::termination::{RootAggregator, TerminationProtocol, TerminationStats};
 use aj_linalg::vecops::Norm;
 use aj_linalg::CsrMatrix;
 use aj_partition::{CommPlan, LocalSystem, Partition};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// How a rank relaxes its own subdomain each sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,8 +132,10 @@ struct SendPlan {
     to: usize,
     /// Local owned indices whose values are sent.
     source_local: Vec<usize>,
-    /// Ghost-tail slot index at the *receiver* for each value.
-    target_slot: Vec<usize>,
+    /// Ghost-tail slot index at the *receiver* for each value. Shared
+    /// (`Rc`) so each put event carries a pointer-sized handle instead of
+    /// cloning the index list; the simulation is single-threaded.
+    target_slot: Rc<[usize]>,
 }
 
 fn build_ranks(
@@ -171,7 +173,11 @@ fn build_ranks(
                 .map(|(to, globals)| SendPlan {
                     to: *to,
                     source_local: globals.iter().map(|g| owned_pos[g]).collect(),
-                    target_slot: globals.iter().map(|g| ghost_slot[*to][g]).collect(),
+                    target_slot: globals
+                        .iter()
+                        .map(|g| ghost_slot[*to][g])
+                        .collect::<Vec<_>>()
+                        .into(),
                 })
                 .collect();
             Rank {
@@ -193,10 +199,12 @@ enum Event {
     /// Rank's sweep finishes: relax owned rows against the freshest window
     /// contents (just-in-time reads), then send puts.
     Sweep(usize),
-    /// A put lands in `rank`'s window.
+    /// A put lands in `rank`'s window. `slots` shares the sender's
+    /// [`SendPlan::target_slot`]; `values` comes from (and returns to) the
+    /// payload pool.
     PutArrive {
         rank: usize,
-        slots: Vec<usize>,
+        slots: Rc<[usize]>,
         values: Vec<f64>,
     },
     /// A residual report reaches the root (termination protocol).
@@ -231,21 +239,8 @@ pub fn run_dist_async(
     let mut relaxations = 0u64;
     monitor.observe(0.0, 0, &x_global);
 
-    let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
-    let mut payloads: Vec<Option<Event>> = Vec::new();
-    let mut order = 0u64;
-    let push = |queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-                payloads: &mut Vec<Option<Event>>,
-                tick: u64,
-                order: &mut u64,
-                ev: Event| {
-        payloads.push(Some(ev));
-        queue.push(Reverse((tick, *order, payloads.len() - 1)));
-        *order += 1;
-    };
-    let schedule_sweep = |queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-                          payloads: &mut Vec<Option<Event>>,
-                          order: &mut u64,
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let schedule_sweep = |queue: &mut EventQueue<Event>,
                           tick: u64,
                           r: usize,
                           rank: &mut Rank,
@@ -256,25 +251,21 @@ pub fn run_dist_async(
                 cost += d.extra_ticks;
             }
         }
-        payloads.push(Some(Event::Sweep(r)));
-        queue.push(Reverse((
+        queue.push(
             tick + ((cost * TICK_SCALE).max(1.0) as u64),
-            *order,
-            payloads.len() - 1,
-        )));
-        *order += 1;
+            Event::Sweep(r),
+        );
     };
     for r in 0..nparts {
-        schedule_sweep(
-            &mut queue,
-            &mut payloads,
-            &mut order,
-            0,
-            r,
-            &mut ranks[r],
-            config,
-        );
+        schedule_sweep(&mut queue, 0, r, &mut ranks[r], config);
     }
+    // Scratch reused across every Jacobi sweep (two-phase staging buffer).
+    let max_owned = ranks.iter().map(|r| r.local.n_owned()).max().unwrap_or(0);
+    let mut sweep_values: Vec<f64> = Vec::with_capacity(max_owned);
+    // Free list of put payload buffers: a consumed PutArrive returns its
+    // `Vec<f64>` here instead of dropping it, so steady-state sweeps issue
+    // puts without touching the allocator.
+    let mut payload_pool: Vec<Vec<f64>> = Vec::new();
 
     // Termination-detection state (root = rank 0).
     let norm_b = aj_linalg::vecops::norm(b, aj_linalg::vecops::Norm::L1);
@@ -292,7 +283,7 @@ pub fn run_dist_async(
 
     let mut now = 0.0f64;
     let mut done = false;
-    while let Some(Reverse((tick, _, slot))) = queue.pop() {
+    while let Some((tick, event)) = queue.pop() {
         if done {
             break;
         }
@@ -300,24 +291,24 @@ pub fn run_dist_async(
         if now > config.max_time {
             break;
         }
-        match payloads[slot].take().expect("event consumed twice") {
+        match event {
             Event::Sweep(r) => {
                 // Relax against the freshest window contents as of now.
                 let n_owned = ranks[r].local.n_owned();
                 match config.local_solve {
                     LocalSolve::Jacobi => {
                         // Two-phase: all residuals from the same state.
-                        let mut values = Vec::with_capacity(n_owned);
+                        sweep_values.clear();
                         {
                             let rank = &ranks[r];
                             for row in 0..n_owned {
                                 let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
-                                values.push(
+                                sweep_values.push(
                                     rank.x[row] + config.omega * rank.local.diag_inv[row] * res,
                                 );
                             }
                         }
-                        for (l, v) in values.iter().enumerate() {
+                        for (l, v) in sweep_values.iter().enumerate() {
                             ranks[r].x[l] = *v;
                             x_global[ranks[r].local.global_owned[l]] = *v;
                         }
@@ -339,9 +330,15 @@ pub fn run_dist_async(
                 for s in 0..ranks[r].sends.len() {
                     let (to, slots, vals, volume) = {
                         let sp = &ranks[r].sends[s];
-                        let vals: Vec<f64> =
-                            sp.source_local.iter().map(|&l| ranks[r].x[l]).collect();
-                        (sp.to, sp.target_slot.clone(), vals, sp.source_local.len())
+                        let mut vals = payload_pool.pop().unwrap_or_default();
+                        vals.clear();
+                        vals.extend(sp.source_local.iter().map(|&l| ranks[r].x[l]));
+                        (
+                            sp.to,
+                            Rc::clone(&sp.target_slot),
+                            vals,
+                            sp.source_local.len(),
+                        )
                     };
                     comm.puts += 1;
                     comm.values += volume as u64;
@@ -349,11 +346,8 @@ pub fn run_dist_async(
                         + (((config.cost.put_latency + config.cost.per_value_comm * volume as f64)
                             * TICK_SCALE)
                             .max(1.0) as u64);
-                    push(
-                        &mut queue,
-                        &mut payloads,
+                    queue.push(
                         arrive,
-                        &mut order,
                         Event::PutArrive {
                             rank: to,
                             slots,
@@ -393,12 +387,13 @@ pub fn run_dist_async(
                         term_stats.reports_sent += 1;
                         let arrive =
                             tick + ((config.cost.put_latency * TICK_SCALE).max(1.0) as u64);
-                        payloads.push(Some(Event::Report {
-                            rank: r,
-                            norm: local_norm,
-                        }));
-                        queue.push(Reverse((arrive, order, payloads.len() - 1)));
-                        order += 1;
+                        queue.push(
+                            arrive,
+                            Event::Report {
+                                rank: r,
+                                norm: local_norm,
+                            },
+                        );
                     }
                 }
                 if !done && !ranks[r].stopped && ranks[r].iterations < config.max_iterations {
@@ -411,15 +406,7 @@ pub fn run_dist_async(
                         ranks[r].parked = true;
                     } else {
                         ranks[r].dirty = false;
-                        schedule_sweep(
-                            &mut queue,
-                            &mut payloads,
-                            &mut order,
-                            tick,
-                            r,
-                            &mut ranks[r],
-                            config,
-                        );
+                        schedule_sweep(&mut queue, tick, r, &mut ranks[r], config);
                     }
                 }
             }
@@ -429,22 +416,15 @@ pub fn run_dist_async(
                 values,
             } => {
                 let n_owned = ranks[r].local.n_owned();
-                for (slot, v) in slots.into_iter().zip(values) {
+                for (&slot, &v) in slots.iter().zip(values.iter()) {
                     ranks[r].x[n_owned + slot] = v;
                 }
+                payload_pool.push(values);
                 ranks[r].dirty = true;
                 if ranks[r].parked && !ranks[r].stopped {
                     ranks[r].parked = false;
                     ranks[r].dirty = false;
-                    schedule_sweep(
-                        &mut queue,
-                        &mut payloads,
-                        &mut order,
-                        tick,
-                        r,
-                        &mut ranks[r],
-                        config,
-                    );
+                    schedule_sweep(&mut queue, tick, r, &mut ranks[r], config);
                 }
             }
             Event::Report { rank, norm } => {
@@ -457,9 +437,7 @@ pub fn run_dist_async(
                             term_stats.stops_sent += 1;
                             let arrive =
                                 tick + ((config.cost.put_latency * TICK_SCALE).max(1.0) as u64);
-                            payloads.push(Some(Event::StopArrive { rank: target }));
-                            queue.push(Reverse((arrive, order, payloads.len() - 1)));
-                            order += 1;
+                            queue.push(arrive, Event::StopArrive { rank: target });
                         }
                     }
                 }

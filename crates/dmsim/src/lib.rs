@@ -39,12 +39,14 @@
 
 pub mod cost;
 pub mod dist;
+pub mod event;
 pub mod monitor;
 pub mod shmem_sim;
 pub mod termination;
 
 pub use cost::{CostModel, Jitter};
 pub use dist::{run_dist_async, run_dist_sync, DistConfig, DistVariant};
+pub use event::EventQueue;
 pub use monitor::{ResidualMonitor, SimOutcome};
 pub use shmem_sim::{run_shmem_async, run_shmem_sync, ShmemSimConfig};
 pub use termination::{TerminationProtocol, TerminationStats};

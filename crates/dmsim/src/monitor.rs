@@ -151,9 +151,12 @@ impl<'a> ResidualMonitor<'a> {
     /// Called by simulators after relaxations were performed; takes a sample
     /// when a checkpoint is crossed. Returns `true` when the tolerance has
     /// been met (the caller decides whether to stop).
+    ///
+    /// The residual is evaluated with the fused [`CsrMatrix::residual_norm`]
+    /// kernel, so a checkpoint allocates nothing.
     pub fn observe(&mut self, time: f64, total_relaxations: u64, x: &[f64]) -> bool {
         if total_relaxations >= self.next_checkpoint {
-            let res = vecops::norm(&self.a.residual(x, self.b), self.norm) / self.nb;
+            let res = self.a.residual_norm(x, self.b, self.norm) / self.nb;
             self.samples.push(Sample {
                 time,
                 relaxations_per_n: total_relaxations as f64 / self.a.nrows() as f64,
@@ -167,12 +170,21 @@ impl<'a> ResidualMonitor<'a> {
         self.converged
     }
 
-    /// Unconditional final sample (e.g. at termination time).
+    /// Final sample at termination time. Skipped when `observe` already
+    /// sampled this exact state (same time and relaxation count) — the
+    /// residual is a pure function of `x`, so sampling again would only
+    /// duplicate the last entry.
     pub fn finalize(&mut self, time: f64, total_relaxations: u64, x: &[f64]) {
-        let res = vecops::norm(&self.a.residual(x, self.b), self.norm) / self.nb;
+        let relaxations_per_n = total_relaxations as f64 / self.a.nrows() as f64;
+        if let Some(last) = self.samples.last() {
+            if last.time == time && last.relaxations_per_n == relaxations_per_n {
+                return;
+            }
+        }
+        let res = self.a.residual_norm(x, self.b, self.norm) / self.nb;
         self.samples.push(Sample {
             time,
-            relaxations_per_n: total_relaxations as f64 / self.a.nrows() as f64,
+            relaxations_per_n,
             residual: res,
         });
         if res < self.tol {
@@ -198,6 +210,27 @@ mod tests {
         assert_eq!(m.samples().len(), 1);
         assert!(!m.observe(2.0, 8, &x));
         assert_eq!(m.samples().len(), 2);
+    }
+
+    #[test]
+    fn finalize_skips_duplicate_of_last_observed_sample() {
+        let a = fd::laplacian_1d(4);
+        let b = vec![1.0; 4];
+        let x = vec![0.0; 4];
+        let mut m = ResidualMonitor::new(&a, &b, Norm::L1, 1e-10, 4);
+        m.observe(0.0, 0, &x);
+        m.observe(2.5, 8, &x); // checkpoint sample at (t=2.5, 8 relaxations)
+        assert_eq!(m.samples().len(), 2);
+        // Terminating at the exact state just sampled adds nothing…
+        m.finalize(2.5, 8, &x);
+        assert_eq!(m.samples().len(), 2, "duplicate final sample");
+        // …but terminating later (same time, more relaxations — or vice
+        // versa) still records the true final state.
+        m.finalize(2.5, 9, &x);
+        assert_eq!(m.samples().len(), 3);
+        let (s2, s3) = (m.samples()[1], m.samples()[2]);
+        assert_eq!(s2.residual, s3.residual);
+        assert!(s3.relaxations_per_n > s2.relaxations_per_n);
     }
 
     #[test]

@@ -154,6 +154,10 @@ pub fn run_shmem_async(
 
     let mut now = 0.0f64;
     let mut done = false;
+    // Two-phase scratch, hoisted out of the event loop and reused by every
+    // sweep: the engine allocates nothing per event in steady state.
+    let mut values: Vec<f64> =
+        Vec::with_capacity(ranges.iter().map(|r| r.len()).max().unwrap_or(0));
     while let Some(Reverse((tick, _, w))) = queue.pop() {
         if done {
             break;
@@ -166,7 +170,7 @@ pub fn run_shmem_async(
         // available values (just-in-time reads). Two-phase within the
         // block: all residuals from the same state, then all corrections.
         let range = ranges[w].clone();
-        let mut values = Vec::with_capacity(range.len());
+        values.clear();
         for i in range.clone() {
             let r = b[i] - a.row_dot(i, &x);
             values.push(x[i] + config.omega * diag_inv[i] * r);

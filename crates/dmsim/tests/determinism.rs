@@ -1,0 +1,165 @@
+//! Determinism regression tests for the event engines.
+//!
+//! The allocation-free event engine (scratch-buffer reuse, payload pooling,
+//! event-slot recycling) must not change any simulated semantics: for a
+//! fixed seed the engines must produce *byte-identical* residual samples
+//! and iterates to the pre-optimization behaviour. The fingerprints below
+//! were captured from the original engines (fresh allocation per event) and
+//! pin that behaviour bit for bit.
+//!
+//! Consecutive duplicate samples are collapsed before hashing so the
+//! fingerprints are invariant to the `finalize` duplicate-sample fix (the
+//! dropped sample is an exact copy of its predecessor — no information is
+//! lost or altered).
+
+use aj_dmsim::dist::{run_dist_async, run_dist_sync, DistConfig, DistVariant, LocalSolve};
+use aj_dmsim::monitor::SimOutcome;
+use aj_dmsim::shmem_sim::{
+    run_shmem_async, run_shmem_async_rowwise, run_shmem_sync, ShmemSimConfig,
+};
+use aj_dmsim::termination::TerminationProtocol;
+use aj_linalg::CsrMatrix;
+use aj_matrices::{fd, rhs};
+use aj_partition::block_partition;
+
+fn fnv(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+/// `(sample count, FNV-1a hash)` over every sample's exact bit pattern,
+/// the final iterate's bits, and the relaxation/iteration counters.
+fn fingerprint(out: &SimOutcome) -> (usize, u64) {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut count = 0usize;
+    let mut prev: Option<(u64, u64, u64)> = None;
+    for s in &out.samples {
+        let bits = (
+            s.time.to_bits(),
+            s.relaxations_per_n.to_bits(),
+            s.residual.to_bits(),
+        );
+        if prev == Some(bits) {
+            continue; // collapse exact consecutive duplicates (see above)
+        }
+        prev = Some(bits);
+        count += 1;
+        fnv(&mut h, bits.0);
+        fnv(&mut h, bits.1);
+        fnv(&mut h, bits.2);
+    }
+    for v in &out.x {
+        fnv(&mut h, v.to_bits());
+    }
+    fnv(&mut h, out.relaxations);
+    for &it in &out.worker_iterations {
+        fnv(&mut h, it);
+    }
+    (count, h)
+}
+
+fn fd68() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let a = fd::paper_fd("fd68")
+        .unwrap()
+        .scale_to_unit_diagonal()
+        .unwrap();
+    let (b, x0) = rhs::paper_problem(a.nrows(), 2018);
+    (a, b, x0)
+}
+
+fn lap144() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let a = fd::laplacian_2d(12, 12).scale_to_unit_diagonal().unwrap();
+    let (b, x0) = rhs::paper_problem(a.nrows(), 99);
+    (a, b, x0)
+}
+
+/// Runs every engine configuration the optimization touches and returns
+/// labelled fingerprints.
+fn capture() -> Vec<(&'static str, usize, u64)> {
+    let mut got = Vec::new();
+
+    let (a, b, x0) = fd68();
+    let cfg = ShmemSimConfig::new(8, a.nrows(), 11);
+    let out = run_shmem_async(&a, &b, &x0, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("shmem_async_jacobi", c, h));
+
+    let cfg = ShmemSimConfig::new(17, a.nrows(), 13);
+    let out = run_shmem_async_rowwise(&a, &b, &x0, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("shmem_rowwise", c, h));
+
+    let cfg = ShmemSimConfig::new(8, a.nrows(), 11);
+    let out = run_shmem_sync(&a, &b, &x0, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("shmem_sync", c, h));
+
+    let (a, b, x0) = lap144();
+    let p = block_partition(a.nrows(), 8);
+
+    let cfg = DistConfig::new(a.nrows(), 1);
+    let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("dist_jacobi", c, h));
+
+    let mut cfg = DistConfig::new(a.nrows(), 3);
+    cfg.tol = 1e-4;
+    cfg.local_solve = LocalSolve::GaussSeidel;
+    let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("dist_gauss_seidel", c, h));
+
+    let mut cfg = DistConfig::new(a.nrows(), 9);
+    cfg.cost.put_latency = 3_000.0;
+    cfg.variant = DistVariant::Eager;
+    let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("dist_eager", c, h));
+
+    let mut cfg = DistConfig::new(a.nrows(), 3);
+    cfg.tol = 1e-4;
+    cfg.termination = Some(TerminationProtocol::default());
+    let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("dist_termination", c, h));
+
+    let cfg = DistConfig::new(a.nrows(), 2);
+    let out = run_dist_sync(&a, &b, &x0, &p, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("dist_sync", c, h));
+
+    got
+}
+
+/// Fingerprints captured from the pre-optimization engines (fresh `Vec`
+/// per event, unbounded payload slots, allocating residual monitor).
+const EXPECTED: &[(&str, usize, u64)] = &[
+    ("shmem_async_jacobi", 34, 0x16ee1c943f0c67e7),
+    ("shmem_rowwise", 34, 0x2e0b7c9326f3b7d4),
+    ("shmem_sync", 53, 0x3640705b32f6388e),
+    ("dist_jacobi", 120, 0x19d86d3e3ff60a9a),
+    ("dist_gauss_seidel", 121, 0x1e1329b444399cbd),
+    ("dist_eager", 465, 0xb3b9934d79be1a10),
+    ("dist_termination", 205, 0xcadd2195960ced1b),
+    ("dist_sync", 159, 0x1adb6c86368663ed),
+];
+
+#[test]
+fn engines_match_pre_optimization_fingerprints() {
+    let got = capture();
+    let expected: Vec<(&str, usize, u64)> = EXPECTED.to_vec();
+    if got != expected {
+        let mut table = String::new();
+        for (name, c, h) in &got {
+            table.push_str(&format!("    (\"{name}\", {c}, 0x{h:016x}),\n"));
+        }
+        panic!("fingerprints changed — semantics drifted.\nActual table:\n{table}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let first = capture();
+    let second = capture();
+    assert_eq!(first, second, "same seed must give identical outcomes");
+}

@@ -247,21 +247,66 @@ impl CsrMatrix {
 
     /// Residual `r = b − A x`.
     pub fn residual(&self, x: &[f64], b: &[f64]) -> Vec<f64> {
-        let mut r = self.spmv(x);
-        for (ri, bi) in r.iter_mut().zip(b) {
-            *ri = bi - *ri;
-        }
+        let mut r = vec![0.0; self.nrows];
+        self.residual_into(x, b, &mut r);
         r
+    }
+
+    /// `out ← b − A x` without allocating.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn residual_into(&self, x: &[f64], b: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "residual: x length mismatch");
+        assert_eq!(b.len(), self.nrows, "residual: b length mismatch");
+        assert_eq!(out.len(), self.nrows, "residual: out length mismatch");
+        for i in 0..self.nrows {
+            out[i] = b[i] - self.row_dot(i, x);
+        }
+    }
+
+    /// `‖b − Ax‖` in the requested norm, fused row-wise: allocates nothing
+    /// and never materializes the residual vector. Bit-identical to
+    /// `vecops::norm(&self.residual(x, b), norm)` — both walk rows in order
+    /// with the same accumulation.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn residual_norm(&self, x: &[f64], b: &[f64], norm: vecops::Norm) -> f64 {
+        assert_eq!(x.len(), self.ncols, "residual: x length mismatch");
+        assert_eq!(b.len(), self.nrows, "residual: b length mismatch");
+        let mut acc = 0.0f64;
+        match norm {
+            vecops::Norm::L1 => {
+                for i in 0..self.nrows {
+                    acc += (b[i] - self.row_dot(i, x)).abs();
+                }
+                acc
+            }
+            vecops::Norm::L2 => {
+                for i in 0..self.nrows {
+                    let r = b[i] - self.row_dot(i, x);
+                    acc += r * r;
+                }
+                acc.sqrt()
+            }
+            vecops::Norm::Inf => {
+                for i in 0..self.nrows {
+                    acc = acc.max((b[i] - self.row_dot(i, x)).abs());
+                }
+                acc
+            }
+        }
     }
 
     /// Relative residual in the requested norm: `‖b − Ax‖ / ‖b‖`.
     pub fn relative_residual(&self, x: &[f64], b: &[f64], norm: vecops::Norm) -> f64 {
-        let r = self.residual(x, b);
+        let nr = self.residual_norm(x, b, norm);
         let nb = vecops::norm(b, norm);
         if nb == 0.0 {
-            vecops::norm(&r, norm)
+            nr
         } else {
-            vecops::norm(&r, norm) / nb
+            nr / nb
         }
     }
 
@@ -553,6 +598,35 @@ mod tests {
         let r = a.residual(&x, &b);
         assert!(r.iter().all(|v| v.abs() < 1e-15));
         assert!(a.relative_residual(&x, &b, vecops::Norm::L2) < 1e-15);
+    }
+
+    #[test]
+    fn residual_into_and_fused_norm_match_allocating_path() {
+        // A non-trivial iterate so the residual has mixed signs/magnitudes.
+        let a = small();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = vec![0.3, -1.7, 2.2];
+        let r = a.residual(&x, &b);
+        let mut r2 = vec![f64::NAN; 3];
+        a.residual_into(&x, &b, &mut r2);
+        assert_eq!(r, r2, "residual_into must write the same vector");
+        // The fused norms must be bit-identical to norm-of-residual (same
+        // accumulation order), not merely close.
+        for norm in [vecops::Norm::L1, vecops::Norm::L2, vecops::Norm::Inf] {
+            assert_eq!(
+                a.residual_norm(&x, &b, norm).to_bits(),
+                vecops::norm(&r, norm).to_bits(),
+                "fused {norm:?} differs from the two-pass path"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out")]
+    fn residual_into_rejects_wrong_output_length() {
+        let a = small();
+        let mut out = vec![0.0; 2];
+        a.residual_into(&[0.0; 3], &[0.0; 3], &mut out);
     }
 
     #[test]

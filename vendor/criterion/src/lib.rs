@@ -1,0 +1,314 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API shape the workspace's benches use — `criterion_group!`
+//! / `criterion_main!`, the `Criterion` builder, benchmark groups, and
+//! `Bencher::{iter, iter_batched}` — backed by a simple but honest
+//! wall-clock harness: warm-up, iteration-count calibration, then
+//! `sample_size` timed samples with min/median/max reported per benchmark.
+//! No statistical regression analysis, plots, or saved baselines.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How setup values are batched in `iter_batched`. The harness times each
+/// routine invocation individually, so the hint is accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch (hint only here).
+    SmallInput,
+    /// Large inputs: one per batch (hint only here).
+    LargeInput,
+}
+
+/// Measurement settings, shared by the top level and groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget the samples should roughly fill.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up/calibration time before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark under the current settings.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            settings: self.settings,
+            report: None,
+        };
+        f(&mut b);
+        print_report(id, &b);
+        self
+    }
+
+    /// Starts a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks with its own settings overrides.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            settings: self.settings,
+            report: None,
+        };
+        f(&mut b);
+        print_report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Summary of one benchmark's samples, in seconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    min: f64,
+    median: f64,
+    max: f64,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    settings: Settings,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine` called back-to-back.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let settings = self.settings;
+        // Warm-up doubles as calibration for the per-sample iteration count.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < settings.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = iters_per_sample(per_iter, settings);
+        let mut samples = Vec::with_capacity(settings.sample_size);
+        for _ in 0..settings.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        self.report = Some(summarize(samples, iters));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let settings = self.settings;
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_busy = Duration::ZERO;
+        while warm_start.elapsed() < settings.warm_up_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            warm_busy += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_busy.as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = iters_per_sample(per_iter, settings);
+        let mut samples = Vec::with_capacity(settings.sample_size);
+        for _ in 0..settings.sample_size {
+            let mut busy = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                busy += t.elapsed();
+            }
+            samples.push(busy.as_secs_f64() / iters as f64);
+        }
+        self.report = Some(summarize(samples, iters));
+    }
+}
+
+fn iters_per_sample(per_iter: f64, settings: Settings) -> u64 {
+    let target = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+    if per_iter <= 0.0 {
+        return 1;
+    }
+    ((target / per_iter).ceil() as u64).clamp(1, 1_000_000_000)
+}
+
+fn summarize(mut samples: Vec<f64>, iters: u64) -> Report {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    Report {
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        max: samples[samples.len() - 1],
+        iters_per_sample: iters,
+        samples: samples.len(),
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn print_report(id: &str, b: &Bencher) {
+    match &b.report {
+        Some(r) => println!(
+            "{id:<44} time: [{} {} {}]  ({} samples x {} iters)",
+            format_time(r.min),
+            format_time(r.median),
+            format_time(r.max),
+            r.samples,
+            r.iters_per_sample,
+        ),
+        None => println!("{id:<44} (no measurement recorded)"),
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn iter_measures_something_positive() {
+        let mut c = quick();
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_run() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::{scope, Scope, ScopedJoinHandle}` is provided —
+//! the surface this workspace consumes. Since Rust 1.63 the standard library
+//! ships scoped threads, so the stand-in is a thin adapter that keeps
+//! crossbeam's call shape: the spawn closure receives a `&Scope` argument
+//! and `scope` returns `Err` (instead of unwinding) when a child panics.
+
+/// Scoped threads.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error type carried out of [`scope`] when a thread panicked.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Result of [`scope`]: `Err` holds the panic payload of a child (or of
+    /// the scope closure itself), matching crossbeam's behaviour of not
+    /// unwinding through the caller.
+    pub type Result<T> = std::result::Result<T, PanicPayload>;
+
+    /// A scope handle; clones of the wrapped reference may be sent to
+    /// spawned threads so they can spawn siblings (std's `Scope` is `Sync`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, `Err` on panic.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, non-`'static` threads can
+    /// be spawned; all are joined before `scope` returns. A panic in `f` or
+    /// in any un-joined child surfaces as `Err(payload)`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope re-raises child panics after joining everyone;
+        // catching here converts that back into crossbeam's Result shape.
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|scope| {
+                let handles: Vec<_> = data.iter().map(|&v| scope.spawn(move |_| v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn nested_spawn_through_the_scope_argument() {
+            let r = super::scope(|scope| {
+                scope
+                    .spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(r, 7);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (forward-looking
+//! annotations on report types); nothing serializes through serde at
+//! runtime. The traits are inert markers and the derives are no-ops from
+//! the vendored [`serde_derive`] stub.
+
+/// Marker for types annotated as serializable.
+pub trait Serialize {}
+
+/// Marker for types annotated as deserializable.
+pub trait Deserialize<'de> {}
+
+// The derive macros shadow the traits in the macro namespace, exactly as
+// `serde` with the `derive` feature does.
+pub use serde_derive::{Deserialize, Serialize};
