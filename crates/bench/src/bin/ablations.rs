@@ -9,6 +9,10 @@
 //!   propagation sequences vs mask density;
 //! * `partition` — BFS graph-grown vs contiguous-block subdomains: edge cut
 //!   and async convergence impact.
+//! * `faults`  — the Theorem-1 robustness story: residual behaviour under
+//!   each injected fault class (drops, duplicates/reorders, degraded links,
+//!   stalls, recovering and permanent crashes), W.D.D. matrix, termination
+//!   via the staleness-timeout path.
 //!
 //! Run all: `cargo run --release -p aj-bench --bin ablations`
 //! or one:  `... --bin ablations jitter`
@@ -52,6 +56,105 @@ fn main() {
     if has("local-solve") {
         ablation_local_solve(opts);
     }
+    if has("faults") {
+        ablation_faults(opts);
+    }
+}
+
+/// Fault tolerance (Theorem 1 in practice): one curve per fault class on a
+/// W.D.D. FD Laplacian, all with the termination protocol stopping through
+/// report staleness. Fault times are scheduled relative to the fault-free
+/// run's duration so the classes stay comparable across matrix sizes.
+fn ablation_faults(opts: RunOptions) {
+    use aj_core::dmsim::fault::{FaultPlan, LinkFault};
+    use aj_core::dmsim::TerminationProtocol;
+    let name = if opts.quick { "fd68" } else { "fd272" };
+    let p = Problem::paper_fd(name, opts.seed).unwrap();
+    let partition = block_partition(p.n(), 8);
+    let tol = 1e-4;
+    let base_cfg = || {
+        let mut cfg = DistConfig::new(p.n(), opts.seed);
+        cfg.tol = tol;
+        cfg
+    };
+    // Fault-free probe: sizes the fault schedule.
+    let baseline = run_dist_async(&p.a, &p.b, &p.x0, &partition, &base_cfg());
+    let t_total = baseline.time;
+    let drop10 = LinkFault {
+        drop: 0.10,
+        ..LinkFault::everywhere()
+    };
+    let classes: Vec<(&str, Option<FaultPlan>)> = vec![
+        ("no faults", None),
+        (
+            "drop 10%",
+            Some(FaultPlan::new(opts.seed).with_link(drop10)),
+        ),
+        (
+            "dup 20% + reorder 20%",
+            Some(FaultPlan::new(opts.seed).with_link(LinkFault {
+                duplicate: 0.20,
+                reorder: 0.20,
+                ..LinkFault::everywhere()
+            })),
+        ),
+        (
+            "all links 4x latency",
+            Some(FaultPlan::new(opts.seed).with_link(LinkFault {
+                latency_factor: 4.0,
+                ..LinkFault::everywhere()
+            })),
+        ),
+        (
+            "stall rank 3 for 25%",
+            Some(FaultPlan::new(opts.seed).with_stall(3, 0.25 * t_total, 0.25 * t_total)),
+        ),
+        (
+            "crash rank 3, recovers",
+            Some(FaultPlan::new(opts.seed).with_crash(3, 0.25 * t_total, Some(0.20 * t_total))),
+        ),
+        (
+            "crash rank 3 + drop 10%",
+            Some(
+                FaultPlan::new(opts.seed)
+                    .with_link(drop10)
+                    .with_crash(3, 0.25 * t_total, None),
+            ),
+        ),
+    ];
+    let results = par_map(&classes, |(label, plan)| {
+        let mut cfg = base_cfg();
+        cfg.termination = Some(TerminationProtocol::with_staleness_timeout(0.15 * t_total));
+        cfg.max_time = 5.0 * t_total;
+        cfg.faults = plan.clone();
+        let out = run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg);
+        let curve: Vec<(f64, f64)> = out.samples.iter().map(|s| (s.time, s.residual)).collect();
+        let term = out.termination.clone().unwrap_or_default();
+        (label.to_string(), curve, term, out.comm, out.faults)
+    });
+    println!("== Ablation: fault classes ({name}, 8 ranks, tol {tol:.0e}) ==");
+    println!(
+        "{:<24} {:>10} {:>12} {:>8} {:>6} {:>8} {:>10}",
+        "class", "stop time", "final resid", "drops", "dups", "reorders", "excluded"
+    );
+    let mut series = Vec::new();
+    for (label, curve, term, comm, _faults) in results {
+        let final_resid = curve.last().map_or(f64::NAN, |p| p.1);
+        println!(
+            "{label:<24} {:>10.0} {final_resid:>12.3e} {:>8} {:>6} {:>8} {:>10}",
+            term.detected_at.unwrap_or(f64::NAN),
+            comm.drops,
+            comm.duplicates,
+            comm.reorders,
+            if term.excluded_ranks.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:?}", term.excluded_ranks)
+            },
+        );
+        series.push(Series::new(label, curve));
+    }
+    write_csv(&results_path("ablation_faults"), &series).unwrap();
 }
 
 /// Damping weight ω on the FE matrix: plain synchronous Jacobi diverges

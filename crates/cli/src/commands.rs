@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use crate::matrix;
+use aj_core::dmsim::fault::{FaultPlan, LinkFault};
 use aj_core::dmsim::shmem_sim::ShmemSimConfig;
 use aj_core::linalg::vecops::Norm;
 use aj_core::linalg::{eigen, sweeps};
@@ -38,6 +39,64 @@ pub fn info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `RANK@TIME` or `RANK@TIME+EXTRA` fault specs.
+fn parse_rank_at(spec: &str) -> Result<(usize, f64, Option<f64>), String> {
+    let bad = || format!("bad fault spec '{spec}' (want RANK@TIME or RANK@TIME+EXTRA)");
+    let (r, rest) = spec.split_once('@').ok_or_else(bad)?;
+    let rank = r.trim().parse().map_err(|_| bad())?;
+    let (t, extra) = match rest.split_once('+') {
+        Some((t, x)) => (t, Some(x.trim().parse().map_err(|_| bad())?)),
+        None => (rest, None),
+    };
+    let at = t.trim().parse().map_err(|_| bad())?;
+    Ok((rank, at, extra))
+}
+
+/// Builds a [`FaultPlan`] from `--crash`/`--stall`/`--drop`/`--dup`/
+/// `--reorder`/`--lat-factor`/`--fault-seed`; `None` when no fault option
+/// is given.
+fn fault_plan(args: &Args, seed: u64) -> Result<Option<FaultPlan>, String> {
+    let drop: f64 = args.get_or("drop", 0.0)?;
+    let duplicate: f64 = args.get_or("dup", 0.0)?;
+    let reorder: f64 = args.get_or("reorder", 0.0)?;
+    let latency_factor: f64 = args.get_or("lat-factor", 1.0)?;
+    for (name, p) in [("drop", drop), ("dup", duplicate), ("reorder", reorder)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--{name} must be a probability in [0, 1], got {p}"));
+        }
+    }
+    if latency_factor <= 0.0 {
+        return Err(format!(
+            "--lat-factor must be positive, got {latency_factor}"
+        ));
+    }
+    let mut plan = FaultPlan::new(args.get_or("fault-seed", seed)?);
+    if drop > 0.0 || duplicate > 0.0 || reorder > 0.0 || latency_factor != 1.0 {
+        plan = plan.with_link(LinkFault {
+            drop,
+            duplicate,
+            reorder,
+            latency_factor,
+            ..LinkFault::everywhere()
+        });
+    }
+    if let Some(specs) = args.get("crash") {
+        for spec in specs.split(',') {
+            let (rank, at, recover_after) = parse_rank_at(spec)?;
+            plan = plan.with_crash(rank, at, recover_after);
+        }
+    }
+    if let Some(specs) = args.get("stall") {
+        for spec in specs.split(',') {
+            let (rank, at, duration) = parse_rank_at(spec)?;
+            let duration =
+                duration.ok_or_else(|| format!("--stall '{spec}' needs RANK@TIME+DURATION"))?;
+            plan = plan.with_stall(rank, at, duration);
+        }
+    }
+    Ok((!plan.is_empty()).then_some(plan))
+}
+
 /// `aj solve` — run a backend and report convergence.
 pub fn solve(args: &Args) -> Result<(), String> {
     let (p, seed) = load_problem(args)?;
@@ -47,6 +106,14 @@ pub fn solve(args: &Args) -> Result<(), String> {
         norm: Norm::L1,
         omega: args.get_or("omega", 1.0)?,
         seed,
+        faults: fault_plan(args, seed)?,
+        staleness_timeout: args
+            .get("staleness")
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("invalid value for --staleness: {v}"))
+            })
+            .transpose()?,
     };
     let threads: usize = args.get_or("threads", 4usize)?;
     let ranks: usize = args.get_or("ranks", 16usize)?;
@@ -108,6 +175,49 @@ pub fn solve(args: &Args) -> Result<(), String> {
     );
     println!("samples:   {}", report.history.len());
     println!("wall time: {wall:?}");
+    if let Some(c) = &report.comm {
+        let mut line = format!("comm:      {} puts, {} values", c.puts, c.values);
+        if c.drops + c.duplicates + c.reorders > 0 {
+            line.push_str(&format!(
+                " ({} dropped, {} duplicated, {} reordered)",
+                c.drops, c.duplicates, c.reorders
+            ));
+        }
+        println!("{line}");
+    }
+    if let Some(t) = &report.termination {
+        match t.detected_at {
+            Some(at) => println!(
+                "detect:    stop at t={at:.1} ({} reports, {} dropped)",
+                t.reports_sent, t.reports_dropped
+            ),
+            None => println!("detect:    protocol never fired"),
+        }
+        if !t.excluded_ranks.is_empty() {
+            println!(
+                "excluded:  ranks {:?} (presumed dead via staleness)",
+                t.excluded_ranks
+            );
+        }
+    }
+    if let Some(f) = &report.faults {
+        for &(rank, at) in &f.crash_times {
+            println!("fault:     rank {rank} crashed at t={at:.1}");
+        }
+        for &(rank, at) in &f.recovery_times {
+            println!("fault:     rank {rank} recovered at t={at:.1}");
+        }
+        let dead = f.dead_ranks();
+        if !dead.is_empty() {
+            println!("fault:     dead at end: ranks {dead:?}");
+        }
+        if f.stalled_sweeps + f.skipped_sweeps + f.dead_window_drops > 0 {
+            println!(
+                "fault:     {} sweeps stalled, {} skipped, {} puts hit dead windows",
+                f.stalled_sweeps, f.skipped_sweeps, f.dead_window_drops
+            );
+        }
+    }
     if let Some(path) = args.get("history") {
         write_csv(
             std::path::Path::new(path),

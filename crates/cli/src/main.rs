@@ -42,7 +42,19 @@ SOLVE OPTIONS:
   --omega W          relaxation weight                 (default 1.0)
   --seed S           workload seed                     (default 2018)
   --detect           use the distributed termination-detection protocol
+  --staleness T      with --detect: presume a rank dead after T simulated
+                     time units without a report (default: never)
   --history PATH     write the residual history CSV
+
+FAULT INJECTION (dist-async only; deterministic, seeded):
+  --crash R@T[+REC]  crash rank R at time T; +REC recovers it REC later
+  --stall R@T+D      stall rank R's sweeps at time T for duration D
+                     (both accept comma-separated lists)
+  --drop P           drop each put with probability P on every link
+  --dup P            duplicate each put with probability P
+  --reorder P        delay (reorder) each put with probability P
+  --lat-factor F     multiply every link's latency by F
+  --fault-seed S     fault RNG seed            (default: --seed)
 
 COMMON:
   --help             this text

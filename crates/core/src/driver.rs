@@ -5,8 +5,12 @@
 //! API. The figure benches drive the sub-crates directly for fine control.
 
 use crate::problem::Problem;
+use aj_dmsim::monitor::CommVolume;
 use aj_dmsim::shmem_sim::{run_shmem_async, run_shmem_sync, ShmemSimConfig};
-use aj_dmsim::{run_dist_async, run_dist_sync, DistConfig, TerminationProtocol};
+use aj_dmsim::{
+    run_dist_async, run_dist_sync, DistConfig, FaultPlan, FaultStats, TerminationProtocol,
+    TerminationStats,
+};
 use aj_linalg::vecops::Norm;
 use aj_linalg::{krylov, sweeps};
 use aj_partition::block_partition;
@@ -46,7 +50,7 @@ pub enum Backend {
 }
 
 /// Common solve options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Relative residual tolerance.
     pub tol: f64,
@@ -58,6 +62,15 @@ pub struct SolveOptions {
     pub omega: f64,
     /// Seed for simulated-backend jitter.
     pub seed: u64,
+    /// Fault injection for the asynchronous simulated distributed backend
+    /// (crashes, stalls, lossy links). Any other backend rejects a
+    /// non-empty plan rather than silently ignoring it.
+    pub faults: Option<FaultPlan>,
+    /// Override for the termination protocol's report staleness timeout
+    /// (simulated time units; `None` keeps the protocol default of
+    /// "never presume a rank dead"). Only meaningful with
+    /// [`Backend::SimDistributed`] and `detect`.
+    pub staleness_timeout: Option<f64>,
 }
 
 impl Default for SolveOptions {
@@ -68,6 +81,8 @@ impl Default for SolveOptions {
             norm: Norm::L1,
             omega: 1.0,
             seed: 2018,
+            faults: None,
+            staleness_timeout: None,
         }
     }
 }
@@ -87,6 +102,13 @@ pub struct SolveReport {
     pub converged: bool,
     /// True final relative residual (recomputed).
     pub final_residual: f64,
+    /// Communication volume incl. drop/duplicate/reorder counts
+    /// (simulated distributed backends only).
+    pub comm: Option<CommVolume>,
+    /// Termination-detection statistics (distributed `detect` runs only).
+    pub termination: Option<TerminationStats>,
+    /// Fault-injection statistics (faulted distributed runs only).
+    pub faults: Option<FaultStats>,
 }
 
 /// Solves `p` with the chosen backend.
@@ -94,6 +116,19 @@ pub struct SolveReport {
 /// # Errors
 /// Returns a message for solver-level failures (e.g. CG breakdown).
 pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<SolveReport, String> {
+    if opts.faults.as_ref().is_some_and(|f| !f.is_empty())
+        && !matches!(
+            backend,
+            Backend::SimDistributed {
+                asynchronous: true,
+                ..
+            }
+        )
+    {
+        return Err(
+            "fault injection requires the asynchronous simulated distributed backend".into(),
+        );
+    }
     let report = |label: String, x: Vec<f64>, history: Vec<(f64, f64)>| {
         let final_residual = p.relative_residual(&x, opts.norm);
         SolveReport {
@@ -102,6 +137,9 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             x,
             history,
             final_residual,
+            comm: None,
+            termination: None,
+            faults: None,
         }
     };
     match backend {
@@ -236,7 +274,14 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.norm = opts.norm;
             cfg.omega = opts.omega;
             if detect && asynchronous {
-                cfg.termination = Some(TerminationProtocol::default());
+                let mut proto = TerminationProtocol::default();
+                if let Some(timeout) = opts.staleness_timeout {
+                    proto.staleness_timeout = timeout;
+                }
+                cfg.termination = Some(proto);
+            }
+            if asynchronous {
+                cfg.faults = opts.faults.clone();
             }
             let out = if asynchronous {
                 run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg)
@@ -245,11 +290,11 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             };
             let curve = out.samples.iter().map(|s| (s.time, s.residual)).collect();
             let kind = if asynchronous { "async" } else { "sync" };
-            Ok(report(
-                format!("simulated {kind} ranks ×{ranks}"),
-                out.x,
-                curve,
-            ))
+            let mut rep = report(format!("simulated {kind} ranks ×{ranks}"), out.x, curve);
+            rep.comm = Some(out.comm);
+            rep.termination = out.termination;
+            rep.faults = out.faults;
+            Ok(rep)
         }
     }
 }
@@ -307,6 +352,42 @@ mod tests {
             );
             assert!(!r.history.is_empty());
         }
+    }
+
+    #[test]
+    fn faulted_distributed_solve_surfaces_fault_accounting() {
+        let p = problem();
+        let opts = SolveOptions {
+            tol: 1e-4,
+            faults: Some(
+                FaultPlan::new(1)
+                    .with_crash(2, 5_000.0, Some(4_000.0))
+                    .with_link(aj_dmsim::LinkFault {
+                        drop: 0.05,
+                        ..aj_dmsim::LinkFault::everywhere()
+                    }),
+            ),
+            ..Default::default()
+        };
+        let backend = Backend::SimDistributed {
+            ranks: 5,
+            asynchronous: true,
+            detect: false,
+        };
+        let r = solve(&p, backend, &opts).unwrap();
+        let faults = r.faults.expect("fault stats must surface");
+        assert_eq!(faults.crash_times.len(), 1);
+        assert_eq!(faults.recovery_times.len(), 1);
+        assert!(r.comm.expect("comm stats must surface").drops > 0);
+        // Every other backend rejects a non-empty plan instead of silently
+        // ignoring it.
+        assert!(solve(&p, Backend::Jacobi, &opts).is_err());
+        let sync_dist = Backend::SimDistributed {
+            ranks: 5,
+            asynchronous: false,
+            detect: false,
+        };
+        assert!(solve(&p, sync_dist, &opts).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::cost::{CostModel, WorkerJitter, TICK_SCALE};
 use crate::event::EventQueue;
+use crate::fault::{FaultPlan, FaultState, LinkParams};
 use crate::monitor::{ResidualMonitor, SimOutcome};
 use crate::shmem_sim::{SimDelay, StopRule};
 use crate::termination::{RootAggregator, TerminationProtocol, TerminationStats};
@@ -87,6 +88,12 @@ pub struct DistConfig {
     /// the L1 norm for detection even when [`DistConfig::norm`] selects a
     /// different norm for monitoring.
     pub termination: Option<TerminationProtocol>,
+    /// Deterministic fault injection (crashes, stalls, lossy links); see
+    /// [`crate::fault`]. Applies to the **asynchronous** engine — the
+    /// synchronous solver models reliable, acknowledged point-to-point
+    /// exchange and ignores the plan. `None` or an empty plan leaves the
+    /// engine byte-identical to the fault-free build.
+    pub faults: Option<FaultPlan>,
 }
 
 impl DistConfig {
@@ -105,6 +112,7 @@ impl DistConfig {
             omega: 1.0,
             local_solve: LocalSolve::Jacobi,
             termination: None,
+            faults: None,
         }
     }
 }
@@ -126,6 +134,19 @@ struct Rank {
     parked: bool,
     /// Termination protocol: rank received the stop broadcast.
     stopped: bool,
+    /// Fault injection: is the rank's process up? Crashed ranks neither
+    /// sweep nor accept puts into their window.
+    alive: bool,
+    /// Fault injection: sweeps deferred until this tick (transient stall).
+    stalled_until: u64,
+    /// Generation counter for in-flight [`Event::Sweep`]s: a crash bumps
+    /// it, invalidating the pending sweep so a recovery cannot leave two
+    /// sweep chains running for one rank.
+    sweep_epoch: u64,
+    /// Resolved fault parameters for this rank's residual reports toward
+    /// the root (rank 0). The root's self-report never crosses the
+    /// network, so its params stay clean.
+    report_faults: LinkParams,
 }
 
 struct SendPlan {
@@ -136,6 +157,9 @@ struct SendPlan {
     /// (`Rc`) so each put event carries a pointer-sized handle instead of
     /// cloning the index list; the simulation is single-threaded.
     target_slot: Rc<[usize]>,
+    /// Resolved fault parameters for this directed link (clean when no
+    /// fault plan is active).
+    faults: LinkParams,
 }
 
 fn build_ranks(
@@ -144,6 +168,7 @@ fn build_ranks(
     x0: &[f64],
     plan: &CommPlan,
     cost: &CostModel,
+    fault_plan: Option<&FaultPlan>,
 ) -> Vec<Rank> {
     let nparts = plan.nparts();
     // Ghost slot lookup per part: global index → position in ghost tail.
@@ -178,6 +203,9 @@ fn build_ranks(
                         .map(|g| ghost_slot[*to][g])
                         .collect::<Vec<_>>()
                         .into(),
+                    faults: fault_plan
+                        .map(|fp| fp.link_params(p, *to))
+                        .unwrap_or_default(),
                 })
                 .collect();
             Rank {
@@ -190,6 +218,16 @@ fn build_ranks(
                 dirty: true,
                 parked: false,
                 stopped: false,
+                alive: true,
+                stalled_until: 0,
+                sweep_epoch: 0,
+                report_faults: if p == 0 {
+                    LinkParams::default()
+                } else {
+                    fault_plan
+                        .map(|fp| fp.link_params(p, 0))
+                        .unwrap_or_default()
+                },
             }
         })
         .collect()
@@ -197,8 +235,10 @@ fn build_ranks(
 
 enum Event {
     /// Rank's sweep finishes: relax owned rows against the freshest window
-    /// contents (just-in-time reads), then send puts.
-    Sweep(usize),
+    /// contents (just-in-time reads), then send puts. `epoch` must match
+    /// the rank's current `sweep_epoch` or the sweep is stale (the rank
+    /// crashed while it was in flight) and is discarded.
+    Sweep { rank: usize, epoch: u64 },
     /// A put lands in `rank`'s window. `slots` shares the sender's
     /// [`SendPlan::target_slot`]; `values` comes from (and returns to) the
     /// payload pool.
@@ -211,6 +251,19 @@ enum Event {
     Report { rank: usize, norm: f64 },
     /// The root's stop decision reaches `rank`.
     StopArrive { rank: usize },
+    /// Fault injection: the rank's process dies, freezing its window and
+    /// subdomain. With `recover_after`, a [`Event::Recover`] follows that
+    /// many ticks later.
+    Crash {
+        rank: usize,
+        recover_after: Option<u64>,
+    },
+    /// Fault injection: a crashed rank restarts from its last committed
+    /// local state (its `x` as of the crash) and resumes sweeping.
+    Recover { rank: usize },
+    /// Fault injection: the rank defers sweeps until tick `until`
+    /// (transient stall — the window stays live, puts still land).
+    Stall { rank: usize, until: u64 },
 }
 
 /// Runs **asynchronous** distributed Jacobi over a partition.
@@ -232,7 +285,11 @@ pub fn run_dist_async(
     if let Some(d) = config.delay {
         assert!(d.worker < nparts, "delayed rank {} out of range", d.worker);
     }
-    let mut ranks = build_ranks(a, b, x0, &plan, &config.cost);
+    // A `None` (or empty) plan draws no RNG and resolves every link clean,
+    // so fault-free runs stay byte-identical to the pre-fault engine.
+    let fault_plan = config.faults.as_ref().filter(|p| !p.is_empty());
+    let mut fault_state = fault_plan.map(|p| FaultState::new(p, nparts));
+    let mut ranks = build_ranks(a, b, x0, &plan, &config.cost, fault_plan);
     // Global mirror of owned values, for residual monitoring.
     let mut x_global = x0.to_vec();
     let mut monitor = ResidualMonitor::new(a, b, config.norm, config.tol, config.sample_every);
@@ -253,11 +310,37 @@ pub fn run_dist_async(
         }
         queue.push(
             tick + ((cost * TICK_SCALE).max(1.0) as u64),
-            Event::Sweep(r),
+            Event::Sweep {
+                rank: r,
+                epoch: rank.sweep_epoch,
+            },
         );
     };
     for r in 0..nparts {
         schedule_sweep(&mut queue, 0, r, &mut ranks[r], config);
+    }
+    if let Some(fp) = fault_plan {
+        for c in &fp.crashes {
+            queue.push(
+                (c.at * TICK_SCALE).max(0.0) as u64,
+                Event::Crash {
+                    rank: c.rank,
+                    recover_after: c
+                        .recover_after
+                        .map(|rec| (rec * TICK_SCALE).max(1.0) as u64),
+                },
+            );
+        }
+        for s in &fp.stalls {
+            let start = (s.at * TICK_SCALE).max(0.0) as u64;
+            queue.push(
+                start,
+                Event::Stall {
+                    rank: s.rank,
+                    until: start + (s.duration * TICK_SCALE).max(1.0) as u64,
+                },
+            );
+        }
     }
     // Scratch reused across every Jacobi sweep (two-phase staging buffer).
     let max_owned = ranks.iter().map(|r| r.local.n_owned()).max().unwrap_or(0);
@@ -275,6 +358,7 @@ pub fn run_dist_async(
             config.tol * t.safety_factor,
             norm_b,
             t.confirmations,
+            t.staleness_timeout,
         )
     });
     let mut term_stats = TerminationStats::default();
@@ -283,16 +367,30 @@ pub fn run_dist_async(
 
     let mut now = 0.0f64;
     let mut done = false;
-    while let Some((tick, event)) = queue.pop() {
-        if done {
+    while let Some(next_tick) = queue.peek_tick() {
+        if done || next_tick as f64 / TICK_SCALE > config.max_time {
             break;
         }
+        let (tick, event) = queue.pop().expect("peeked event vanished");
         now = tick as f64 / TICK_SCALE;
-        if now > config.max_time {
-            break;
-        }
         match event {
-            Event::Sweep(r) => {
+            Event::Sweep { rank: r, epoch } => {
+                if !ranks[r].alive || epoch != ranks[r].sweep_epoch {
+                    // Crashed rank, or a sweep orphaned by its crash.
+                    if let Some(fs) = fault_state.as_mut() {
+                        fs.stats.skipped_sweeps += 1;
+                    }
+                    continue;
+                }
+                if tick < ranks[r].stalled_until {
+                    // Transient stall: defer the sweep, don't drop it.
+                    if let Some(fs) = fault_state.as_mut() {
+                        fs.stats.stalled_sweeps += 1;
+                    }
+                    let until = ranks[r].stalled_until;
+                    queue.push(until, Event::Sweep { rank: r, epoch });
+                    continue;
+                }
                 // Relax against the freshest window contents as of now.
                 let n_owned = ranks[r].local.n_owned();
                 match config.local_solve {
@@ -328,7 +426,7 @@ pub fn run_dist_async(
 
                 // One-sided puts toward every neighbour.
                 for s in 0..ranks[r].sends.len() {
-                    let (to, slots, vals, volume) = {
+                    let (to, slots, vals, volume, lp) = {
                         let sp = &ranks[r].sends[s];
                         let mut vals = payload_pool.pop().unwrap_or_default();
                         vals.clear();
@@ -338,14 +436,53 @@ pub fn run_dist_async(
                             Rc::clone(&sp.target_slot),
                             vals,
                             sp.source_local.len(),
+                            sp.faults,
                         )
                     };
                     comm.puts += 1;
                     comm.values += volume as u64;
-                    let arrive = tick
-                        + (((config.cost.put_latency + config.cost.per_value_comm * volume as f64)
-                            * TICK_SCALE)
-                            .max(1.0) as u64);
+                    let mut latency =
+                        config.cost.put_latency + config.cost.per_value_comm * volume as f64;
+                    // Link faults: the RNG is only consulted for faulty
+                    // links, in event-processing order (deterministic).
+                    let mut duplicated = false;
+                    if !lp.is_clean() {
+                        let fs = fault_state.as_mut().expect("faulty link without a plan");
+                        if fs.draw() < lp.drop {
+                            comm.drops += 1;
+                            payload_pool.push(vals);
+                            continue;
+                        }
+                        latency *= lp.latency_factor;
+                        if fs.draw() < lp.reorder {
+                            // An out-of-order put is just a put that took
+                            // longer: one-sided windows are last-writer-wins
+                            // per element, so older data landing later is
+                            // the whole effect.
+                            latency += fs.extra_delay(config.cost.put_latency);
+                            comm.reorders += 1;
+                        }
+                        duplicated = fs.draw() < lp.duplicate;
+                    }
+                    let arrive = tick + ((latency * TICK_SCALE).max(1.0) as u64);
+                    if duplicated {
+                        // Duplicate delivery of an idempotent put: the copy
+                        // lands later with identical contents.
+                        comm.duplicates += 1;
+                        let fs = fault_state.as_mut().expect("duplicate without a plan");
+                        let extra = fs.extra_delay(config.cost.put_latency);
+                        let mut copy = payload_pool.pop().unwrap_or_default();
+                        copy.clear();
+                        copy.extend_from_slice(&vals);
+                        queue.push(
+                            arrive + ((extra * TICK_SCALE).max(1.0) as u64),
+                            Event::PutArrive {
+                                rank: to,
+                                slots: Rc::clone(&slots),
+                                values: copy,
+                            },
+                        );
+                    }
                     queue.push(
                         arrive,
                         Event::PutArrive {
@@ -385,15 +522,31 @@ pub fn run_dist_async(
                                 (rank.b[row] - rank.local.matrix.row_dot(row, &rank.x)).abs();
                         }
                         term_stats.reports_sent += 1;
-                        let arrive =
-                            tick + ((config.cost.put_latency * TICK_SCALE).max(1.0) as u64);
-                        queue.push(
-                            arrive,
-                            Event::Report {
-                                rank: r,
-                                norm: local_norm,
-                            },
-                        );
+                        // Reports ride the same lossy link toward the root
+                        // (duplication is a no-op for a latest-value
+                        // aggregator, so only drop and latency apply).
+                        let lp = ranks[r].report_faults;
+                        let mut latency = config.cost.put_latency;
+                        let mut dropped = false;
+                        if !lp.is_clean() {
+                            let fs = fault_state.as_mut().expect("faulty link without a plan");
+                            if fs.draw() < lp.drop {
+                                dropped = true;
+                            } else {
+                                latency *= lp.latency_factor;
+                            }
+                        }
+                        if dropped {
+                            term_stats.reports_dropped += 1;
+                        } else {
+                            queue.push(
+                                tick + ((latency * TICK_SCALE).max(1.0) as u64),
+                                Event::Report {
+                                    rank: r,
+                                    norm: local_norm,
+                                },
+                            );
+                        }
                     }
                 }
                 if !done && !ranks[r].stopped && ranks[r].iterations < config.max_iterations {
@@ -415,6 +568,16 @@ pub fn run_dist_async(
                 slots,
                 values,
             } => {
+                if !ranks[r].alive {
+                    // The target's window died with its process; the put
+                    // vanishes (MPI would surface an RMA error — the
+                    // solver's answer either way is "that data is gone").
+                    if let Some(fs) = fault_state.as_mut() {
+                        fs.stats.dead_window_drops += 1;
+                    }
+                    payload_pool.push(values);
+                    continue;
+                }
                 let n_owned = ranks[r].local.n_owned();
                 for (&slot, &v) in slots.iter().zip(values.iter()) {
                     ranks[r].x[n_owned + slot] = v;
@@ -429,10 +592,11 @@ pub fn run_dist_async(
             }
             Event::Report { rank, norm } => {
                 if let Some(agg) = aggregator.as_mut() {
-                    if let Some(rel) = agg.ingest(rank, norm) {
+                    if let Some(rel) = agg.ingest(rank, norm, now) {
                         // Root decides: broadcast the stop to every rank.
                         term_stats.detected_at = Some(now);
                         term_stats.detected_residual = Some(rel);
+                        term_stats.excluded_ranks = agg.excluded_ranks().to_vec();
                         for target in 0..nparts {
                             term_stats.stops_sent += 1;
                             let arrive =
@@ -443,12 +607,56 @@ pub fn run_dist_async(
                 }
             }
             Event::StopArrive { rank } => {
+                // Stop broadcasts are modelled reliable (MPI would retry a
+                // collective until completion) and a dead rank is trivially
+                // "stopped", so the count always reaches `nparts`.
                 if !ranks[rank].stopped {
                     ranks[rank].stopped = true;
                     stopped_count += 1;
                     if stopped_count == nparts {
                         done = true;
                     }
+                }
+            }
+            Event::Crash {
+                rank,
+                recover_after,
+            } => {
+                if ranks[rank].alive {
+                    ranks[rank].alive = false;
+                    // Orphan the in-flight sweep so a recovery can't leave
+                    // two sweep chains running for this rank.
+                    ranks[rank].sweep_epoch += 1;
+                    if let Some(fs) = fault_state.as_mut() {
+                        fs.stats.crash_times.push((rank, now));
+                        fs.stats.alive[rank] = false;
+                    }
+                    if let Some(rec) = recover_after {
+                        queue.push(tick + rec, Event::Recover { rank });
+                    }
+                }
+            }
+            Event::Recover { rank } => {
+                if !ranks[rank].alive {
+                    ranks[rank].alive = true;
+                    if let Some(fs) = fault_state.as_mut() {
+                        fs.stats.recovery_times.push((rank, now));
+                        fs.stats.alive[rank] = true;
+                    }
+                    if !ranks[rank].stopped {
+                        // Restart from the last committed local state: the
+                        // rank's `x` (owned + ghost window) as of the
+                        // crash. Stale ghosts are exactly what Theorem 1
+                        // tolerates; neighbours' next puts refresh them.
+                        ranks[rank].parked = false;
+                        ranks[rank].dirty = true;
+                        schedule_sweep(&mut queue, tick, rank, &mut ranks[rank], config);
+                    }
+                }
+            }
+            Event::Stall { rank, until } => {
+                if ranks[rank].alive {
+                    ranks[rank].stalled_until = ranks[rank].stalled_until.max(until);
                 }
             }
         }
@@ -464,6 +672,7 @@ pub fn run_dist_async(
         converged,
         termination: config.termination.map(|_| term_stats),
         comm,
+        faults: fault_state.map(|fs| fs.stats),
     }
 }
 
@@ -562,7 +771,9 @@ pub fn run_dist_sync(
         comm: crate::monitor::CommVolume {
             puts: msgs_per_iter * iters,
             values: values_per_iter * iters,
+            ..Default::default()
         },
+        faults: None,
     }
 }
 

@@ -74,6 +74,13 @@ impl<T> EventQueue<T> {
         Some((tick, payload))
     }
 
+    /// Tick of the earliest pending event without consuming it. Lets an
+    /// engine stop at a time horizon while leaving the over-horizon event
+    /// (and its pooled payload) in the queue.
+    pub fn peek_tick(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((tick, _, _))| *tick)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -174,6 +181,18 @@ mod tests {
             q.push(tick + 1, i);
         }
         assert_eq!(q.slot_count(), 2, "1-for-1 replacement must not grow");
+    }
+
+    #[test]
+    fn peek_tick_sees_the_next_pop_without_consuming() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_tick(), None);
+        q.push(9, 'b');
+        q.push(3, 'a');
+        assert_eq!(q.peek_tick(), Some(3));
+        assert_eq!(q.len(), 2, "peek must not consume");
+        assert_eq!(q.pop(), Some((3, 'a')));
+        assert_eq!(q.peek_tick(), Some(9));
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Deterministic fault injection for the distributed simulator.
+//!
+//! The paper's headline robustness claim (Theorem 1) is that for weakly
+//! diagonally dominant systems the residual 1-norm never increases no
+//! matter how stale the neighbour data a relaxation reads. §VI-B
+//! demonstrates it for benign slowness (one rank delayed "until
+//! convergence"); this module extends the simulated distributed engine to
+//! the *faulty* regime a production solver actually sees:
+//!
+//! * **rank crashes** at a scheduled simulated time — permanent, or with
+//!   recovery after a fixed outage during which the rank's memory is
+//!   unavailable (incoming puts are lost; on recovery it resumes from its
+//!   last committed local state, ghost values included);
+//! * **transient stalls** — the rank performs no sweeps for a window but
+//!   its window memory stays live, so puts keep landing (the paper's
+//!   delayed-rank experiment as a time-bounded event);
+//! * **lossy links** — per-link probabilities for put **drop**,
+//!   **duplication** and **reordering**, plus a degraded-link latency
+//!   multiplier. Reordering is modelled as an extra random delivery delay,
+//!   which permutes arrival order relative to issue order on that link.
+//!
+//! Every fault is an ordinary event in the discrete-event queue, and all
+//! randomness comes from one [`rand::rngs::StdRng`] seeded from
+//! [`FaultPlan::seed`] and drawn in event-processing order, so a faulted
+//! run is bit-for-bit reproducible — the determinism regression tests pin
+//! golden fingerprints for faulted configurations exactly as they do for
+//! clean ones.
+//!
+//! Why asynchronous Jacobi tolerates all of this: a dropped or reordered
+//! put only changes *which previous committed iterate* a neighbour reads,
+//! and Theorem 1 covers arbitrary staleness; a duplicated put rewrites a
+//! window slot with the value it already holds (puts are idempotent
+//! last-writer-wins writes); a permanently crashed rank freezes its
+//! subdomain, and the live ranks converge to the solution of their
+//! sub-system with Dirichlet data given by the frozen interface — the
+//! *frozen-subdomain limit*, the natural reference solution for a run that
+//! lost a rank (see DESIGN.md §10).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduled rank crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashFault {
+    /// Rank to crash.
+    pub rank: usize,
+    /// Simulated time of the crash (same units as `DistConfig::max_time`).
+    pub at: f64,
+    /// Outage length after which the rank recovers, resuming from its last
+    /// committed local state; `None` crashes it permanently.
+    pub recover_after: Option<f64>,
+}
+
+/// A transient stall: the rank performs no sweeps in `[at, at + duration)`
+/// but its window memory stays live (puts keep landing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallFault {
+    /// Rank to stall.
+    pub rank: usize,
+    /// Simulated time the stall begins.
+    pub at: f64,
+    /// Stall length in simulated time.
+    pub duration: f64,
+}
+
+/// Message-level faults on directed links. `from`/`to` of `None` are
+/// wildcards, so a single rule can degrade every link at once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Sender rank the rule applies to (`None` = any).
+    pub from: Option<usize>,
+    /// Receiver rank the rule applies to (`None` = any).
+    pub to: Option<usize>,
+    /// Probability a put on this link is silently lost.
+    pub drop: f64,
+    /// Probability a put is delivered twice (second copy arrives later).
+    pub duplicate: f64,
+    /// Probability a put picks up an extra random delay, reordering it
+    /// relative to later puts on the same link.
+    pub reorder: f64,
+    /// Multiplier on the base put latency (degraded link).
+    pub latency_factor: f64,
+}
+
+impl LinkFault {
+    /// A clean rule matching every link — a starting point for builders.
+    pub fn everywhere() -> Self {
+        LinkFault {
+            from: None,
+            to: None,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            latency_factor: 1.0,
+        }
+    }
+
+    fn matches(&self, from: usize, to: usize) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// Resolved fault parameters for one directed link (no matching rule =
+/// clean link).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Drop probability.
+    pub drop: f64,
+    /// Duplication probability.
+    pub duplicate: f64,
+    /// Reordering probability.
+    pub reorder: f64,
+    /// Latency multiplier.
+    pub latency_factor: f64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            latency_factor: 1.0,
+        }
+    }
+}
+
+impl LinkParams {
+    /// Whether this link behaves like a fault-free one.
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.latency_factor == 1.0
+    }
+}
+
+/// A deterministic, seeded schedule of faults for one distributed run.
+///
+/// The plan is pure data: the engine turns crashes and stalls into queue
+/// events at setup and consults [`FaultPlan::link_params`] on the put path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic fault decision.
+    pub seed: u64,
+    /// Scheduled crashes (at most one per rank is meaningful).
+    pub crashes: Vec<CrashFault>,
+    /// Scheduled transient stalls.
+    pub stalls: Vec<StallFault>,
+    /// Link rules; the **first matching rule wins** per directed link.
+    pub links: Vec<LinkFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the plan injects nothing (the engine then skips all fault
+    /// bookkeeping, keeping clean runs byte-identical to pre-fault builds).
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.stalls.is_empty() && self.links.is_empty()
+    }
+
+    /// Adds a crash (builder style).
+    pub fn with_crash(mut self, rank: usize, at: f64, recover_after: Option<f64>) -> Self {
+        self.crashes.push(CrashFault {
+            rank,
+            at,
+            recover_after,
+        });
+        self
+    }
+
+    /// Adds a stall (builder style).
+    pub fn with_stall(mut self, rank: usize, at: f64, duration: f64) -> Self {
+        self.stalls.push(StallFault { rank, at, duration });
+        self
+    }
+
+    /// Adds a link rule (builder style).
+    pub fn with_link(mut self, rule: LinkFault) -> Self {
+        self.links.push(rule);
+        self
+    }
+
+    /// Resolves the fault parameters for the directed link `from → to`
+    /// (first matching rule wins; clean when nothing matches).
+    pub fn link_params(&self, from: usize, to: usize) -> LinkParams {
+        for rule in &self.links {
+            if rule.matches(from, to) {
+                return LinkParams {
+                    drop: rule.drop,
+                    duplicate: rule.duplicate,
+                    reorder: rule.reorder,
+                    latency_factor: rule.latency_factor,
+                };
+            }
+        }
+        LinkParams::default()
+    }
+
+    /// Largest rank index any fault references, for validation.
+    pub fn max_rank(&self) -> Option<usize> {
+        self.crashes
+            .iter()
+            .map(|c| c.rank)
+            .chain(self.stalls.iter().map(|s| s.rank))
+            .chain(self.links.iter().flat_map(|l| l.from.into_iter()))
+            .chain(self.links.iter().flat_map(|l| l.to.into_iter()))
+            .max()
+    }
+}
+
+/// What the injected faults did during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// `(rank, simulated time)` of each crash that fired.
+    pub crash_times: Vec<(usize, f64)>,
+    /// `(rank, simulated time)` of each recovery.
+    pub recovery_times: Vec<(usize, f64)>,
+    /// Sweeps deferred because the rank was inside a stall window.
+    pub stalled_sweeps: u64,
+    /// Sweeps discarded because the rank was crashed when they fired.
+    pub skipped_sweeps: u64,
+    /// Puts lost because the target rank's window was crashed on arrival
+    /// (link-level drops are counted in `CommVolume::drops` instead).
+    pub dead_window_drops: u64,
+    /// Per-rank liveness when the run ended (`false` = still crashed).
+    pub alive: Vec<bool>,
+}
+
+impl FaultStats {
+    /// Ranks still dead at the end of the run.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &a)| (!a).then_some(r))
+            .collect()
+    }
+}
+
+/// Runtime fault state threaded through the event loop: the seeded RNG for
+/// probabilistic link decisions plus the accounting that ends up in
+/// [`FaultStats`].
+#[derive(Debug)]
+pub struct FaultState {
+    rng: StdRng,
+    /// Accounting filled in by the engine.
+    pub stats: FaultStats,
+}
+
+impl FaultState {
+    /// Builds the runtime state for `nparts` ranks.
+    ///
+    /// # Panics
+    /// Panics when the plan references a rank `>= nparts`.
+    pub fn new(plan: &FaultPlan, nparts: usize) -> Self {
+        if let Some(max) = plan.max_rank() {
+            assert!(
+                max < nparts,
+                "fault plan references rank {max} but the run has {nparts} ranks"
+            );
+        }
+        FaultState {
+            rng: StdRng::seed_from_u64(plan.seed ^ 0xfa17_fa17_fa17_fa17),
+            stats: FaultStats {
+                alive: vec![true; nparts],
+                ..Default::default()
+            },
+        }
+    }
+
+    /// One uniform draw in `[0, 1)`; the engine calls this in
+    /// event-processing order, which is what makes faulted runs
+    /// deterministic.
+    pub fn draw(&mut self) -> f64 {
+        self.rng.random_range(0.0..1.0)
+    }
+
+    /// Extra delivery delay for a reordered or duplicated put: uniform in
+    /// `(0, 4 × base_latency]`, long enough to overtake several subsequent
+    /// puts on the same link but bounded so reordered data stays merely
+    /// stale, not ancient.
+    pub fn extra_delay(&mut self, base_latency: f64) -> f64 {
+        (1.0 - self.draw()) * 4.0 * base_latency.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_rules_first_match_wins() {
+        let plan = FaultPlan::new(1)
+            .with_link(LinkFault {
+                from: Some(0),
+                to: Some(1),
+                drop: 0.5,
+                ..LinkFault::everywhere()
+            })
+            .with_link(LinkFault {
+                drop: 0.1,
+                latency_factor: 3.0,
+                ..LinkFault::everywhere()
+            });
+        assert_eq!(plan.link_params(0, 1).drop, 0.5);
+        assert_eq!(plan.link_params(0, 1).latency_factor, 1.0);
+        assert_eq!(plan.link_params(2, 3).drop, 0.1);
+        assert_eq!(plan.link_params(2, 3).latency_factor, 3.0);
+        assert!(!plan.link_params(0, 1).is_clean());
+        assert!(FaultPlan::new(9).link_params(4, 5).is_clean());
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new(7).is_empty());
+        assert!(!FaultPlan::new(7).with_stall(0, 10.0, 5.0).is_empty());
+    }
+
+    #[test]
+    fn max_rank_spans_all_fault_kinds() {
+        let plan = FaultPlan::new(0)
+            .with_crash(3, 1.0, None)
+            .with_stall(5, 1.0, 1.0)
+            .with_link(LinkFault {
+                from: Some(7),
+                to: Some(2),
+                ..LinkFault::everywhere()
+            });
+        assert_eq!(plan.max_rank(), Some(7));
+        assert_eq!(FaultPlan::new(0).max_rank(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "references rank 9")]
+    fn state_rejects_out_of_range_ranks() {
+        let plan = FaultPlan::new(0).with_crash(9, 1.0, None);
+        FaultState::new(&plan, 4);
+    }
+
+    #[test]
+    fn draws_are_deterministic_in_the_seed() {
+        let plan = FaultPlan::new(42).with_stall(0, 1.0, 1.0);
+        let mut a = FaultState::new(&plan, 2);
+        let mut b = FaultState::new(&plan, 2);
+        for _ in 0..10 {
+            assert_eq!(a.draw(), b.draw());
+        }
+        let mut c = FaultState::new(&FaultPlan::new(43), 2);
+        assert_ne!(a.draw(), c.draw());
+    }
+
+    #[test]
+    fn extra_delay_is_positive_and_bounded() {
+        let plan = FaultPlan::new(3);
+        let mut s = FaultState::new(&plan, 1);
+        for _ in 0..100 {
+            let d = s.extra_delay(50.0);
+            assert!(d > 0.0 && d <= 200.0, "delay {d}");
+        }
+    }
+
+    #[test]
+    fn dead_ranks_reports_the_unrecovered() {
+        let stats = FaultStats {
+            alive: vec![true, false, true, false],
+            ..Default::default()
+        };
+        assert_eq!(stats.dead_ranks(), vec![1, 3]);
+    }
+}

@@ -31,7 +31,8 @@
 //!
 //! Modules: [`cost`] (cost model and jitter), [`monitor`] (residual
 //! sampling), [`shmem_sim`] (simulated threads, Figures 2–6),
-//! [`dist`] (simulated ranks, Figures 7–9).
+//! [`dist`] (simulated ranks, Figures 7–9), [`fault`] (deterministic
+//! crash/stall/lossy-link injection for the distributed engine).
 
 // Index-based loops over coupled arrays are the clearest form for these
 // numeric kernels; the iterator rewrites clippy suggests obscure them.
@@ -40,6 +41,7 @@
 pub mod cost;
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod monitor;
 pub mod shmem_sim;
 pub mod termination;
@@ -47,6 +49,7 @@ pub mod termination;
 pub use cost::{CostModel, Jitter};
 pub use dist::{run_dist_async, run_dist_sync, DistConfig, DistVariant};
 pub use event::EventQueue;
+pub use fault::{CrashFault, FaultPlan, FaultStats, LinkFault, StallFault};
 pub use monitor::{ResidualMonitor, SimOutcome};
 pub use shmem_sim::{run_shmem_async, run_shmem_sync, ShmemSimConfig};
 pub use termination::{TerminationProtocol, TerminationStats};

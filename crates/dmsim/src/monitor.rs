@@ -39,6 +39,9 @@ pub struct SimOutcome {
     pub termination: Option<crate::termination::TerminationStats>,
     /// Communication accounting (distributed runs; zeros in shared memory).
     pub comm: CommVolume,
+    /// Fault-injection accounting, when a non-empty
+    /// [`crate::fault::FaultPlan`] was configured; `None` for clean runs.
+    pub faults: Option<crate::fault::FaultStats>,
 }
 
 /// Message/volume counters for distributed runs.
@@ -48,6 +51,12 @@ pub struct CommVolume {
     pub puts: u64,
     /// Total values carried by those puts.
     pub values: u64,
+    /// Puts lost to link faults (never delivered).
+    pub drops: u64,
+    /// Extra deliveries injected by link duplication faults.
+    pub duplicates: u64,
+    /// Puts delivered out of issue order by link reordering faults.
+    pub reorders: u64,
 }
 
 impl SimOutcome {
@@ -88,6 +97,14 @@ impl SimOutcome {
         }
         for s in &self.samples[1..] {
             if s.residual <= target {
+                // An exact-zero sample has no log10; its own time is the
+                // best crossing estimate (same guard as
+                // `aj_core::interp::crossing_log10`). Without it the -inf
+                // weight collapses to -0.0 and the *previous* sample's time
+                // is returned.
+                if s.residual <= 0.0 {
+                    return Some(s.time);
+                }
                 let (l0, l1) = (prev.residual.log10(), s.residual.log10());
                 if (l1 - l0).abs() < 1e-300 {
                     return Some(s.time);
@@ -162,7 +179,11 @@ impl<'a> ResidualMonitor<'a> {
                 relaxations_per_n: total_relaxations as f64 / self.a.nrows() as f64,
                 residual: res,
             });
-            self.next_checkpoint = total_relaxations + self.sample_every;
+            // Snap to the next multiple of `sample_every` so a burst of
+            // relaxations (one big sweep crossing a checkpoint) cannot
+            // shift the sampling grid; sync and async runs of the same
+            // config then sample on the same relaxation grid.
+            self.next_checkpoint = (total_relaxations / self.sample_every + 1) * self.sample_every;
             if res < self.tol {
                 self.converged = true;
             }
@@ -264,6 +285,7 @@ mod tests {
             converged: true,
             termination: None,
             comm: CommVolume::default(),
+            faults: None,
         };
         // 10× reduction on a log-linear path from 1 to 1e-2 over t∈[0,10]
         // happens exactly at t = 5.
@@ -271,6 +293,59 @@ mod tests {
         assert!((t - 5.0).abs() < 1e-12, "t = {t}");
         // Unreachable factor.
         assert!(outcome.time_to_reduction(1e-6).is_none());
+    }
+
+    #[test]
+    fn time_to_reduction_handles_exact_zero_samples() {
+        // A sample whose residual is exactly 0.0 has log10 = -inf; the
+        // crossing must be reported at that sample's own time, not the
+        // previous sample's.
+        let outcome = SimOutcome {
+            samples: vec![
+                Sample {
+                    time: 0.0,
+                    relaxations_per_n: 0.0,
+                    residual: 1.0,
+                },
+                Sample {
+                    time: 4.0,
+                    relaxations_per_n: 1.0,
+                    residual: 0.5,
+                },
+                Sample {
+                    time: 10.0,
+                    relaxations_per_n: 2.0,
+                    residual: 0.0,
+                },
+            ],
+            x: vec![],
+            time: 10.0,
+            relaxations: 0,
+            worker_iterations: vec![],
+            converged: true,
+            termination: None,
+            comm: CommVolume::default(),
+            faults: None,
+        };
+        assert_eq!(outcome.time_to_reduction(0.1), Some(10.0));
+    }
+
+    #[test]
+    fn observe_snaps_checkpoints_to_the_sample_grid() {
+        // A burst crossing a checkpoint must not shift the grid: after
+        // observing at 13 relaxations (grid 8), the next checkpoint is 16,
+        // not 13 + 8 = 21.
+        let a = fd::laplacian_1d(4);
+        let b = vec![1.0; 4];
+        let x = vec![0.0; 4];
+        let mut m = ResidualMonitor::new(&a, &b, Norm::L1, 1e-10, 8);
+        m.observe(0.0, 0, &x);
+        m.observe(1.0, 13, &x); // burst past checkpoint 8
+        assert_eq!(m.samples().len(), 2);
+        m.observe(2.0, 16, &x); // grid-aligned checkpoint still fires
+        assert_eq!(m.samples().len(), 3, "grid must stay on multiples of 8");
+        m.observe(3.0, 17, &x); // off-grid, below next checkpoint 24
+        assert_eq!(m.samples().len(), 3);
     }
 
     #[test]
@@ -295,6 +370,7 @@ mod tests {
             converged: true,
             termination: None,
             comm: CommVolume::default(),
+            faults: None,
         };
         assert_eq!(outcome.time_to_tolerance(1e-3), Some(3.0));
         assert_eq!(outcome.relaxations_to_tolerance(1e-3), Some(2.0));

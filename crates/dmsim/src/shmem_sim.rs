@@ -210,6 +210,7 @@ pub fn run_shmem_async(
         converged,
         termination: None,
         comm: Default::default(),
+        faults: None,
     }
 }
 
@@ -430,6 +431,7 @@ fn rowwise_impl(
         converged,
         termination: None,
         comm: Default::default(),
+        faults: None,
     }
 }
 
@@ -513,6 +515,7 @@ pub fn run_shmem_sync(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemSimCon
         converged,
         termination: None,
         comm: Default::default(),
+        faults: None,
     }
 }
 

