@@ -2,11 +2,14 @@
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+/// Parsed command line: a subcommand, further positional arguments (e.g.
+/// `aj obs summary metrics.json`), and `--key value` / `--flag` options.
 #[derive(Debug, Clone)]
 pub struct Args {
     /// First positional argument (the subcommand).
     pub command: Option<String>,
+    /// Positional arguments after the subcommand, in order.
+    pub positionals: Vec<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -15,6 +18,7 @@ impl Args {
     /// Parses an iterator of arguments (excluding the program name).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         let mut command = None;
+        let mut positionals = Vec::new();
         let mut options = HashMap::new();
         let mut flags = Vec::new();
         let mut it = args.into_iter().peekable();
@@ -29,14 +33,20 @@ impl Args {
             } else if command.is_none() {
                 command = Some(a);
             } else {
-                return Err(format!("unexpected positional argument: {a}"));
+                positionals.push(a);
             }
         }
         Ok(Args {
             command,
+            positionals,
             options,
             flags,
         })
+    }
+
+    /// Positional argument after the subcommand (0-based).
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(|s| s.as_str())
     }
 
     /// String option.
@@ -82,9 +92,18 @@ mod tests {
     fn defaults_and_errors() {
         let a = parse("info");
         assert_eq!(a.get_or("threads", 4usize).unwrap(), 4);
+        assert!(a.positional(0).is_none());
         let bad = parse("solve --tol abc");
         assert!(bad.get_or("tol", 1.0).is_err());
-        assert!(Args::parse(["x".into(), "y".into()]).is_err());
+    }
+
+    #[test]
+    fn nested_subcommands_via_positionals() {
+        let a = parse("obs summary metrics.json --width 100");
+        assert_eq!(a.command.as_deref(), Some("obs"));
+        assert_eq!(a.positional(0), Some("summary"));
+        assert_eq!(a.positional(1), Some("metrics.json"));
+        assert_eq!(a.get_or("width", 80usize).unwrap(), 100);
     }
 
     #[test]

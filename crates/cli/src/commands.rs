@@ -1,4 +1,4 @@
-//! The `info`, `solve`, and `trace` subcommands.
+//! The `info`, `solve`, `trace`, and `obs` subcommands.
 
 use crate::args::Args;
 use crate::matrix;
@@ -6,6 +6,7 @@ use aj_core::dmsim::fault::{FaultPlan, LinkFault};
 use aj_core::dmsim::shmem_sim::ShmemSimConfig;
 use aj_core::linalg::vecops::Norm;
 use aj_core::linalg::{eigen, sweeps};
+use aj_core::obs::{ObsConfig, Snapshot};
 use aj_core::report::{write_csv, Series};
 use aj_core::Problem;
 
@@ -97,6 +98,19 @@ fn fault_plan(args: &Args, seed: u64) -> Result<Option<FaultPlan>, String> {
     Ok((!plan.is_empty()).then_some(plan))
 }
 
+/// Parses `--obs off | full | sampled[:N]` (default off).
+fn parse_obs(args: &Args) -> Result<ObsConfig, String> {
+    match args.get("obs") {
+        None | Some("off") => Ok(ObsConfig::off()),
+        Some("full") => Ok(ObsConfig::full()),
+        Some("sampled") => Ok(ObsConfig::sampled(16)),
+        Some(s) => match s.strip_prefix("sampled:").map(str::parse) {
+            Some(Ok(n)) => Ok(ObsConfig::sampled(n)),
+            _ => Err(format!("--obs wants off | full | sampled[:N], got '{s}'")),
+        },
+    }
+}
+
 /// `aj solve` — run a backend and report convergence.
 pub fn solve(args: &Args) -> Result<(), String> {
     let (p, seed) = load_problem(args)?;
@@ -114,6 +128,16 @@ pub fn solve(args: &Args) -> Result<(), String> {
                     .map_err(|_| format!("invalid value for --staleness: {v}"))
             })
             .transpose()?,
+        obs: {
+            let obs = parse_obs(args)?;
+            if args.get("metrics-out").is_some() && !obs.is_on() {
+                // --metrics-out without --obs: record at the default sample
+                // rate rather than writing an empty snapshot.
+                ObsConfig::sampled(16)
+            } else {
+                obs
+            }
+        },
     };
     let threads: usize = args.get_or("threads", 4usize)?;
     let ranks: usize = args.get_or("ranks", 16usize)?;
@@ -218,6 +242,28 @@ pub fn solve(args: &Args) -> Result<(), String> {
             );
         }
     }
+    if let Some(snap) = &report.metrics {
+        let fams = snap.families();
+        println!(
+            "metrics:   {} counters, {} histogram families ({}), {} timelines",
+            snap.counters.len(),
+            fams.len(),
+            fams.join(", "),
+            snap.timelines.len()
+        );
+        if let Some(path) = args.get("metrics-out") {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            }
+            std::fs::write(path, snap.to_json()).map_err(|e| e.to_string())?;
+            println!("metrics:   written to {path}");
+        }
+    } else if let Some(path) = args.get("metrics-out") {
+        return Err(format!(
+            "--metrics-out {path}: backend '{}' records no metrics (sequential reference)",
+            report.backend
+        ));
+    }
     if let Some(path) = args.get("history") {
         write_csv(
             std::path::Path::new(path),
@@ -227,6 +273,34 @@ pub fn solve(args: &Args) -> Result<(), String> {
         println!("history:   written to {path}");
     }
     Ok(())
+}
+
+/// `aj obs` — inspect a metrics snapshot written by `aj solve --metrics-out`.
+///
+/// `aj obs summary FILE` prints per-rank quantiles and ASCII timelines;
+/// `aj obs csv FILE` re-emits the snapshot as long-form CSV.
+pub fn obs(args: &Args) -> Result<(), String> {
+    let action = args.positional(0).unwrap_or("summary");
+    let path = args
+        .positional(1)
+        .or_else(|| args.get("metrics"))
+        .ok_or("missing snapshot path (aj obs summary <metrics.json>)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap = Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let width: usize = args.get_or("width", 72usize)?;
+    match action {
+        "summary" => {
+            // Includes the per-rank ASCII timelines when the snapshot has
+            // any.
+            print!("{}", snap.render_summary(width));
+            Ok(())
+        }
+        "csv" => {
+            print!("{}", snap.to_csv());
+            Ok(())
+        }
+        other => Err(format!("unknown obs action: {other} (want summary | csv)")),
+    }
 }
 
 /// `aj trace` — traced asynchronous run + §IV-A analysis.

@@ -24,6 +24,9 @@ COMMANDS:
   solve    run a solver and report the convergence history
   trace    run traced asynchronous Jacobi; report the propagated fraction
            and read-staleness statistics (paper §IV-A / Figure 2)
+  obs      inspect a metrics snapshot: `aj obs summary <metrics.json>`
+           (per-rank staleness quantiles + ASCII timelines) or
+           `aj obs csv <metrics.json>`
 
 MATRIX SELECTORS (--matrix):
   fd40 | fd68 | fd272 | fd4624      the paper's FD Laplacians
@@ -45,6 +48,10 @@ SOLVE OPTIONS:
   --staleness T      with --detect: presume a rank dead after T simulated
                      time units without a report (default: never)
   --history PATH     write the residual history CSV
+  --obs MODE         record metrics: off | sampled[:N] | full (default off;
+                     sampled records every Nth observation, default N=16)
+  --metrics-out PATH write the metrics snapshot as JSON (implies
+                     --obs sampled:16 unless --obs is given)
 
 FAULT INJECTION (dist-async only; deterministic, seeded):
   --crash R@T[+REC]  crash rank R at time T; +REC recovers it REC later
@@ -76,6 +83,7 @@ fn main() {
         "info" => commands::info(&args),
         "solve" => commands::solve(&args),
         "trace" => commands::trace(&args),
+        "obs" => commands::obs(&args),
         other => Err(format!("unknown command: {other}\n\n{HELP}")),
     };
     if let Err(e) = result {

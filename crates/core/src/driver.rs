@@ -13,6 +13,7 @@ use aj_dmsim::{
 };
 use aj_linalg::vecops::Norm;
 use aj_linalg::{krylov, sweeps};
+use aj_obs::{ObsConfig, Snapshot};
 use aj_partition::block_partition;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +72,11 @@ pub struct SolveOptions {
     /// "never presume a rank dead"). Only meaningful with
     /// [`Backend::SimDistributed`] and `detect`.
     pub staleness_timeout: Option<f64>,
+    /// Observability recording (off by default; zero overhead when off).
+    /// Honoured by the parallel backends — real threads and both simulators;
+    /// the sequential reference sweeps have nothing useful to record and
+    /// leave [`SolveReport::metrics`] as `None`.
+    pub obs: ObsConfig,
 }
 
 impl Default for SolveOptions {
@@ -83,6 +89,7 @@ impl Default for SolveOptions {
             seed: 2018,
             faults: None,
             staleness_timeout: None,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -109,6 +116,10 @@ pub struct SolveReport {
     pub termination: Option<TerminationStats>,
     /// Fault-injection statistics (faulted distributed runs only).
     pub faults: Option<FaultStats>,
+    /// Observability snapshot (counters, staleness/latency histograms,
+    /// per-rank timelines) when [`SolveOptions::obs`] enabled recording and
+    /// the backend supports it.
+    pub metrics: Option<Snapshot>,
 }
 
 /// Solves `p` with the chosen backend.
@@ -140,6 +151,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             comm: None,
             termination: None,
             faults: None,
+            metrics: None,
         }
     };
     match backend {
@@ -231,14 +243,17 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
                 norm: opts.norm,
                 mode: aj_shmem::Mode::Asynchronous,
                 omega: opts.omega,
+                obs: opts.obs,
                 ..Default::default()
             };
             let out = aj_shmem::solver::run(&p.a, &p.b, &p.x0, &cfg);
-            Ok(report(
+            let mut rep = report(
                 format!("async threads ×{workers}"),
                 out.x,
                 out.residual_history,
-            ))
+            );
+            rep.metrics = out.obs;
+            Ok(rep)
         }
         Backend::SimShared {
             workers,
@@ -249,6 +264,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.max_iterations = opts.max_iterations;
             cfg.norm = opts.norm;
             cfg.omega = opts.omega;
+            cfg.obs = opts.obs;
             let out = if asynchronous {
                 run_shmem_async(&p.a, &p.b, &p.x0, &cfg)
             } else {
@@ -256,11 +272,9 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             };
             let curve = out.samples.iter().map(|s| (s.time, s.residual)).collect();
             let kind = if asynchronous { "async" } else { "sync" };
-            Ok(report(
-                format!("simulated {kind} threads ×{workers}"),
-                out.x,
-                curve,
-            ))
+            let mut rep = report(format!("simulated {kind} threads ×{workers}"), out.x, curve);
+            rep.metrics = out.obs;
+            Ok(rep)
         }
         Backend::SimDistributed {
             ranks,
@@ -273,6 +287,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.max_iterations = opts.max_iterations;
             cfg.norm = opts.norm;
             cfg.omega = opts.omega;
+            cfg.obs = opts.obs;
             if detect && asynchronous {
                 let mut proto = TerminationProtocol::default();
                 if let Some(timeout) = opts.staleness_timeout {
@@ -294,6 +309,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             rep.comm = Some(out.comm);
             rep.termination = out.termination;
             rep.faults = out.faults;
+            rep.metrics = out.obs;
             Ok(rep)
         }
     }
@@ -388,6 +404,55 @@ mod tests {
             detect: false,
         };
         assert!(solve(&p, sync_dist, &opts).is_err());
+    }
+
+    #[test]
+    fn obs_flows_through_every_parallel_backend() {
+        let p = problem();
+        let opts = SolveOptions {
+            tol: 1e-4,
+            obs: ObsConfig::sampled(4),
+            ..Default::default()
+        };
+        for backend in [
+            Backend::AsyncThreads { workers: 2 },
+            Backend::SimShared {
+                workers: 4,
+                asynchronous: true,
+            },
+            Backend::SimDistributed {
+                ranks: 4,
+                asynchronous: true,
+                detect: false,
+            },
+        ] {
+            let r = solve(&p, backend, &opts).unwrap();
+            let snap = r
+                .metrics
+                .unwrap_or_else(|| panic!("{backend:?} dropped the obs snapshot"));
+            assert!(
+                snap.counters.get("relaxations").copied().unwrap_or(0) > 0,
+                "{backend:?} recorded no relaxations"
+            );
+        }
+        // Sequential backends have nothing to record; obs is silently off.
+        let r = solve(&p, Backend::Jacobi, &opts).unwrap();
+        assert!(r.metrics.is_none());
+        // And the default (off) records nothing on parallel backends either.
+        let r = solve(
+            &p,
+            Backend::SimDistributed {
+                ranks: 4,
+                asynchronous: true,
+                detect: false,
+            },
+            &SolveOptions {
+                tol: 1e-4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.metrics.is_none());
     }
 
     #[test]

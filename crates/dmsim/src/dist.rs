@@ -18,10 +18,12 @@ use crate::cost::{CostModel, WorkerJitter, TICK_SCALE};
 use crate::event::EventQueue;
 use crate::fault::{FaultPlan, FaultState, LinkParams};
 use crate::monitor::{ResidualMonitor, SimOutcome};
+use crate::obsrec::EngineObs;
 use crate::shmem_sim::{SimDelay, StopRule};
 use crate::termination::{RootAggregator, TerminationProtocol, TerminationStats};
 use aj_linalg::vecops::Norm;
 use aj_linalg::CsrMatrix;
+use aj_obs::{ObsConfig, SpanKind};
 use aj_partition::{CommPlan, LocalSystem, Partition};
 use std::rc::Rc;
 
@@ -94,6 +96,11 @@ pub struct DistConfig {
     /// exchange and ignores the plan. `None` or an empty plan leaves the
     /// engine byte-identical to the fault-free build.
     pub faults: Option<FaultPlan>,
+    /// Observability recording (off by default; the asynchronous engine
+    /// records per-rank staleness/sweep-period histograms, put latencies,
+    /// queue depth on the monitor's sample grid, and per-rank timelines
+    /// into [`SimOutcome::obs`]).
+    pub obs: ObsConfig,
 }
 
 impl DistConfig {
@@ -113,6 +120,7 @@ impl DistConfig {
             local_solve: LocalSolve::Jacobi,
             termination: None,
             faults: None,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -160,6 +168,13 @@ struct SendPlan {
     /// Resolved fault parameters for this directed link (clean when no
     /// fault plan is active).
     faults: LinkParams,
+    /// Index into the flat ghost-generation table: the receiver's base
+    /// offset plus *this sender's* position in the receiver's `recv_from`
+    /// list. Observability updates the table with this one precomputed
+    /// indexed store per landing put — a dense rank×rank table thrashes
+    /// cache at 256+ ranks, and a per-put neighbour scan once cost ~30% of
+    /// the event loop.
+    gen_idx: u32,
 }
 
 fn build_ranks(
@@ -171,6 +186,9 @@ fn build_ranks(
     fault_plan: Option<&FaultPlan>,
 ) -> Vec<Rank> {
     let nparts = plan.nparts();
+    // Base offset of each rank's span in the flat ghost-generation table
+    // (one entry per in-neighbour, `recv_from` order); see `gen_base`.
+    let gen_base = gen_base(plan);
     // Ghost slot lookup per part: global index → position in ghost tail.
     let ghost_slot: Vec<std::collections::HashMap<usize, usize>> = (0..nparts)
         .map(|p| {
@@ -206,6 +224,14 @@ fn build_ranks(
                     faults: fault_plan
                         .map(|fp| fp.link_params(p, *to))
                         .unwrap_or_default(),
+                    gen_idx: (gen_base[*to]
+                        + plan
+                            .plan(*to)
+                            .recv_from
+                            .iter()
+                            .position(|(s, _)| *s == p)
+                            .expect("send_to mirrors recv_from"))
+                        as u32,
                 })
                 .collect();
             Rank {
@@ -233,6 +259,21 @@ fn build_ranks(
         .collect()
 }
 
+/// Prefix-sum of in-neighbour counts: rank `p`'s ghost-generation entries
+/// live at `gen_base[p] .. gen_base[p] + recv_from.len()` in the flat
+/// table, and `gen_base[nparts]` is its total length.
+fn gen_base(plan: &CommPlan) -> Vec<usize> {
+    let nparts = plan.nparts();
+    let mut base = Vec::with_capacity(nparts + 1);
+    let mut acc = 0usize;
+    for p in 0..nparts {
+        base.push(acc);
+        acc += plan.plan(p).recv_from.len();
+    }
+    base.push(acc);
+    base
+}
+
 enum Event {
     /// Rank's sweep finishes: relax owned rows against the freshest window
     /// contents (just-in-time reads), then send puts. `epoch` must match
@@ -241,9 +282,14 @@ enum Event {
     Sweep { rank: usize, epoch: u64 },
     /// A put lands in `rank`'s window. `slots` shares the sender's
     /// [`SendPlan::target_slot`]; `values` comes from (and returns to) the
-    /// payload pool.
+    /// payload pool. `gen_idx`/`sent` identify the sender's entry in the
+    /// flat ghost-generation table and the sweep tick that generated the
+    /// payload — observability uses them to age ghost data; the solver
+    /// itself never reads them.
     PutArrive {
         rank: usize,
+        gen_idx: u32,
+        sent: u64,
         slots: Rc<[usize]>,
         values: Vec<f64>,
     },
@@ -295,6 +341,22 @@ pub fn run_dist_async(
     let mut monitor = ResidualMonitor::new(a, b, config.norm, config.tol, config.sample_every);
     let mut relaxations = 0u64;
     monitor.observe(0.0, 0, &x_global);
+
+    // Observability state, allocated only when recording is on. The age of
+    // a ghost value at use is `sweep tick − generation tick`, where the
+    // generation tick is the *sender's* sweep that produced the value — the
+    // same definition the shared-memory simulator uses, so the two engines
+    // cross-validate. The flat `ghost_gen` table holds one generation tick
+    // per (receiver, in-neighbour) pair; rank `r`'s span starts at
+    // `gen_base[r]`, and each put carries its [`SendPlan::gen_idx`] so a
+    // landing put updates the table with one precomputed indexed store.
+    let mut obs = EngineObs::new(&config.obs, nparts);
+    let gen_base = gen_base(&plan);
+    let mut ghost_gen: Vec<u64> = if obs.is_some() {
+        vec![0; gen_base[nparts]]
+    } else {
+        Vec::new()
+    };
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     let schedule_sweep = |queue: &mut EventQueue<Event>,
@@ -423,16 +485,29 @@ pub fn run_dist_async(
                 }
                 ranks[r].iterations += 1;
                 relaxations += n_owned as u64;
+                if let Some(o) = obs.as_mut() {
+                    if o.sweep_sampler.hit() {
+                        for &gen in &ghost_gen[gen_base[r]..gen_base[r + 1]] {
+                            o.record_staleness(r, tick - gen);
+                        }
+                        if let Some(prev) = o.last_sweep_end[r] {
+                            o.record_sweep_period(r, tick - prev);
+                        }
+                        o.event(r, tick, SpanKind::SweepEnd);
+                    }
+                    o.last_sweep_end[r] = Some(tick);
+                }
 
                 // One-sided puts toward every neighbour.
                 for s in 0..ranks[r].sends.len() {
-                    let (to, slots, vals, volume, lp) = {
+                    let (to, gen_idx, slots, vals, volume, lp) = {
                         let sp = &ranks[r].sends[s];
                         let mut vals = payload_pool.pop().unwrap_or_default();
                         vals.clear();
                         vals.extend(sp.source_local.iter().map(|&l| ranks[r].x[l]));
                         (
                             sp.to,
+                            sp.gen_idx,
                             Rc::clone(&sp.target_slot),
                             vals,
                             sp.source_local.len(),
@@ -478,6 +553,8 @@ pub fn run_dist_async(
                             arrive + ((extra * TICK_SCALE).max(1.0) as u64),
                             Event::PutArrive {
                                 rank: to,
+                                gen_idx,
+                                sent: tick,
                                 slots: Rc::clone(&slots),
                                 values: copy,
                             },
@@ -487,13 +564,29 @@ pub fn run_dist_async(
                         arrive,
                         Event::PutArrive {
                             rank: to,
+                            gen_idx,
+                            sent: tick,
                             slots,
                             values: vals,
                         },
                     );
                 }
+                if let Some(o) = obs.as_mut() {
+                    if !ranks[r].sends.is_empty() && o.put_sampler.hit() {
+                        o.event(r, tick, SpanKind::PutSend);
+                    }
+                }
 
+                let samples_before = monitor.samples().len();
                 let hit_tol = monitor.observe(now, relaxations, &x_global);
+                if let Some(o) = obs.as_mut() {
+                    // Queue depth is sampled exactly when the monitor takes
+                    // a residual sample, so both series share the monitor's
+                    // snapped relaxation grid.
+                    if monitor.samples().len() > samples_before {
+                        o.record_queue_depth(queue.len() as u64);
+                    }
+                }
                 match config.stop {
                     StopRule::Tolerance => {
                         // With the protocol active, the omniscient monitor
@@ -565,6 +658,8 @@ pub fn run_dist_async(
             }
             Event::PutArrive {
                 rank: r,
+                gen_idx,
+                sent,
                 slots,
                 values,
             } => {
@@ -583,6 +678,16 @@ pub fn run_dist_async(
                     ranks[r].x[n_owned + slot] = v;
                 }
                 payload_pool.push(values);
+                if let Some(o) = obs.as_mut() {
+                    // Last writer wins, exactly like the window itself: a
+                    // reordered put landing late overwrites the generation
+                    // tick the same way it overwrites the ghost values.
+                    ghost_gen[gen_idx as usize] = sent;
+                    if o.put_sampler.hit() {
+                        o.record_put_latency(tick - sent);
+                        o.event(r, tick, SpanKind::PutArrive);
+                    }
+                }
                 ranks[r].dirty = true;
                 if ranks[r].parked && !ranks[r].stopped {
                     ranks[r].parked = false;
@@ -591,6 +696,13 @@ pub fn run_dist_async(
                 }
             }
             Event::Report { rank, norm } => {
+                if let Some(o) = obs.as_mut() {
+                    o.term_reports += 1;
+                    // Protocol rounds show on the root's timeline (rank 0).
+                    if o.put_sampler.hit() {
+                        o.event(0, tick, SpanKind::TermRound);
+                    }
+                }
                 if let Some(agg) = aggregator.as_mut() {
                     if let Some(rel) = agg.ingest(rank, norm, now) {
                         // Root decides: broadcast the stop to every rank.
@@ -624,6 +736,9 @@ pub fn run_dist_async(
             } => {
                 if ranks[rank].alive {
                     ranks[rank].alive = false;
+                    if let Some(o) = obs.as_mut() {
+                        o.event(rank, tick, SpanKind::Crash);
+                    }
                     // Orphan the in-flight sweep so a recovery can't leave
                     // two sweep chains running for this rank.
                     ranks[rank].sweep_epoch += 1;
@@ -639,6 +754,9 @@ pub fn run_dist_async(
             Event::Recover { rank } => {
                 if !ranks[rank].alive {
                     ranks[rank].alive = true;
+                    if let Some(o) = obs.as_mut() {
+                        o.event(rank, tick, SpanKind::Recover);
+                    }
                     if let Some(fs) = fault_state.as_mut() {
                         fs.stats.recovery_times.push((rank, now));
                         fs.stats.alive[rank] = true;
@@ -657,12 +775,33 @@ pub fn run_dist_async(
             Event::Stall { rank, until } => {
                 if ranks[rank].alive {
                     ranks[rank].stalled_until = ranks[rank].stalled_until.max(until);
+                    if let Some(o) = obs.as_mut() {
+                        o.event(rank, tick, SpanKind::Stall);
+                    }
                 }
             }
         }
     }
     monitor.finalize(now, relaxations, &x_global);
     let converged = monitor.converged();
+    let obs_snapshot = obs.map(|o| {
+        let mut snap = o.into_snapshot(Some(&comm));
+        snap.set_counter("relaxations", relaxations);
+        snap.set_counter("ranks", nparts as u64);
+        if let Some(fs) = fault_state.as_ref() {
+            snap.set_counter("crashes", fs.stats.crash_times.len() as u64);
+            snap.set_counter("recoveries", fs.stats.recovery_times.len() as u64);
+            snap.set_counter("skipped_sweeps", fs.stats.skipped_sweeps);
+            snap.set_counter("stalled_sweeps", fs.stats.stalled_sweeps);
+            snap.set_counter("dead_window_drops", fs.stats.dead_window_drops);
+        }
+        snap.set_gauge("sim_time", now);
+        snap.set_gauge(
+            "final_residual",
+            monitor.samples().last().map_or(f64::NAN, |s| s.residual),
+        );
+        snap
+    });
     SimOutcome {
         samples: monitor.into_samples(),
         x: x_global,
@@ -673,6 +812,7 @@ pub fn run_dist_async(
         termination: config.termination.map(|_| term_stats),
         comm,
         faults: fault_state.map(|fs| fs.stats),
+        obs: obs_snapshot,
     }
 }
 
@@ -774,6 +914,7 @@ pub fn run_dist_sync(
             ..Default::default()
         },
         faults: None,
+        obs: None,
     }
 }
 

@@ -43,9 +43,11 @@ pub mod dist;
 pub mod event;
 pub mod fault;
 pub mod monitor;
+mod obsrec;
 pub mod shmem_sim;
 pub mod termination;
 
+pub use aj_obs::ObsConfig;
 pub use cost::{CostModel, Jitter};
 pub use dist::{run_dist_async, run_dist_sync, DistConfig, DistVariant};
 pub use event::EventQueue;

@@ -42,6 +42,10 @@ pub struct SimOutcome {
     /// Fault-injection accounting, when a non-empty
     /// [`crate::fault::FaultPlan`] was configured; `None` for clean runs.
     pub faults: Option<crate::fault::FaultStats>,
+    /// Observability snapshot (staleness histograms, timelines, comm
+    /// counters), when the config's [`aj_obs::ObsConfig`] enabled
+    /// recording; `None` for un-instrumented runs.
+    pub obs: Option<aj_obs::Snapshot>,
 }
 
 /// Message/volume counters for distributed runs.
@@ -286,6 +290,7 @@ mod tests {
             termination: None,
             comm: CommVolume::default(),
             faults: None,
+            obs: None,
         };
         // 10× reduction on a log-linear path from 1 to 1e-2 over t∈[0,10]
         // happens exactly at t = 5.
@@ -326,6 +331,7 @@ mod tests {
             termination: None,
             comm: CommVolume::default(),
             faults: None,
+            obs: None,
         };
         assert_eq!(outcome.time_to_reduction(0.1), Some(10.0));
     }
@@ -371,6 +377,7 @@ mod tests {
             termination: None,
             comm: CommVolume::default(),
             faults: None,
+            obs: None,
         };
         assert_eq!(outcome.time_to_tolerance(1e-3), Some(3.0));
         assert_eq!(outcome.relaxations_to_tolerance(1e-3), Some(2.0));

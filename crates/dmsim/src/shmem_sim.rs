@@ -10,8 +10,10 @@
 
 use crate::cost::{CostModel, WorkerJitter, TICK_SCALE};
 use crate::monitor::{ResidualMonitor, SimOutcome};
+use crate::obsrec::EngineObs;
 use aj_linalg::vecops::Norm;
 use aj_linalg::CsrMatrix;
+use aj_obs::{ObsConfig, SpanKind};
 use aj_trace::{RelaxationEvent, Trace};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -60,6 +62,10 @@ pub struct ShmemSimConfig {
     pub stop: StopRule,
     /// Relaxation weight ω (1.0 = plain Jacobi).
     pub omega: f64,
+    /// Observability recording (off by default; the asynchronous block
+    /// engine records per-worker staleness and sweep-period histograms and
+    /// timelines into [`SimOutcome::obs`]).
+    pub obs: ObsConfig,
 }
 
 impl ShmemSimConfig {
@@ -76,6 +82,7 @@ impl ShmemSimConfig {
             sample_every: n as u64,
             stop: StopRule::Tolerance,
             omega: 1.0,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -133,6 +140,39 @@ pub fn run_shmem_async(
     let mut monitor = ResidualMonitor::new(a, b, config.norm, config.tol, config.sample_every);
     monitor.observe(0.0, 0, &x);
 
+    // Observability shards, built only when recording is on so the off
+    // path allocates nothing and checks one Option per sweep. A worker's
+    // neighbours are the owners of off-block columns its rows touch; the
+    // age of a neighbour's data at use is `commit tick − neighbour's last
+    // commit tick` (values are visible the instant they commit).
+    let mut obs = EngineObs::new(&config.obs, t);
+    let neighbors: Vec<Vec<usize>> = if obs.is_some() {
+        let mut owner = vec![0usize; n];
+        for (w, r) in ranges.iter().enumerate() {
+            for i in r.clone() {
+                owner[i] = w;
+            }
+        }
+        ranges
+            .iter()
+            .enumerate()
+            .map(|(w, r)| {
+                let mut set = std::collections::BTreeSet::new();
+                for i in r.clone() {
+                    for (j, _) in a.row_iter(i) {
+                        if owner[j] != w {
+                            set.insert(owner[j]);
+                        }
+                    }
+                }
+                set.into_iter().collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut last_commit = vec![0u64; if obs.is_some() { t } else { 0 }];
+
     // Priority queue of (commit tick, insertion order, worker); the order
     // component keeps simultaneous commits deterministic.
     let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
@@ -180,6 +220,19 @@ pub fn run_shmem_async(
         }
         iterations[w] += 1;
         relaxations += range.len() as u64;
+        if let Some(o) = obs.as_mut() {
+            if o.sweep_sampler.hit() {
+                for &nb in &neighbors[w] {
+                    o.record_staleness(w, tick - last_commit[nb]);
+                }
+                if let Some(prev) = o.last_sweep_end[w] {
+                    o.record_sweep_period(w, tick - prev);
+                }
+                o.event(w, tick, SpanKind::SweepEnd);
+            }
+            o.last_sweep_end[w] = Some(tick);
+            last_commit[w] = tick;
+        }
         let hit_tol = monitor.observe(now, relaxations, &x);
         match config.stop {
             StopRule::Tolerance => {
@@ -201,6 +254,17 @@ pub fn run_shmem_async(
     }
     monitor.finalize(now, relaxations, &x);
     let converged = monitor.converged();
+    let obs_snapshot = obs.map(|o| {
+        let mut snap = o.into_snapshot(None);
+        snap.set_counter("relaxations", relaxations);
+        snap.set_counter("workers", t as u64);
+        snap.set_gauge("sim_time", now);
+        snap.set_gauge(
+            "final_residual",
+            monitor.samples().last().map_or(f64::NAN, |s| s.residual),
+        );
+        snap
+    });
     SimOutcome {
         samples: monitor.into_samples(),
         x,
@@ -211,6 +275,7 @@ pub fn run_shmem_async(
         termination: None,
         comm: Default::default(),
         faults: None,
+        obs: obs_snapshot,
     }
 }
 
@@ -432,6 +497,7 @@ fn rowwise_impl(
         termination: None,
         comm: Default::default(),
         faults: None,
+        obs: None,
     }
 }
 
@@ -516,6 +582,7 @@ pub fn run_shmem_sync(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemSimCon
         termination: None,
         comm: Default::default(),
         faults: None,
+        obs: None,
     }
 }
 

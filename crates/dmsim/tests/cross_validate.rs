@@ -1,0 +1,150 @@
+//! Cross-validation of the two event engines through the observability
+//! layer (the headline test of the obs PR).
+//!
+//! The shared-memory simulator (immediate visibility of committed values)
+//! and the distributed simulator (one-sided puts into ghost windows) are
+//! independent implementations of the same underlying process: workers
+//! sweeping their block at `sweep_cost(nnz) × jitter` intervals. With the
+//! same cost model, the same seed, zero put latency, and a fixed iteration
+//! budget, their sweep schedules coincide tick for tick — so the staleness
+//! each engine *measures* (age of neighbour data at use, against the
+//! producer's commit tick) must agree. A bug in either engine's event
+//! ordering, neighbour tracking, or obs plumbing shows up here as a
+//! histogram mismatch.
+
+use aj_dmsim::dist::{run_dist_async, DistConfig};
+use aj_dmsim::shmem_sim::{run_shmem_async, ShmemSimConfig, StopRule};
+use aj_dmsim::{CostModel, ObsConfig};
+use aj_linalg::CsrMatrix;
+use aj_matrices::{fd, rhs};
+use aj_obs::Snapshot;
+use aj_partition::block_partition;
+
+const WORKERS: usize = 6;
+const SWEEPS: u64 = 40;
+const SEED: u64 = 2018;
+
+fn problem() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let a = fd::laplacian_2d(12, 12).scale_to_unit_diagonal().unwrap();
+    let (b, x0) = rhs::paper_problem(a.nrows(), 5);
+    (a, b, x0)
+}
+
+/// Cost model both engines share: compute cost only, free instantaneous
+/// communication, and the default per-worker jitter stream.
+fn shared_cost() -> CostModel {
+    let mut cost = CostModel::shared_memory(SEED);
+    cost.put_latency = 0.0;
+    cost.per_value_comm = 0.0;
+    cost
+}
+
+fn run_both() -> (Snapshot, Snapshot) {
+    let (a, b, x0) = problem();
+
+    let mut scfg = ShmemSimConfig::new(WORKERS, a.nrows(), SEED);
+    scfg.cost = shared_cost();
+    scfg.stop = StopRule::FixedIterations(SWEEPS);
+    scfg.tol = 0.0;
+    scfg.obs = ObsConfig::full();
+    let shm = run_shmem_async(&a, &b, &x0, &scfg);
+
+    let partition = block_partition(a.nrows(), WORKERS);
+    let mut dcfg = DistConfig::new(a.nrows(), SEED);
+    dcfg.cost = shared_cost();
+    dcfg.stop = StopRule::FixedIterations(SWEEPS);
+    dcfg.tol = 0.0;
+    dcfg.obs = ObsConfig::full();
+    let dist = run_dist_async(&a, &b, &x0, &partition, &dcfg);
+
+    (
+        shm.obs.expect("shmem_sim snapshot"),
+        dist.obs.expect("dist snapshot"),
+    )
+}
+
+#[test]
+fn engines_agree_on_relaxation_counts() {
+    let (shm, dist) = run_both();
+    let s = shm.counters["relaxations"];
+    let d = dist.counters["relaxations"];
+    assert_eq!(
+        s, d,
+        "fixed iteration budget must yield identical relaxation counts"
+    );
+    // The run stops once the *slowest* worker reaches the budget, so faster
+    // workers overshoot — but both engines must overshoot identically.
+    assert!(s >= 144 * SWEEPS, "every row swept at least SWEEPS times");
+}
+
+#[test]
+fn engines_agree_on_staleness_histograms() {
+    let (shm, dist) = run_both();
+    let s = shm.family_total("staleness");
+    let d = dist.family_total("staleness");
+
+    // Same partition ⇒ same neighbour structure ⇒ same number of
+    // (sweep × in-neighbour) staleness samples.
+    assert!(s.count() > 0, "shmem_sim recorded no staleness");
+    assert_eq!(
+        s.count(),
+        d.count(),
+        "engines sampled different numbers of neighbour reads"
+    );
+
+    // Identical sweep schedules ⇒ closely matching ages. The engines may
+    // disagree on same-tick races (a put arriving in the same tick the
+    // receiver sweeps), so the distributions match within a tolerance
+    // rather than exactly.
+    let sm = s.mean().expect("shmem mean");
+    let dm = d.mean().expect("dist mean");
+    let rel = (sm - dm).abs() / sm.max(dm);
+    assert!(
+        rel < 0.05,
+        "mean staleness diverges: shmem {sm:.1} vs dist {dm:.1} ({:.1}% apart)",
+        rel * 100.0
+    );
+
+    let (s50_lo, s50_hi) = s.quantile_bounds(0.5).unwrap();
+    let (d50_lo, d50_hi) = d.quantile_bounds(0.5).unwrap();
+    assert!(
+        s50_lo <= d50_hi && d50_lo <= s50_hi,
+        "median staleness buckets disjoint: shmem {s50_lo}..{s50_hi} vs dist {d50_lo}..{d50_hi}"
+    );
+}
+
+#[test]
+fn engines_agree_per_rank() {
+    let (shm, dist) = run_both();
+    let s = shm.per_rank("staleness");
+    let d = dist.per_rank("staleness");
+    assert_eq!(s.len(), WORKERS);
+    assert_eq!(d.len(), WORKERS);
+    for ((sr, sh), (dr, dh)) in s.iter().zip(&d) {
+        assert_eq!(sr, dr);
+        assert_eq!(
+            sh.count(),
+            dh.count(),
+            "rank {sr}: sample counts differ (neighbour sets must match)"
+        );
+        let (sm, dm) = (sh.mean().unwrap(), dh.mean().unwrap());
+        let rel = (sm - dm).abs() / sm.max(dm);
+        assert!(
+            rel < 0.10,
+            "rank {sr}: mean staleness diverges ({sm:.1} vs {dm:.1})"
+        );
+    }
+}
+
+#[test]
+fn sweep_periods_match_tick_for_tick() {
+    // The period histograms depend only on the cost draws, which both
+    // engines take from the same per-worker jitter streams — so unlike the
+    // staleness comparison there is no same-tick-race slack: the histograms
+    // must be *identical*.
+    let (shm, dist) = run_both();
+    let s = shm.family_total("sweep_period");
+    let d = dist.family_total("sweep_period");
+    assert!(s.count() > 0);
+    assert_eq!(s, d, "sweep-period histograms must match exactly");
+}

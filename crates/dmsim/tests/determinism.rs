@@ -233,3 +233,63 @@ fn repeated_runs_are_byte_identical() {
     let second = capture();
     assert_eq!(first, second, "same seed must give identical outcomes");
 }
+
+/// The faulted-links scenario with observability enabled: recording must
+/// not perturb the simulation (the outcome fingerprint stays pinned to the
+/// obs-off golden above), and the snapshot itself must serialize to
+/// byte-identical JSON run over run.
+#[test]
+fn obs_snapshot_is_deterministic_and_observer_free() {
+    let (a, b, x0) = lap144();
+    let p = block_partition(a.nrows(), 8);
+    let run = |obs: aj_dmsim::ObsConfig| {
+        let mut cfg = DistConfig::new(a.nrows(), 1);
+        cfg.obs = obs;
+        cfg.faults = Some(
+            FaultPlan::new(7)
+                .with_link(LinkFault {
+                    drop: 0.05,
+                    duplicate: 0.10,
+                    reorder: 0.10,
+                    latency_factor: 1.5,
+                    ..LinkFault::everywhere()
+                })
+                .with_crash(2, 10_000.0, Some(8_000.0))
+                .with_stall(5, 8_000.0, 6_000.0),
+        );
+        run_dist_async(&a, &b, &x0, &p, &cfg)
+    };
+
+    // Observer-freedom: the outcome with recording on matches the obs-off
+    // golden fingerprint (`dist_faulted_links` in EXPECTED) exactly.
+    let observed = run(aj_dmsim::ObsConfig::sampled(4));
+    assert_eq!(
+        fingerprint(&observed),
+        (141, 0x8500288c0f0308ce),
+        "enabling obs changed the simulation outcome"
+    );
+
+    // Snapshot determinism: same seed ⇒ byte-identical JSON.
+    let json = observed
+        .obs
+        .as_ref()
+        .expect("obs on must yield a snapshot")
+        .to_json();
+    let again = run(aj_dmsim::ObsConfig::sampled(4));
+    assert_eq!(
+        json,
+        again.obs.as_ref().unwrap().to_json(),
+        "snapshot JSON must be bit-identical across same-seed runs"
+    );
+
+    // And the JSON is losslessly parseable (what `aj obs summary` and the
+    // CI smoke step rely on).
+    let back = aj_obs::Snapshot::from_json(&json).expect("snapshot JSON must parse");
+    assert_eq!(back.to_json(), json);
+    assert!(back.counters["crashes"] >= 1);
+    assert!(back.family_total("staleness").count() > 0);
+
+    // Obs-off runs carry no snapshot at all.
+    let off = run(aj_dmsim::ObsConfig::off());
+    assert!(off.obs.is_none());
+}

@@ -1,0 +1,246 @@
+//! Fixed-bucket base-2 log-scale histogram with exact merge.
+
+/// Number of buckets: one for zero plus one per bit position of a `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a value: `0` holds exactly the value 0, bucket `k ≥ 1`
+/// holds values in `[2^(k-1), 2^k)`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Lower/upper bounds (inclusive) of a bucket's value range.
+fn bucket_range(k: usize) -> (u64, u64) {
+    if k == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (k - 1);
+        let hi = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+        (lo, hi)
+    }
+}
+
+/// A base-2 log-scale histogram over `u64` samples.
+///
+/// Merging is bucket-wise addition, which makes it exact (no re-sampling
+/// error), associative and commutative — per-thread or per-rank shards can
+/// be merged in any order and produce the same aggregate. Quantile queries
+/// return *bounds* `(lo, hi)`: the true sample quantile is guaranteed to
+/// lie in `[lo, hi]`, where the interval is a single bucket's value range
+/// tightened by the observed min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Records one sample. Never allocates.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Merges another histogram into this one (exact: bucket-wise add).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Bounds `(lo, hi)` on the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the
+    /// recorded samples: the true sample quantile lies in `[lo, hi]`.
+    /// Returns `None` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile sample, 1-based, nearest-rank definition.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_range(k);
+                return Some((lo.max(self.min), hi.min(self.max)));
+            }
+        }
+        // Unreachable when counts are consistent; fall back to max.
+        Some((self.max, self.max))
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (k, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from snapshot fields (used by JSON parsing).
+    pub fn from_parts(count: u64, sum: u64, min: u64, max: u64, pairs: &[(usize, u64)]) -> Self {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for &(k, c) in pairs {
+            if k < HIST_BUCKETS {
+                buckets[k] = c;
+            }
+        }
+        Histogram {
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for k in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_range(k);
+            assert_eq!(bucket_of(lo), k);
+            assert_eq!(bucket_of(hi), k);
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile_bounds(0.5), None);
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean().unwrap() - 21.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..50u64 {
+            a.record(v * 3);
+            whole.record(v * 3);
+        }
+        for v in 0..70u64 {
+            b.record(v * 7 + 1);
+            whole.record(v * 7 + 1);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn quantile_bounds_contain_true_quantile() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (0..1000u64).map(|i| i * i % 977).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = sorted[rank];
+            let (lo, hi) = h.quantile_bounds(q).unwrap();
+            assert!(
+                lo <= truth && truth <= hi,
+                "q={q}: true {truth} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_from_parts() {
+        let mut h = Histogram::new();
+        for v in [5, 9, 9, 1 << 40] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(
+            h.count(),
+            h.sum(),
+            h.min().unwrap(),
+            h.max().unwrap(),
+            &h.nonzero_buckets(),
+        );
+        assert_eq!(back, h);
+    }
+}

@@ -1,0 +1,42 @@
+//! # aj-obs
+//!
+//! Unified observability for every execution engine in the workspace.
+//!
+//! The paper's empirical claims (§IV–§VI) are statements about
+//! *distributions* — how stale the neighbour values each relaxation reads
+//! are, how delays shift those distributions — yet point aggregates
+//! (final residual, total puts) cannot answer them. This crate provides the
+//! shared measurement substrate:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomics, shareable across real
+//!   threads;
+//! * [`Histogram`] — fixed-bucket base-2 log-scale histogram with **exact
+//!   merge** (bucket-wise addition, so merging per-thread/per-rank shards is
+//!   associative and commutative) and quantile *bounds* rather than fake
+//!   point estimates;
+//! * [`Timeline`] — a bounded ring buffer of per-rank span events (sweep
+//!   end, put arrival, crash, recover, stall, …) that never reorders events
+//!   within a rank;
+//! * [`Snapshot`] — the merged, immutable result of a run, serializable to
+//!   deterministic JSON (bit-identical for identical runs) and CSV, and
+//!   parseable back for offline summaries;
+//! * [`ObsConfig`] / [`Sampler`] — off / sampled 1-in-N / full recording,
+//!   so instrumentation stays within a fixed overhead budget (off = zero
+//!   cost: engines skip every obs branch through one `Option`).
+//!
+//! Steady-state recording allocates nothing: histograms are fixed arrays,
+//! timelines are pre-sized rings, counters are single atomics. Allocation
+//! happens only at setup (shard construction) and snapshot assembly.
+
+mod config;
+mod hist;
+pub mod json;
+mod metrics;
+mod snapshot;
+mod timeline;
+
+pub use config::{ObsConfig, ObsMode, Sampler};
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use metrics::{Counter, Gauge};
+pub use snapshot::{Snapshot, TimelineSnapshot};
+pub use timeline::{SpanEvent, SpanKind, Timeline};

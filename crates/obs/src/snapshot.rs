@@ -1,0 +1,475 @@
+//! Immutable merged result of a run: counters, gauges, histograms and
+//! per-rank timelines, serializable to deterministic JSON and CSV.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+use crate::json::{self, Value};
+use crate::timeline::{SpanEvent, SpanKind, Timeline};
+
+/// Schema tag embedded in every snapshot JSON document.
+pub const SCHEMA: &str = "aj-obs/1";
+
+/// One rank's retained timeline window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineSnapshot {
+    /// Rank (or worker/thread) index.
+    pub rank: usize,
+    /// Events evicted from the ring before the snapshot.
+    pub dropped: u64,
+    /// Retained events, oldest first, non-decreasing tick order.
+    pub events: Vec<SpanEvent>,
+}
+
+/// The merged, immutable observability result of a run.
+///
+/// All maps are [`BTreeMap`] and timelines are sorted by rank, so
+/// [`Snapshot::to_json`] is byte-deterministic: identical runs produce
+/// bit-identical documents (a property pinned by the golden snapshot test
+/// in `crates/dmsim/tests/determinism.rs`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Named monotonic totals (e.g. `relaxations`, `puts_sent`).
+    pub counters: BTreeMap<String, u64>,
+    /// Named point-in-time values (e.g. `final_residual`).
+    pub gauges: BTreeMap<String, f64>,
+    /// Named distributions; per-rank shards use `name/rank{N}` keys.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Per-rank event windows, sorted by rank.
+    pub timelines: Vec<TimelineSnapshot>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Sets a counter total.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Adds to a counter total (creating it at zero).
+    pub fn add_counter(&mut self, name: &str, value: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    /// Sets a gauge value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Merges a histogram shard into the named aggregate.
+    pub fn merge_histogram(&mut self, name: &str, shard: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(shard);
+    }
+
+    /// Records one rank's timeline (call in rank order, or rely on the
+    /// sort in [`Snapshot::to_json`]).
+    pub fn push_timeline(&mut self, rank: usize, timeline: &Timeline) {
+        self.timelines.push(TimelineSnapshot {
+            rank,
+            dropped: timeline.dropped(),
+            events: timeline.events().copied().collect(),
+        });
+        self.timelines.sort_by_key(|t| t.rank);
+    }
+
+    /// The per-rank shards of a histogram family: keys of the form
+    /// `"{family}/rank{N}"`, returned as `(N, histogram)` sorted by rank.
+    pub fn per_rank(&self, family: &str) -> Vec<(usize, &Histogram)> {
+        let prefix = format!("{family}/rank");
+        let mut out: Vec<(usize, &Histogram)> = self
+            .histograms
+            .iter()
+            .filter_map(|(k, h)| {
+                k.strip_prefix(&prefix)
+                    .and_then(|r| r.parse::<usize>().ok())
+                    .map(|r| (r, h))
+            })
+            .collect();
+        out.sort_by_key(|(r, _)| *r);
+        out
+    }
+
+    /// The aggregate of a histogram family across all its per-rank shards
+    /// (plus the bare `family` key if present).
+    pub fn family_total(&self, family: &str) -> Histogram {
+        let mut total = self.histograms.get(family).cloned().unwrap_or_default();
+        for (_, h) in self.per_rank(family) {
+            total.merge(h);
+        }
+        total
+    }
+
+    /// Distinct histogram family names (`"a/rank0"` and `"a/rank1"` are
+    /// one family `"a"`; a bare key is its own family).
+    pub fn families(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .histograms
+            .keys()
+            .map(|k| match k.rfind("/rank") {
+                Some(i) if k[i + 5..].chars().all(|c| c.is_ascii_digit()) && i + 5 < k.len() => {
+                    k[..i].to_string()
+                }
+                _ => k.clone(),
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Serializes to deterministic JSON (single line, sorted keys, sparse
+    /// histogram buckets as `[bucket, count]` pairs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\":");
+        json::write_escaped(&mut out, SCHEMA);
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, k);
+            out.push(':');
+            json::write_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, k);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0)
+            );
+            for (j, (b, c)) in h.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{b},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"timelines\":[");
+        for (i, t) in self.timelines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rank\":{},\"dropped\":{},\"events\":[",
+                t.rank, t.dropped
+            );
+            for (j, e) in t.events.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},\"{}\"]", e.tick, e.kind.name());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a document produced by [`Snapshot::to_json`].
+    pub fn from_json(input: &str) -> Result<Snapshot, String> {
+        let doc = json::parse(input)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+        }
+        let mut snap = Snapshot::new();
+        if let Some(obj) = doc.get("counters").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| format!("counter '{k}' not a u64"))?;
+                snap.counters.insert(k.clone(), n);
+            }
+        }
+        if let Some(obj) = doc.get("gauges").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| format!("gauge '{k}' not a number"))?;
+                snap.gauges.insert(k.clone(), n);
+            }
+        }
+        if let Some(obj) = doc.get("histograms").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                let get = |f: &str| {
+                    v.get(f)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("histogram '{k}' missing '{f}'"))
+                };
+                let (count, sum, min, max) = (get("count")?, get("sum")?, get("min")?, get("max")?);
+                let mut pairs = Vec::new();
+                for pair in v
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| format!("histogram '{k}' missing buckets"))?
+                {
+                    let p = pair.as_arr().ok_or("bucket entry not a pair")?;
+                    if p.len() != 2 {
+                        return Err("bucket entry not a pair".into());
+                    }
+                    pairs.push((
+                        p[0].as_u64().ok_or("bad bucket index")? as usize,
+                        p[1].as_u64().ok_or("bad bucket count")?,
+                    ));
+                }
+                snap.histograms.insert(
+                    k.clone(),
+                    Histogram::from_parts(count, sum, min, max, &pairs),
+                );
+            }
+        }
+        if let Some(arr) = doc.get("timelines").and_then(Value::as_arr) {
+            for t in arr {
+                let rank = t
+                    .get("rank")
+                    .and_then(Value::as_u64)
+                    .ok_or("timeline missing rank")? as usize;
+                let dropped = t
+                    .get("dropped")
+                    .and_then(Value::as_u64)
+                    .ok_or("timeline missing dropped")?;
+                let mut events = Vec::new();
+                for e in t
+                    .get("events")
+                    .and_then(Value::as_arr)
+                    .ok_or("timeline missing events")?
+                {
+                    let pair = e.as_arr().ok_or("event not a pair")?;
+                    if pair.len() != 2 {
+                        return Err("event not a pair".into());
+                    }
+                    let tick = pair[0].as_u64().ok_or("bad event tick")?;
+                    let kind = pair[1]
+                        .as_str()
+                        .and_then(SpanKind::from_name)
+                        .ok_or("unknown event kind")?;
+                    events.push(SpanEvent { tick, kind });
+                }
+                snap.timelines.push(TimelineSnapshot {
+                    rank,
+                    dropped,
+                    events,
+                });
+            }
+            snap.timelines.sort_by_key(|t| t.rank);
+        }
+        Ok(snap)
+    }
+
+    /// Long-form CSV: one row per scalar/field/event, deterministic order.
+    /// Columns: `kind,name,field,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter,{k},,{v}");
+        }
+        for (k, v) in &self.gauges {
+            let mut num = String::new();
+            json::write_f64(&mut num, *v);
+            let _ = writeln!(out, "gauge,{k},,{num}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(out, "hist,{k},count,{}", h.count());
+            let _ = writeln!(out, "hist,{k},sum,{}", h.sum());
+            let _ = writeln!(out, "hist,{k},min,{}", h.min().unwrap_or(0));
+            let _ = writeln!(out, "hist,{k},max,{}", h.max().unwrap_or(0));
+            for (b, c) in h.nonzero_buckets() {
+                let _ = writeln!(out, "hist,{k},bucket{b},{c}");
+            }
+        }
+        for t in &self.timelines {
+            for e in &t.events {
+                let _ = writeln!(out, "timeline,rank{},{},{}", t.rank, e.kind.name(), e.tick);
+            }
+        }
+        out
+    }
+
+    /// Renders per-rank p50/p95/max quantile-bound lines for each histogram
+    /// family plus an ASCII timeline — the body of `aj obs summary`.
+    pub fn render_summary(&self, width: usize) -> String {
+        let mut out = String::new();
+        for family in self.families() {
+            let per_rank = self.per_rank(&family);
+            let total = self.family_total(&family);
+            if total.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "histogram {family} ({} samples)", total.count());
+            let mut row = |label: &str, h: &Histogram| {
+                let p50 = h.quantile_bounds(0.50);
+                let p95 = h.quantile_bounds(0.95);
+                let fmt = |b: Option<(u64, u64)>| match b {
+                    Some((lo, hi)) if lo == hi => format!("{lo}"),
+                    Some((lo, hi)) => format!("{lo}..{hi}"),
+                    None => "-".into(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {label:<10} n={:<8} p50={:<12} p95={:<12} max={}",
+                    h.count(),
+                    fmt(p50),
+                    fmt(p95),
+                    h.max().map(|m| m.to_string()).unwrap_or_else(|| "-".into())
+                );
+            };
+            for (rank, h) in &per_rank {
+                row(&format!("rank{rank}"), h);
+            }
+            if per_rank.len() > 1 || per_rank.is_empty() {
+                row("all", &total);
+            }
+        }
+        out.push_str(&self.render_timelines(width));
+        out
+    }
+
+    /// ASCII per-rank timelines: one lane per rank, events placed
+    /// proportionally to their tick across `width` columns.
+    pub fn render_timelines(&self, width: usize) -> String {
+        let width = width.max(16);
+        let mut out = String::new();
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for t in &self.timelines {
+            for e in &t.events {
+                lo = lo.min(e.tick);
+                hi = hi.max(e.tick);
+            }
+        }
+        if lo > hi {
+            return out;
+        }
+        let span = (hi - lo).max(1);
+        let _ = writeln!(
+            out,
+            "timeline ticks {lo}..{hi}  ( ( sweep-start  ) sweep-end  > put-send  < put-arrive  ~ stall  X crash  ^ recover  T term-round )"
+        );
+        for t in &self.timelines {
+            let mut lane = vec![b'-'; width];
+            for e in &t.events {
+                let col = ((e.tick - lo) as u128 * (width as u128 - 1) / span as u128) as usize;
+                lane[col] = e.kind.glyph() as u8;
+            }
+            let dropped = if t.dropped > 0 {
+                format!("  (+{} dropped)", t.dropped)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "  rank{:<4} |{}|{}",
+                t.rank,
+                String::from_utf8(lane).unwrap(),
+                dropped
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.set_counter("relaxations", 42);
+        snap.add_counter("puts_sent", 7);
+        snap.set_gauge("final_residual", 1.25e-3);
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 9, 300] {
+            h.record(v);
+        }
+        snap.merge_histogram("staleness/rank0", &h);
+        snap.merge_histogram("staleness/rank1", &h);
+        let mut tl = Timeline::new(8);
+        tl.push(10, SpanKind::SweepStart);
+        tl.push(20, SpanKind::SweepEnd);
+        tl.push(25, SpanKind::Crash);
+        snap.push_timeline(0, &tl);
+        snap
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless_and_deterministic() {
+        let snap = sample_snapshot();
+        let j1 = snap.to_json();
+        let j2 = snap.to_json();
+        assert_eq!(j1, j2);
+        let back = Snapshot::from_json(&j1).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), j1);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(Snapshot::from_json(r#"{"schema":"nope"}"#).is_err());
+        assert!(Snapshot::from_json("[]").is_err());
+    }
+
+    #[test]
+    fn per_rank_and_family_total() {
+        let snap = sample_snapshot();
+        let shards = snap.per_rank("staleness");
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].0, 0);
+        assert_eq!(snap.family_total("staleness").count(), 10);
+        assert_eq!(snap.families(), vec!["staleness".to_string()]);
+    }
+
+    #[test]
+    fn csv_has_expected_rows() {
+        let csv = sample_snapshot().to_csv();
+        assert!(csv.starts_with("kind,name,field,value\n"));
+        assert!(csv.contains("counter,relaxations,,42\n"));
+        assert!(csv.contains("hist,staleness/rank0,count,5\n"));
+        assert!(csv.contains("timeline,rank0,crash,25\n"));
+    }
+
+    #[test]
+    fn summary_renders_quantiles_and_lanes() {
+        let text = sample_snapshot().render_summary(40);
+        assert!(text.contains("histogram staleness"));
+        assert!(text.contains("rank0"));
+        assert!(text.contains("p95="));
+        assert!(text.contains("|"));
+        assert!(text.contains("X"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_nothing() {
+        let snap = Snapshot::new();
+        assert_eq!(snap.render_timelines(40), "");
+        assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+}

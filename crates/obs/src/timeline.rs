@@ -1,0 +1,177 @@
+//! Bounded per-rank span-event ring buffer.
+
+use std::collections::VecDeque;
+
+/// What happened at a point in a rank's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A sweep (one pass over the rank's rows) began.
+    SweepStart,
+    /// A sweep finished.
+    SweepEnd,
+    /// A boundary put was sent to a neighbour.
+    PutSend,
+    /// A boundary put landed from a neighbour.
+    PutArrive,
+    /// The rank stalled waiting on data (async staleness timeout path).
+    Stall,
+    /// The rank crashed (fault injection).
+    Crash,
+    /// The rank recovered from a crash.
+    Recover,
+    /// A termination-protocol round advanced.
+    TermRound,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in JSON and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::SweepStart => "sweep_start",
+            SpanKind::SweepEnd => "sweep_end",
+            SpanKind::PutSend => "put_send",
+            SpanKind::PutArrive => "put_arrive",
+            SpanKind::Stall => "stall",
+            SpanKind::Crash => "crash",
+            SpanKind::Recover => "recover",
+            SpanKind::TermRound => "term_round",
+        }
+    }
+
+    /// Parses the stable name back (inverse of [`SpanKind::name`]).
+    pub fn from_name(s: &str) -> Option<SpanKind> {
+        Some(match s {
+            "sweep_start" => SpanKind::SweepStart,
+            "sweep_end" => SpanKind::SweepEnd,
+            "put_send" => SpanKind::PutSend,
+            "put_arrive" => SpanKind::PutArrive,
+            "stall" => SpanKind::Stall,
+            "crash" => SpanKind::Crash,
+            "recover" => SpanKind::Recover,
+            "term_round" => SpanKind::TermRound,
+            _ => return None,
+        })
+    }
+
+    /// One-character glyph for ASCII timeline rendering.
+    pub fn glyph(&self) -> char {
+        match self {
+            SpanKind::SweepStart => '(',
+            SpanKind::SweepEnd => ')',
+            SpanKind::PutSend => '>',
+            SpanKind::PutArrive => '<',
+            SpanKind::Stall => '~',
+            SpanKind::Crash => 'X',
+            SpanKind::Recover => '^',
+            SpanKind::TermRound => 'T',
+        }
+    }
+}
+
+/// One timeline entry: an event at a virtual-time tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Virtual-time tick (or wall-clock ns for real-thread engines).
+    pub tick: u64,
+    /// What happened.
+    pub kind: SpanKind,
+}
+
+/// A bounded ring of [`SpanEvent`]s for one rank. Pushes are O(1) and
+/// allocation-free after construction; once full, the oldest event is
+/// dropped (and counted) so the ring always holds the most recent window.
+/// Events are stored in push order, which for a single-owner rank is
+/// non-decreasing tick order.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    events: VecDeque<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Timeline {
+    /// A ring holding at most `capacity` events (0 disables recording).
+    pub fn new(capacity: usize) -> Self {
+        Timeline {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, tick: u64, kind: SpanKind) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(SpanEvent { tick, kind });
+    }
+
+    /// Events oldest-first.
+    pub fn events(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted (or discarded when capacity is 0).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let mut t = Timeline::new(3);
+        for i in 0..5u64 {
+            t.push(i, SpanKind::SweepEnd);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let ticks: Vec<u64> = t.events().map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Timeline::new(0);
+        t.push(1, SpanKind::Crash);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in [
+            SpanKind::SweepStart,
+            SpanKind::SweepEnd,
+            SpanKind::PutSend,
+            SpanKind::PutArrive,
+            SpanKind::Stall,
+            SpanKind::Crash,
+            SpanKind::Recover,
+            SpanKind::TermRound,
+        ] {
+            assert_eq!(SpanKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(SpanKind::from_name("bogus"), None);
+    }
+}

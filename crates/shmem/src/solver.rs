@@ -3,6 +3,7 @@
 use crate::shared_vec::SharedVec;
 use aj_linalg::vecops::{self, Norm};
 use aj_linalg::CsrMatrix;
+use aj_obs::{Histogram, ObsConfig, Snapshot, SpanKind, Timeline};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -48,6 +49,11 @@ pub struct ShmemConfig {
     pub residual_from_shared_r: bool,
     /// Relaxation weight ω (1.0 = plain Jacobi).
     pub omega: f64,
+    /// Observability recording (off by default). When on, each thread owns
+    /// a private iteration-duration histogram and timeline shard — no
+    /// cross-thread synchronization on the hot path — merged into
+    /// [`ShmemRun::obs`] after the threads join.
+    pub obs: ObsConfig,
 }
 
 impl Default for ShmemConfig {
@@ -61,6 +67,7 @@ impl Default for ShmemConfig {
             delay: None,
             residual_from_shared_r: false,
             omega: 1.0,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -80,6 +87,10 @@ pub struct ShmemRun {
     pub converged: bool,
     /// True relative residual of `x` (recomputed exactly at the end).
     pub final_residual: f64,
+    /// Merged observability snapshot (per-thread iteration-duration
+    /// histograms in ns, timelines), when [`ShmemConfig::obs`] enabled
+    /// recording.
+    pub obs: Option<Snapshot>,
 }
 
 /// Runs shared-memory Jacobi per the paper's program structure:
@@ -130,7 +141,12 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
     let history = parking_lot::Mutex::new(Vec::<(f64, f64)>::new());
 
     let start = Instant::now();
+    // Per-thread observability shards, returned through the join handles:
+    // each thread records into private state (no hot-path sharing) and the
+    // merge happens once, after the parallel region.
+    let mut shards: Vec<Option<(Histogram, Timeline)>> = Vec::new();
     crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
         for tid in 0..t {
             let range = ranges[tid].clone();
             let x = &x;
@@ -140,9 +156,25 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
             let barrier = &barrier;
             let history = &history;
             let diag_inv = &diag_inv;
-            scope.spawn(move |_| {
+            handles.push(scope.spawn(move |_| {
                 let mut iters = 0usize;
+                let mut shard = if config.obs.is_on() {
+                    Some((
+                        Histogram::new(),
+                        Timeline::new(config.obs.timeline_capacity),
+                        config.obs.sampler(),
+                    ))
+                } else {
+                    None
+                };
                 loop {
+                    // Sampled iteration timing: two clock reads per sampled
+                    // iteration, nothing otherwise.
+                    let iter_start = if let Some((_, _, sampler)) = shard.as_mut() {
+                        sampler.hit().then(Instant::now)
+                    } else {
+                        None
+                    };
                     // Optional fault-injection delay.
                     if let Some(d) = config.delay {
                         if d.thread == tid && !d.duration.is_zero() {
@@ -245,6 +277,11 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                     if config.mode == Mode::Synchronous {
                         barrier.wait();
                     }
+                    if let Some(t0) = iter_start {
+                        let (hist, tl, _) = shard.as_mut().expect("timed without a shard");
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                        tl.push(start.elapsed().as_nanos() as u64, SpanKind::SweepEnd);
+                    }
                     // Hard safety cap so a wedged peer cannot hang the test
                     // suite; 4× the configured budget never triggers in
                     // normal operation.
@@ -260,24 +297,56 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                         std::thread::yield_now();
                     }
                 }
-            });
+                shard.map(|(hist, tl, _)| (hist, tl))
+            }));
         }
+        shards = handles
+            .into_iter()
+            .map(|h| h.join().expect("a solver thread panicked"))
+            .collect();
     })
     .expect("a solver thread panicked");
     let wall_time = start.elapsed();
 
     let x_final = x.snapshot();
     let final_residual = a.relative_residual(&x_final, b, config.norm);
+    let iterations: Vec<usize> = iter_counts
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed) as usize)
+        .collect();
+    let obs = config.obs.is_on().then(|| {
+        let mut snap = Snapshot::new();
+        for (tid, sh) in shards.into_iter().enumerate() {
+            if let Some((hist, tl)) = sh {
+                if hist.count() > 0 {
+                    snap.merge_histogram(&format!("iter_ns/rank{tid}"), &hist);
+                }
+                if !tl.is_empty() || tl.dropped() > 0 {
+                    snap.push_timeline(tid, &tl);
+                }
+            }
+        }
+        snap.set_counter("threads", t as u64);
+        snap.set_counter(
+            "relaxations",
+            iterations
+                .iter()
+                .zip(&ranges)
+                .map(|(&it, r)| it as u64 * r.len() as u64)
+                .sum(),
+        );
+        snap.set_gauge("wall_time_s", wall_time.as_secs_f64());
+        snap.set_gauge("final_residual", final_residual);
+        snap
+    });
     ShmemRun {
         x: x_final,
         wall_time,
-        iterations: iter_counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed) as usize)
-            .collect(),
+        iterations,
         residual_history: history.into_inner(),
         converged: final_residual < config.tol,
         final_residual,
+        obs,
     }
 }
 

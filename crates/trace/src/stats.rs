@@ -6,6 +6,7 @@
 //! synchronous ideal.
 
 use crate::trace::Trace;
+use aj_obs::Histogram;
 
 /// Summary statistics of one trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,10 +15,12 @@ pub struct TraceStats {
     pub total_relaxations: usize,
     /// Total neighbour reads recorded.
     pub total_reads: usize,
-    /// Histogram of read lag: entry `k` counts reads whose version was `k`
-    /// behind the producer's version *at the reader's completion time*
-    /// (0 = the read used the producer's then-current value).
-    pub lag_histogram: Vec<usize>,
+    /// Log-bucket histogram of read lag — how far behind the producer's
+    /// version *at the reader's completion time* each read was (0 = the read
+    /// used the producer's then-current value). Shares the [`Histogram`]
+    /// format the live engines record, so post-hoc trace analysis and live
+    /// observability snapshots are directly comparable.
+    pub lag: Histogram,
     /// Mean read lag.
     pub mean_lag: f64,
     /// Maximum read lag.
@@ -40,27 +43,23 @@ pub struct TraceStats {
 pub fn trace_stats(trace: &Trace) -> TraceStats {
     let n = trace.n();
     let mut versions = vec![0u64; n];
-    let mut lag_histogram: Vec<usize> = Vec::new();
+    let mut lag = Histogram::new();
     let mut total_reads = 0usize;
     let mut lag_sum = 0u128;
-    let mut max_lag = 0u64;
     let mut per_row = vec![0usize; n];
     for e in trace.events() {
         for &(j, s) in &e.reads {
             // Reads of future versions (possible for exotic traces) count
             // as lag 0.
-            let lag = versions[j].saturating_sub(s);
-            if lag as usize >= lag_histogram.len() {
-                lag_histogram.resize(lag as usize + 1, 0);
-            }
-            lag_histogram[lag as usize] += 1;
-            lag_sum += lag as u128;
-            max_lag = max_lag.max(lag);
+            let l = versions[j].saturating_sub(s);
+            lag.record(l);
+            lag_sum += l as u128;
             total_reads += 1;
         }
         versions[e.row] += 1;
         per_row[e.row] += 1;
     }
+    let max_lag = lag.max().unwrap_or(0);
     let (min_r, max_r) = per_row
         .iter()
         .fold((usize::MAX, 0usize), |(lo, hi), &c| (lo.min(c), hi.max(c)));
@@ -74,7 +73,7 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
             lag_sum as f64 / total_reads as f64
         },
         max_lag,
-        lag_histogram,
+        lag,
         relaxations_min_max: (min_r, max_r),
         imbalance: if min_r == 0 {
             f64::INFINITY
@@ -153,7 +152,8 @@ mod tests {
         assert_eq!(s.total_reads, 3);
         assert_eq!(s.mean_lag, 0.0);
         assert_eq!(s.max_lag, 0);
-        assert_eq!(s.lag_histogram, vec![3]);
+        assert_eq!(s.lag.count(), 3);
+        assert_eq!(s.lag.max(), Some(0));
         assert_eq!(s.relaxations_min_max, (1, 2));
         assert_eq!(s.imbalance, 2.0);
     }
@@ -164,7 +164,8 @@ mod tests {
         let t = Trace::from_events(2, vec![ev(0, 0, &[]), ev(0, 1, &[]), ev(1, 2, &[(0, 0)])]);
         let s = trace_stats(&t);
         assert_eq!(s.max_lag, 2);
-        assert_eq!(s.lag_histogram, vec![0, 0, 1]);
+        assert_eq!(s.lag.count(), 1);
+        assert_eq!(s.lag.min(), Some(2));
         assert_eq!(s.mean_lag, 2.0);
     }
 
