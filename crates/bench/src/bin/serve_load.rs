@@ -1,0 +1,559 @@
+//! Load-generation harness for `aj serve`, writing `BENCH_serve.json`.
+//!
+//! Drives a mixed workload (two matrices × three backends, two seeds each,
+//! so the plan cache sees repeats; `--workload dist256` swaps in the dmsim
+//! baseline's 256-rank `suite:thermomech_dm:tiny` problem) through the
+//! NDJSON-over-TCP protocol in two classic modes:
+//!
+//! * **closed loop** — `--conns` connections, each submit → wait → repeat;
+//!   measures service capacity with bounded concurrency;
+//! * **open loop** — one connection firing requests at seeded-Poisson
+//!   arrivals of `--rate` jobs/s *without* waiting, the arrival process a
+//!   saturating client can't apply; queueing (and shedding, once the
+//!   admission queue fills) shows up in the latency tail.
+//!
+//! Latencies are recorded client-side into `aj-obs` histograms; p50/p99 are
+//! bucket-midpoint quantiles from them. The server's own snapshot is
+//! fetched at the end for the cache hit ratio and the server-side
+//! queue/solve split.
+//!
+//! **Accounting is always enforced**: every submitted request must come
+//! back as exactly one done/shed/failed response — lost jobs exit 1 (see
+//! the exit-code table in `aj --help`; all-shed exits 4). `--guard`
+//! additionally requires completed > 0 and a warm cache (hit ratio > 0),
+//! which is what CI runs.
+//!
+//! ```text
+//! serve_load --quick --addr 127.0.0.1:4100 --shutdown   # against aj serve
+//! serve_load --quick --embed                            # self-contained
+//! ```
+
+use aj_core::obs::{Histogram, Snapshot};
+use aj_serve::proto::{self, Request, Response};
+use aj_serve::{JobSpec, Server, ServiceConfig, SolveService};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+const EXIT_RUNTIME: i32 = 1;
+const EXIT_SHED: i32 = 4;
+
+#[derive(Debug, Clone)]
+struct Cli {
+    quick: bool,
+    guard: bool,
+    embed: bool,
+    shutdown: bool,
+    addr: String,
+    jobs: usize,
+    conns: usize,
+    rate: f64,
+    seed: u64,
+    out: String,
+    workload: Workload,
+}
+
+/// Which request mix to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    /// 2 matrices × 3 backends × 2 seeds (the acceptance workload).
+    Mixed,
+    /// The 256-rank distributed problem (`suite:thermomech_dm:tiny`,
+    /// `dist-async`/`dist-sync` ×256), 2 seeds — the dmsim baseline
+    /// workload pushed through the service.
+    Dist256,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        quick: false,
+        guard: false,
+        embed: false,
+        shutdown: false,
+        addr: "127.0.0.1:4100".into(),
+        jobs: 200,
+        conns: 4,
+        rate: 150.0,
+        seed: 2018,
+        out: "BENCH_serve.json".into(),
+        workload: Workload::Mixed,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("option {name} needs a value"))
+        };
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--guard" => cli.guard = true,
+            "--embed" => cli.embed = true,
+            "--shutdown" => cli.shutdown = true,
+            "--addr" => cli.addr = value("--addr")?,
+            "--jobs" => {
+                cli.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "bad --jobs".to_string())?
+            }
+            "--conns" => {
+                cli.conns = value("--conns")?
+                    .parse()
+                    .map_err(|_| "bad --conns".to_string())?
+            }
+            "--rate" => {
+                cli.rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| "bad --rate".to_string())?
+            }
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--out" => cli.out = value("--out")?,
+            "--workload" => {
+                cli.workload = match value("--workload")?.as_str() {
+                    "mixed" => Workload::Mixed,
+                    "dist256" => Workload::Dist256,
+                    other => return Err(format!("unknown workload {other} (mixed | dist256)")),
+                }
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if cli.quick {
+        cli.jobs = cli.jobs.min(60);
+        cli.conns = cli.conns.min(3);
+    }
+    Ok(cli)
+}
+
+/// Request `k` of a run. The mixed workload interleaves two matrices ×
+/// three backends × two seeds = 4 distinct plan-cache keys, every one of
+/// them revisited many times per run; dist256 replays the dmsim baseline's
+/// 256-rank problem through the service.
+fn job_spec(workload: Workload, k: usize) -> JobSpec {
+    match workload {
+        Workload::Mixed => {
+            let mix = [
+                ("fd68", "sync"),
+                ("grid:16x16", "dist-async"),
+                ("fd68", "sim-async"),
+                ("grid:16x16", "sync"),
+                ("fd68", "dist-async"),
+                ("grid:16x16", "sim-async"),
+            ];
+            let (matrix, backend) = mix[k % mix.len()];
+            JobSpec {
+                matrix: matrix.into(),
+                backend: backend.into(),
+                seed: 1 + (k / mix.len()) as u64 % 2,
+                threads: 2,
+                ranks: 4,
+                tol: 1e-5,
+                ..Default::default()
+            }
+        }
+        Workload::Dist256 => JobSpec {
+            matrix: "suite:thermomech_dm:tiny".into(),
+            backend: if k.is_multiple_of(2) {
+                "dist-async"
+            } else {
+                "dist-sync"
+            }
+            .into(),
+            seed: 1 + (k / 2) as u64 % 2,
+            ranks: 256,
+            tol: 1e-4,
+            ..Default::default()
+        },
+    }
+}
+
+/// Per-mode result accounting.
+#[derive(Debug, Default)]
+struct Tally {
+    sent: u64,
+    done: u64,
+    converged: u64,
+    cache_hits: u64,
+    failed: u64,
+    shed: u64,
+    wall: Duration,
+    latency_us: Histogram,
+}
+
+impl Tally {
+    fn absorb(&mut self, resp: &Response, latency: Duration) -> Result<(), String> {
+        match resp {
+            Response::Done { result, .. } => {
+                self.done += 1;
+                self.converged += result.converged as u64;
+                self.cache_hits += result.cache_hit as u64;
+                self.latency_us.record(latency.as_micros() as u64);
+            }
+            Response::Shed { .. } => self.shed += 1,
+            Response::Failed { id, error } => {
+                eprintln!("job {id} failed: {error}");
+                self.failed += 1;
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        }
+        Ok(())
+    }
+
+    fn answered(&self) -> u64 {
+        self.done + self.failed + self.shed
+    }
+
+    fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.done as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Bucket-midpoint quantile of an `aj-obs` histogram, in milliseconds.
+fn quantile_ms(h: &Histogram, q: f64) -> f64 {
+    h.quantile_bounds(q)
+        .map(|(lo, hi)| (lo + hi) as f64 / 2.0 / 1000.0)
+        .unwrap_or(0.0)
+}
+
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?;
+        Ok(Conn {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        let mut line = proto::render_request(req);
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) => proto::parse_response(line.trim()),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+}
+
+/// Closed loop: `conns` client threads, one request in flight each.
+fn closed_loop(addr: &str, workload: Workload, jobs: usize, conns: usize) -> Result<Tally, String> {
+    let started = Instant::now();
+    let tallies: Vec<Result<Tally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                scope.spawn(move || -> Result<Tally, String> {
+                    let mut conn = Conn::connect(addr)?;
+                    let mut t = Tally::default();
+                    // Interleave the mix across connections.
+                    for k in (c..jobs).step_by(conns) {
+                        let sent = Instant::now();
+                        conn.send(&Request::Solve {
+                            id: k as u64,
+                            spec: job_spec(workload, k),
+                        })?;
+                        t.sent += 1;
+                        t.absorb(&conn.recv()?, sent.elapsed())?;
+                    }
+                    Ok(t)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut total = Tally::default();
+    for t in tallies {
+        let t = t?;
+        total.sent += t.sent;
+        total.done += t.done;
+        total.converged += t.converged;
+        total.cache_hits += t.cache_hits;
+        total.failed += t.failed;
+        total.shed += t.shed;
+        total.latency_us.merge(&t.latency_us);
+    }
+    total.wall = started.elapsed();
+    Ok(total)
+}
+
+/// Open loop: one connection, seeded-Poisson arrivals at `rate` jobs/s,
+/// responses collected concurrently and matched back by id.
+fn open_loop(
+    addr: &str,
+    workload: Workload,
+    jobs: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<Tally, String> {
+    let conn = Conn::connect(addr)?;
+    let mut writer = conn.writer;
+    let mut reader = conn.reader;
+    let (resp_tx, resp_rx) = mpsc::channel::<Result<(Response, Instant), String>>();
+    let reader_thread = std::thread::spawn(move || {
+        // One message per expected response; the main thread counts.
+        loop {
+            let mut line = String::new();
+            let msg = match reader.read_line(&mut line) {
+                Ok(0) => Err("server closed the connection".to_string()),
+                Ok(_) => proto::parse_response(line.trim()).map(|r| (r, Instant::now())),
+                Err(e) => Err(format!("recv: {e}")),
+            };
+            let failed = msg.is_err();
+            if resp_tx.send(msg).is_err() || failed {
+                return;
+            }
+        }
+    });
+
+    let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tally::default();
+    let started = Instant::now();
+    let mut next_arrival = started;
+    for k in 0..jobs {
+        // Exponential inter-arrival times make the arrival process Poisson.
+        let u: f64 = rng.random_range(0.0..1.0);
+        next_arrival += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+        if let Some(wait) = next_arrival.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        sent_at.insert(k as u64, Instant::now());
+        let mut line = proto::render_request(&Request::Solve {
+            id: k as u64,
+            spec: job_spec(workload, k),
+        });
+        line.push('\n');
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        t.sent += 1;
+    }
+
+    // Drain: every request must be answered. A generous timeout only
+    // bounds a wedged server — normally the queue empties in seconds.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while t.answered() < t.sent {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or("timed out waiting for responses (jobs lost?)")?;
+        let (resp, at) = resp_rx
+            .recv_timeout(remaining)
+            .map_err(|_| "response stream ended early (jobs lost?)".to_string())??;
+        let resp_id = match &resp {
+            Response::Done { id, .. } | Response::Shed { id, .. } | Response::Failed { id, .. } => {
+                *id
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        };
+        let sent = sent_at
+            .remove(&resp_id)
+            .ok_or_else(|| format!("response for unknown id {resp_id}"))?;
+        t.absorb(&resp, at - sent)?;
+    }
+    t.wall = started.elapsed();
+    drop(resp_rx);
+    // Reader exits on the dropped receiver at the next response, or on the
+    // connection closing; detach rather than block on an idle socket.
+    drop(writer);
+    drop(reader_thread);
+    Ok(t)
+}
+
+fn fetch_stats(addr: &str) -> Result<Snapshot, String> {
+    let mut conn = Conn::connect(addr)?;
+    conn.send(&Request::Stats)?;
+    match conn.recv()? {
+        Response::Stats { snapshot } => Ok(snapshot),
+        other => Err(format!("expected stats, got {other:?}")),
+    }
+}
+
+fn mode_json(name: &str, t: &Tally, extra: &str) -> String {
+    format!(
+        "  \"{name}\": {{\n    {extra}\"jobs\": {},\n    \"completed\": {},\n    \"converged\": {},\n    \"cache_hits\": {},\n    \"failed\": {},\n    \"shed\": {},\n    \"wall_seconds\": {:.4},\n    \"throughput_jobs_per_s\": {:.2},\n    \"p50_ms\": {:.3},\n    \"p99_ms\": {:.3}\n  }}",
+        t.sent,
+        t.done,
+        t.converged,
+        t.cache_hits,
+        t.failed,
+        t.shed,
+        t.wall.as_secs_f64(),
+        t.throughput(),
+        quantile_ms(&t.latency_us, 0.5),
+        quantile_ms(&t.latency_us, 0.99),
+    )
+}
+
+fn run() -> Result<i32, String> {
+    let cli = parse_cli()?;
+
+    // --embed: self-contained run against an in-process server on an
+    // ephemeral port (same TCP path, no second process to manage).
+    let embedded = if cli.embed {
+        let service = SolveService::start(ServiceConfig {
+            workers: 4,
+            queue_cap: 32,
+            cache_cap: 8,
+            ..Default::default()
+        });
+        Some(Arc::new(Server::bind("127.0.0.1:0", service)?))
+    } else {
+        None
+    };
+    let addr = match &embedded {
+        Some(server) => server.addr().to_string(),
+        None => cli.addr.clone(),
+    };
+    let server_thread = embedded.as_ref().map(|server| {
+        let server = Arc::clone(server);
+        std::thread::spawn(move || server.run())
+    });
+
+    eprintln!(
+        "serve_load: {} jobs/mode against {addr} (closed ×{} conns, open @{} jobs/s)",
+        cli.jobs, cli.conns, cli.rate
+    );
+    let closed = closed_loop(&addr, cli.workload, cli.jobs, cli.conns.max(1))?;
+    let open = open_loop(&addr, cli.workload, cli.jobs, cli.rate.max(1.0), cli.seed)?;
+    let stats = fetch_stats(&addr)?;
+
+    if cli.shutdown || cli.embed {
+        let mut conn = Conn::connect(&addr)?;
+        conn.send(&Request::Shutdown { drain: true })?;
+        match conn.recv()? {
+            Response::ShuttingDown => {}
+            other => return Err(format!("expected shutdown ack, got {other:?}")),
+        }
+    }
+    if let Some(h) = server_thread {
+        h.join().map_err(|_| "server thread panicked")??;
+    }
+
+    // ---- accounting: nothing may be lost, server and client must agree.
+    let mut ok = true;
+    for (name, t) in [("closed", &closed), ("open", &open)] {
+        if t.answered() != t.sent {
+            eprintln!(
+                "ACCOUNTING FAILED ({name}): {} submitted but only {} answered",
+                t.sent,
+                t.answered()
+            );
+            ok = false;
+        }
+    }
+    let counter = |k: &str| stats.counters.get(k).copied().unwrap_or(0);
+    let server_submitted = counter("jobs_submitted");
+    let server_resolved = counter("jobs_completed")
+        + counter("jobs_failed")
+        + counter("jobs_shed_queue_full")
+        + counter("jobs_shed_deadline")
+        + counter("jobs_shed_cancelled")
+        + counter("jobs_shed_shutdown");
+    if server_submitted != closed.sent + open.sent {
+        eprintln!(
+            "ACCOUNTING FAILED (server): saw {server_submitted} submissions, clients sent {}",
+            closed.sent + open.sent
+        );
+        ok = false;
+    }
+    if server_resolved != server_submitted {
+        eprintln!(
+            "ACCOUNTING FAILED (server): {server_submitted} submitted, {server_resolved} resolved"
+        );
+        ok = false;
+    }
+
+    let hit_ratio = stats
+        .gauges
+        .get("plan_cache_hit_ratio")
+        .copied()
+        .unwrap_or(0.0);
+    let total_done = closed.done + open.done;
+    let workload_desc = match cli.workload {
+        Workload::Mixed => "4 plan-cache keys (2 matrices x 3 backends x 2 seeds)",
+        Workload::Dist256 => {
+            "suite:thermomech_dm:tiny at 256 ranks (dist-async/dist-sync, 2 seeds)"
+        }
+    };
+    let json = format!(
+        "{{\n  \"description\": \"serve_load against aj-serve: closed loop ({} conns) and open loop (seeded Poisson @{} jobs/s), {} jobs each over {}; latencies are client-side aj-obs histogram midpoints\",\n  \"quick\": {},\n{},\n{},\n  \"server\": {{\n    \"cache_hit_ratio\": {:.4},\n    \"cache_evictions\": {},\n    \"queue_p50_us\": {:.0},\n    \"solve_p50_us\": {:.0}\n  }}\n}}\n",
+        cli.conns.max(1),
+        cli.rate,
+        cli.jobs,
+        workload_desc,
+        cli.quick,
+        mode_json("closed", &closed, ""),
+        mode_json("open", &open, &format!("\"rate_jobs_per_s\": {:.1},\n    ", cli.rate)),
+        hit_ratio,
+        counter("plan_cache_evictions"),
+        stats
+            .histograms
+            .get("serve/queue_us")
+            .map_or(0.0, |h| quantile_ms(h, 0.5) * 1000.0),
+        stats
+            .histograms
+            .get("serve/solve_us")
+            .map_or(0.0, |h| quantile_ms(h, 0.5) * 1000.0),
+    );
+    std::fs::write(&cli.out, &json).map_err(|e| format!("write {}: {e}", cli.out))?;
+    print!("{json}");
+    eprintln!("wrote {}", cli.out);
+
+    if !ok {
+        return Ok(EXIT_RUNTIME);
+    }
+    if total_done == 0 {
+        // Nothing executed: the service shed the entire workload.
+        return Ok(if closed.shed + open.shed > 0 {
+            EXIT_SHED
+        } else {
+            EXIT_RUNTIME
+        });
+    }
+    if cli.guard {
+        if closed.failed + open.failed > 0 {
+            eprintln!("guard FAILED: {} jobs failed", closed.failed + open.failed);
+            return Ok(EXIT_RUNTIME);
+        }
+        if hit_ratio <= 0.0 {
+            eprintln!("guard FAILED: plan cache never hit on a repeating workload");
+            return Ok(EXIT_RUNTIME);
+        }
+    }
+    Ok(0)
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            std::process::exit(EXIT_RUNTIME);
+        }
+    }
+}

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 /// Parsed command line: a subcommand, further positional arguments (e.g.
-/// `aj obs summary metrics.json`), and `--key value` / `--flag` options.
+/// `aj obs summary metrics.json`), and `--key value` / `--key=value` /
+/// `--flag` options.
 #[derive(Debug, Clone)]
 pub struct Args {
     /// First positional argument (the subcommand).
@@ -16,7 +17,20 @@ pub struct Args {
 
 impl Args {
     /// Parses an iterator of arguments (excluding the program name).
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    ///
+    /// `boolean_flags` lists the options that never take a value: they are
+    /// recorded as flags even when followed by another token, so
+    /// `aj obs --detect summary` keeps `summary` as a positional instead of
+    /// swallowing it as `--detect`'s value. Any option (boolean or not) can
+    /// also be written inline as `--key=value`.
+    ///
+    /// # Errors
+    /// Rejects a value-taking option at the end of the line with nothing
+    /// following it, and an empty `--`.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        args: I,
+        boolean_flags: &[&str],
+    ) -> Result<Args, String> {
         let mut command = None;
         let mut positionals = Vec::new();
         let mut options = HashMap::new();
@@ -24,11 +38,27 @@ impl Args {
         let mut it = args.into_iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                match it.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        options.insert(key.to_string(), it.next().unwrap());
+                if key.is_empty() {
+                    return Err("stray '--'".into());
+                }
+                if let Some((k, v)) = key.split_once('=') {
+                    options.insert(k.to_string(), v.to_string());
+                } else if boolean_flags.contains(&key) {
+                    flags.push(key.to_string());
+                } else {
+                    match it.peek() {
+                        Some(v) if !v.starts_with("--") => {
+                            options.insert(key.to_string(), it.next().unwrap());
+                        }
+                        Some(_) => {
+                            return Err(format!(
+                                "option --{key} needs a value (use --{key}=... or --{key} VALUE)"
+                            ));
+                        }
+                        None => {
+                            return Err(format!("option --{key} needs a value"));
+                        }
                     }
-                    _ => flags.push(key.to_string()),
                 }
             } else if command.is_none() {
                 command = Some(a);
@@ -64,9 +94,11 @@ impl Args {
         }
     }
 
-    /// Boolean flag.
+    /// Boolean flag: `--key`, `--key=true`, or `--key=false` (the inline
+    /// form lets scripts toggle flags without editing the argument list).
     pub fn has_flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
+            || self.options.get(key).map(String::as_str) == Some("true")
     }
 }
 
@@ -74,8 +106,10 @@ impl Args {
 mod tests {
     use super::*;
 
+    const BOOLS: &[&str] = &["quiet", "detect", "help", "quick"];
+
     fn parse(s: &str) -> Args {
-        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+        Args::parse(s.split_whitespace().map(String::from), BOOLS).unwrap()
     }
 
     #[test]
@@ -107,8 +141,48 @@ mod tests {
     }
 
     #[test]
-    fn trailing_flag_without_value() {
+    fn boolean_flag_does_not_swallow_a_following_positional() {
+        // The old parser consumed `summary` as the value of --detect.
+        let a = parse("obs --detect summary metrics.json");
+        assert!(a.has_flag("detect"));
+        assert_eq!(a.positional(0), Some("summary"));
+        assert_eq!(a.positional(1), Some("metrics.json"));
+        // ... and a boolean flag right before another option still works.
+        let a = parse("solve --detect --tol 1e-8");
+        assert!(a.has_flag("detect"));
+        assert_eq!(a.get_or("tol", 1.0).unwrap(), 1e-8);
+    }
+
+    #[test]
+    fn inline_equals_values() {
+        let a = parse("solve --matrix=fd68 --tol=1e-4 --detect=true --quick=false");
+        assert_eq!(a.get("matrix"), Some("fd68"));
+        assert_eq!(a.get_or("tol", 1.0).unwrap(), 1e-4);
+        assert!(a.has_flag("detect"));
+        assert!(!a.has_flag("quick"));
+        // '=' inside the value survives.
+        let a = parse("solve --note=a=b");
+        assert_eq!(a.get("note"), Some("a=b"));
+    }
+
+    #[test]
+    fn trailing_boolean_flag_is_fine_but_dangling_option_errors() {
         let a = parse("solve --quick");
         assert!(a.has_flag("quick"));
+        let err = Args::parse(["solve".into(), "--matrix".into()], BOOLS).unwrap_err();
+        assert!(err.contains("--matrix"));
+        // A value-taking option followed by another option is a usage
+        // error, not a silent flag.
+        assert!(Args::parse(
+            [
+                "solve".into(),
+                "--matrix".into(),
+                "--tol".into(),
+                "1".into()
+            ]
+            .into_iter(),
+            BOOLS,
+        )
+        .is_err());
     }
 }

@@ -1,4 +1,7 @@
-//! The `info`, `solve`, `trace`, and `obs` subcommands.
+//! The `info`, `solve`, `trace`, `obs`, and `serve` subcommands.
+//!
+//! Commands return the process exit code on success; see the `EXIT_*`
+//! constants for the contract.
 
 use crate::args::Args;
 use crate::matrix;
@@ -10,6 +13,23 @@ use aj_core::obs::{ObsConfig, Snapshot};
 use aj_core::report::{write_csv, Series};
 use aj_core::Problem;
 
+/// Everything worked (and, for `solve`, the tolerance was met).
+pub const EXIT_OK: i32 = 0;
+/// A runtime failure: bad input file, solver error, I/O error, bind error.
+pub const EXIT_RUNTIME: i32 = 1;
+/// A usage error: unparseable command line or unknown command.
+pub const EXIT_USAGE: i32 = 2;
+/// The solve ran to its iteration cap without meeting the tolerance. The
+/// report is still printed (and `--metrics-out`/`--history` still written);
+/// the code lets scripts tell "diverged/stalled" from "crashed" (1).
+pub const EXIT_NOT_CONVERGED: i32 = 3;
+/// A request was rejected (shed) by a solve service rather than executed.
+/// `aj` itself is the server side and never exits with this; it reserves
+/// the code for client tooling (the `serve_load` harness uses it), so
+/// scripts can treat `aj`/`serve_load` exit codes uniformly.
+#[allow(dead_code)]
+pub const EXIT_SHED: i32 = 4;
+
 fn load_problem(args: &Args) -> Result<(Problem, u64), String> {
     let seed: u64 = args.get_or("seed", 2018)?;
     let selector = args.get("matrix").ok_or("missing --matrix (try --help)")?;
@@ -17,7 +37,7 @@ fn load_problem(args: &Args) -> Result<(Problem, u64), String> {
 }
 
 /// `aj info` — matrix diagnostics.
-pub fn info(args: &Args) -> Result<(), String> {
+pub fn info(args: &Args) -> Result<i32, String> {
     let (p, _) = load_problem(args)?;
     println!("matrix:      {}", p.name);
     println!("size:        {} × {}", p.n(), p.n());
@@ -37,7 +57,7 @@ pub fn info(args: &Args) -> Result<(), String> {
     let colors = sweeps::greedy_coloring(&p.a);
     let ncolors = colors.iter().max().map_or(0, |m| m + 1);
     println!("greedy colors: {ncolors} (multicolor Gauss–Seidel sweeps per iteration)");
-    Ok(())
+    Ok(EXIT_OK)
 }
 
 /// Parses `RANK@TIME` or `RANK@TIME+EXTRA` fault specs.
@@ -112,7 +132,7 @@ fn parse_obs(args: &Args) -> Result<ObsConfig, String> {
 }
 
 /// `aj solve` — run a backend and report convergence.
-pub fn solve(args: &Args) -> Result<(), String> {
+pub fn solve(args: &Args) -> Result<i32, String> {
     let (p, seed) = load_problem(args)?;
     let opts = aj_core::SolveOptions {
         tol: args.get_or("tol", 1e-6)?,
@@ -138,46 +158,27 @@ pub fn solve(args: &Args) -> Result<(), String> {
                 obs
             }
         },
+        plan: None,
     };
     let threads: usize = args.get_or("threads", 4usize)?;
     let ranks: usize = args.get_or("ranks", 16usize)?;
-    if !(1..=p.n()).contains(&threads) {
-        return Err(format!(
-            "--threads must be in 1..={} for this matrix (got {threads})",
-            p.n()
-        ));
+    // An explicitly-given count is checked even if the chosen backend
+    // ignores it — `--threads 0` is a mistake worth flagging either way.
+    for (name, count) in [("threads", threads), ("ranks", ranks)] {
+        if args.get(name).is_some() && !(1..=p.n()).contains(&count) {
+            return Err(format!(
+                "--{name} must be in 1..={} for this matrix (got {count})",
+                p.n()
+            ));
+        }
     }
-    if !(1..=p.n()).contains(&ranks) {
-        return Err(format!(
-            "--ranks must be in 1..={} for this matrix (got {ranks})",
-            p.n()
-        ));
-    }
-    let backend = match args.get("backend").unwrap_or("sync") {
-        "sync" => aj_core::Backend::Jacobi,
-        "gs" => aj_core::Backend::GaussSeidel,
-        "cg" => aj_core::Backend::ConjugateGradient,
-        "async-threads" => aj_core::Backend::AsyncThreads { workers: threads },
-        "sim-async" => aj_core::Backend::SimShared {
-            workers: threads,
-            asynchronous: true,
-        },
-        "sim-sync" => aj_core::Backend::SimShared {
-            workers: threads,
-            asynchronous: false,
-        },
-        "dist-async" => aj_core::Backend::SimDistributed {
-            ranks,
-            asynchronous: true,
-            detect: args.has_flag("detect"),
-        },
-        "dist-sync" => aj_core::Backend::SimDistributed {
-            ranks,
-            asynchronous: false,
-            detect: false,
-        },
-        other => return Err(format!("unknown backend: {other} (try --help)")),
-    };
+    let backend = aj_core::spec::parse_backend(
+        args.get("backend").unwrap_or("sync"),
+        threads,
+        ranks,
+        args.has_flag("detect"),
+    )?;
+    aj_core::spec::validate_backend(&backend, p.n())?;
 
     let start = std::time::Instant::now();
     let report = aj_core::solve(&p, backend, &opts)?;
@@ -264,6 +265,11 @@ pub fn solve(args: &Args) -> Result<(), String> {
             report.backend
         ));
     }
+    let code = if report.converged {
+        EXIT_OK
+    } else {
+        EXIT_NOT_CONVERGED
+    };
     if let Some(path) = args.get("history") {
         write_csv(
             std::path::Path::new(path),
@@ -272,14 +278,14 @@ pub fn solve(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         println!("history:   written to {path}");
     }
-    Ok(())
+    Ok(code)
 }
 
 /// `aj obs` — inspect a metrics snapshot written by `aj solve --metrics-out`.
 ///
 /// `aj obs summary FILE` prints per-rank quantiles and ASCII timelines;
 /// `aj obs csv FILE` re-emits the snapshot as long-form CSV.
-pub fn obs(args: &Args) -> Result<(), String> {
+pub fn obs(args: &Args) -> Result<i32, String> {
     let action = args.positional(0).unwrap_or("summary");
     let path = args
         .positional(1)
@@ -293,18 +299,18 @@ pub fn obs(args: &Args) -> Result<(), String> {
             // Includes the per-rank ASCII timelines when the snapshot has
             // any.
             print!("{}", snap.render_summary(width));
-            Ok(())
+            Ok(EXIT_OK)
         }
         "csv" => {
             print!("{}", snap.to_csv());
-            Ok(())
+            Ok(EXIT_OK)
         }
         other => Err(format!("unknown obs action: {other} (want summary | csv)")),
     }
 }
 
 /// `aj trace` — traced asynchronous run + §IV-A analysis.
-pub fn trace(args: &Args) -> Result<(), String> {
+pub fn trace(args: &Args) -> Result<i32, String> {
     let (p, seed) = load_problem(args)?;
     let threads: usize = args.get_or("threads", 4usize)?;
     if !(1..=p.n()).contains(&threads) {
@@ -340,5 +346,63 @@ pub fn trace(args: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("trace CSV:            written to {path}");
     }
-    Ok(())
+    Ok(EXIT_OK)
+}
+
+/// `aj serve` — run the concurrent solve service over TCP until a client
+/// sends a `shutdown` request.
+pub fn serve(args: &Args) -> Result<i32, String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:4100");
+    let default_workers = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(2);
+    let cfg = aj_serve::ServiceConfig {
+        workers: args.get_or("workers", default_workers)?,
+        queue_cap: args.get_or("queue-cap", 64usize)?,
+        cache_cap: args.get_or("cache-cap", 8usize)?,
+        solve_obs: {
+            let obs = parse_obs(args)?;
+            if args.get("metrics-out").is_some() && !obs.is_on() {
+                ObsConfig::sampled(16)
+            } else {
+                obs
+            }
+        },
+    };
+    let service = aj_serve::SolveService::start(cfg.clone());
+    let server = aj_serve::Server::bind(addr, service)?;
+    println!(
+        "aj-serve listening on {} ({} workers, queue {}, cache {})",
+        server.addr(),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.cache_cap
+    );
+    server.run()?;
+    let snap = server.service().metrics_snapshot();
+    let get = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    println!(
+        "served:    {} jobs ({} completed, {} failed, {} shed)",
+        get("jobs_submitted"),
+        get("jobs_completed"),
+        get("jobs_failed"),
+        get("jobs_shed_queue_full")
+            + get("jobs_shed_deadline")
+            + get("jobs_shed_cancelled")
+            + get("jobs_shed_shutdown"),
+    );
+    println!(
+        "cache:     {} hits, {} misses, {} evictions",
+        get("plan_cache_hits"),
+        get("plan_cache_misses"),
+        get("plan_cache_evictions"),
+    );
+    if let Some(path) = args.get("metrics-out") {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(path, snap.to_json()).map_err(|e| e.to_string())?;
+        println!("metrics:   written to {path}");
+    }
+    Ok(EXIT_OK)
 }

@@ -4,6 +4,7 @@
 //! aj info  --matrix fd4624                       matrix diagnostics
 //! aj solve --matrix suite:ecology2 --backend dist-async --ranks 64 --tol 1e-4
 //! aj trace --matrix fd272 --threads 68 --iterations 30
+//! aj serve --addr 127.0.0.1:4100 --workers 4
 //! aj --help
 //! ```
 
@@ -12,6 +13,11 @@ mod commands;
 mod matrix;
 
 use args::Args;
+
+/// Options that never take a value. `Args::parse` needs the list so a
+/// boolean flag followed by a positional (`aj obs --detect summary …`)
+/// doesn't swallow the positional as its value.
+const BOOLEAN_FLAGS: &[&str] = &["help", "detect"];
 
 const HELP: &str = "\
 aj — asynchronous Jacobi solvers (Wolfson-Pou & Chow, IPDPS 2018 reproduction)
@@ -27,6 +33,8 @@ COMMANDS:
   obs      inspect a metrics snapshot: `aj obs summary <metrics.json>`
            (per-rank staleness quantiles + ASCII timelines) or
            `aj obs csv <metrics.json>`
+  serve    run the concurrent solve service (newline-delimited JSON over
+           TCP) until a client sends a shutdown request
 
 MATRIX SELECTORS (--matrix):
   fd40 | fd68 | fd272 | fd4624      the paper's FD Laplacians
@@ -53,6 +61,16 @@ SOLVE OPTIONS:
   --metrics-out PATH write the metrics snapshot as JSON (implies
                      --obs sampled:16 unless --obs is given)
 
+SERVE OPTIONS:
+  --addr A:P         listen address            (default 127.0.0.1:4100)
+  --workers N        solver worker threads     (default: CPU count)
+  --queue-cap N      admission queue capacity  (default 64)
+  --cache-cap N      plan cache capacity       (default 8)
+  --obs MODE         per-solve engine metrics, merged into the service
+                     snapshot (off | sampled[:N] | full, default off)
+  --metrics-out PATH write the final service snapshot as JSON on shutdown
+                     (implies --obs sampled:16 unless --obs is given)
+
 FAULT INJECTION (dist-async only; deterministic, seeded):
   --crash R@T[+REC]  crash rank R at time T; +REC recovers it REC later
   --stall R@T+D      stall rank R's sweeps at time T for duration D
@@ -65,14 +83,23 @@ FAULT INJECTION (dist-async only; deterministic, seeded):
 
 COMMON:
   --help             this text
+  Options also accept the inline form --key=value.
+
+EXIT CODES:
+  0  success (for solve: the tolerance was met)
+  1  runtime failure (bad input file, solver error, I/O error)
+  2  usage error (unparseable command line, unknown command)
+  3  solve finished but did NOT meet the tolerance (report still printed)
+  4  request rejected (shed) by a solve service instead of executed
+     (used by client tooling such as serve_load)
 ";
 
 fn main() {
-    let args = match Args::parse(std::env::args().skip(1)) {
+    let args = match Args::parse(std::env::args().skip(1), BOOLEAN_FLAGS) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{HELP}");
-            std::process::exit(2);
+            std::process::exit(commands::EXIT_USAGE);
         }
     };
     if args.has_flag("help") || args.command.is_none() {
@@ -84,10 +111,17 @@ fn main() {
         "solve" => commands::solve(&args),
         "trace" => commands::trace(&args),
         "obs" => commands::obs(&args),
-        other => Err(format!("unknown command: {other}\n\n{HELP}")),
+        "serve" => commands::serve(&args),
+        other => {
+            eprintln!("error: unknown command: {other}\n\n{HELP}");
+            std::process::exit(commands::EXIT_USAGE);
+        }
     };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match result {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(commands::EXIT_RUNTIME);
+        }
     }
 }

@@ -1,41 +1,14 @@
 //! Matrix selector parsing (`--matrix fd68`, `suite:ecology2:small`, …).
+//!
+//! The grammar itself lives in [`aj_core::spec`] so the CLI, the solve
+//! service, and the load generator all accept exactly the same selectors;
+//! this module is the CLI-facing shim.
 
-use aj_core::matrices::suite::Scale;
 use aj_core::Problem;
 
 /// Builds a [`Problem`] from a selector string.
 pub fn load(selector: &str, seed: u64) -> Result<Problem, String> {
-    if let Some(p) = Problem::paper_fd(selector, seed) {
-        return Ok(p);
-    }
-    if selector == "fe" {
-        return Ok(Problem::paper_fe(seed));
-    }
-    if let Some(rest) = selector.strip_prefix("suite:") {
-        let mut parts = rest.split(':');
-        let name = parts.next().unwrap_or_default();
-        let scale = match parts.next() {
-            None | Some("small") => Scale::Small,
-            Some("tiny") => Scale::Tiny,
-            Some("medium") => Scale::Medium,
-            Some(other) => return Err(format!("unknown scale: {other}")),
-        };
-        return Problem::suite(name, scale, seed)
-            .ok_or_else(|| format!("unknown suite problem: {name}"));
-    }
-    if let Some(path) = selector.strip_prefix("mtx:") {
-        return Problem::from_matrix_market(std::path::Path::new(path), seed)
-            .map_err(|e| format!("loading {path}: {e}"));
-    }
-    if let Some(dims) = selector.strip_prefix("grid:") {
-        let (nx, ny) = dims
-            .split_once('x')
-            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
-            .ok_or_else(|| format!("bad grid spec: {dims} (want e.g. grid:64x64)"))?;
-        let a = aj_core::matrices::fd::laplacian_2d(nx, ny);
-        return Problem::from_matrix(format!("grid-{nx}x{ny}"), a, seed).map_err(|e| e.to_string());
-    }
-    Err(format!("unknown matrix selector: {selector} (try --help)"))
+    aj_core::spec::load_problem(selector, seed)
 }
 
 #[cfg(test)]

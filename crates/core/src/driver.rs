@@ -8,14 +8,15 @@ use crate::problem::Problem;
 use aj_dmsim::monitor::CommVolume;
 use aj_dmsim::shmem_sim::{run_shmem_async, run_shmem_sync, ShmemSimConfig};
 use aj_dmsim::{
-    run_dist_async, run_dist_sync, DistConfig, FaultPlan, FaultStats, TerminationProtocol,
-    TerminationStats,
+    run_dist_async_plan, run_dist_sync_plan, DistConfig, FaultPlan, FaultStats,
+    TerminationProtocol, TerminationStats,
 };
 use aj_linalg::vecops::Norm;
 use aj_linalg::{krylov, sweeps};
 use aj_obs::{ObsConfig, Snapshot};
-use aj_partition::block_partition;
+use aj_partition::{block_partition, CommPlan};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which solver to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,6 +78,14 @@ pub struct SolveOptions {
     /// the sequential reference sweeps have nothing useful to record and
     /// leave [`SolveReport::metrics`] as `None`.
     pub obs: ObsConfig,
+    /// Prebuilt communication plan for [`Backend::SimDistributed`]: the
+    /// block partition and ghost/send lists derived from the problem's
+    /// matrix. Must have been built for *this* problem's matrix with
+    /// [`prepare_dist_plan`] (or equivalent) and a part count equal to the
+    /// backend's `ranks` — mismatched part counts are rejected. `None`
+    /// (the default) builds the plan per call; the `aj-serve` plan cache
+    /// passes a cached one to skip the O(nnz) assembly on repeat solves.
+    pub plan: Option<Arc<CommPlan>>,
 }
 
 impl Default for SolveOptions {
@@ -90,8 +99,18 @@ impl Default for SolveOptions {
             faults: None,
             staleness_timeout: None,
             obs: ObsConfig::off(),
+            plan: None,
         }
     }
+}
+
+/// Builds the communication plan [`solve`] would build internally for
+/// `Backend::SimDistributed { ranks, .. }` on this problem: the block
+/// partition plus per-rank ghost/send lists. Callers that solve the same
+/// problem repeatedly cache the result and pass it via
+/// [`SolveOptions::plan`].
+pub fn prepare_dist_plan(p: &Problem, ranks: usize) -> CommPlan {
+    CommPlan::build(&p.a, &block_partition(p.n(), ranks))
 }
 
 /// What a solve produced.
@@ -281,7 +300,16 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             asynchronous,
             detect,
         } => {
-            let partition = block_partition(p.n(), ranks);
+            let plan = match &opts.plan {
+                Some(plan) if plan.nparts() == ranks => Arc::clone(plan),
+                Some(plan) => {
+                    return Err(format!(
+                        "precomputed plan has {} parts but the backend wants {ranks} ranks",
+                        plan.nparts()
+                    ));
+                }
+                None => Arc::new(prepare_dist_plan(p, ranks)),
+            };
             let mut cfg = DistConfig::new(p.n(), opts.seed);
             cfg.tol = opts.tol;
             cfg.max_iterations = opts.max_iterations;
@@ -299,9 +327,9 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
                 cfg.faults = opts.faults.clone();
             }
             let out = if asynchronous {
-                run_dist_async(&p.a, &p.b, &p.x0, &partition, &cfg)
+                run_dist_async_plan(&p.a, &p.b, &p.x0, &plan, &cfg)
             } else {
-                run_dist_sync(&p.a, &p.b, &p.x0, &partition, &cfg)
+                run_dist_sync_plan(&p.a, &p.b, &p.x0, &plan, &cfg)
             };
             let curve = out.samples.iter().map(|s| (s.time, s.residual)).collect();
             let kind = if asynchronous { "async" } else { "sync" };
@@ -453,6 +481,30 @@ mod tests {
         )
         .unwrap();
         assert!(r.metrics.is_none());
+    }
+
+    #[test]
+    fn precomputed_plan_matches_per_call_build_and_rejects_mismatch() {
+        let p = problem();
+        let backend = Backend::SimDistributed {
+            ranks: 5,
+            asynchronous: true,
+            detect: false,
+        };
+        let fresh = solve(&p, backend, &SolveOptions::default()).unwrap();
+        let opts = SolveOptions {
+            plan: Some(Arc::new(prepare_dist_plan(&p, 5))),
+            ..Default::default()
+        };
+        let cached = solve(&p, backend, &opts).unwrap();
+        // The plan is pure derived state: reusing it must not change a bit.
+        assert_eq!(fresh.x, cached.x);
+        assert_eq!(fresh.history, cached.history);
+        let wrong = SolveOptions {
+            plan: Some(Arc::new(prepare_dist_plan(&p, 4))),
+            ..Default::default()
+        };
+        assert!(solve(&p, backend, &wrong).is_err());
     }
 
     #[test]

@@ -29,8 +29,9 @@ pub mod driver;
 pub mod interp;
 pub mod problem;
 pub mod report;
+pub mod spec;
 
-pub use driver::{solve, Backend, SolveOptions, SolveReport};
+pub use driver::{prepare_dist_plan, solve, Backend, SolveOptions, SolveReport};
 pub use problem::Problem;
 
 // Re-export the sub-crates under their natural names so a single dependency

@@ -1,0 +1,153 @@
+//! String specs shared by every front end.
+//!
+//! The CLI, the solve service (`aj-serve`), and the load generator all name
+//! problems and backends with the same small string grammar; this module is
+//! its single home. A *problem spec* is a matrix selector (`fd68`,
+//! `suite:ecology2:small`, `grid:64x64`, `mtx:PATH`) plus a seed — also the
+//! key of the `aj-serve` plan cache, so equal specs must mean equal
+//! assembled [`Problem`]s. A *backend spec* is one of the CLI's backend
+//! names plus its worker/rank counts.
+
+use crate::driver::Backend;
+use crate::problem::Problem;
+use aj_matrices::suite::Scale;
+
+/// Builds a [`Problem`] from a selector string.
+///
+/// Selectors: the paper's `fd40|fd68|fd272|fd4624` and `fe` matrices,
+/// `suite:NAME[:tiny|small|medium]` Table-I analogues, `mtx:PATH` Matrix
+/// Market files, and `grid:NXxNY` 2-D FD Laplacians.
+pub fn load_problem(selector: &str, seed: u64) -> Result<Problem, String> {
+    if let Some(p) = Problem::paper_fd(selector, seed) {
+        return Ok(p);
+    }
+    if selector == "fe" {
+        return Ok(Problem::paper_fe(seed));
+    }
+    if let Some(rest) = selector.strip_prefix("suite:") {
+        let mut parts = rest.split(':');
+        let name = parts.next().unwrap_or_default();
+        let scale = match parts.next() {
+            None | Some("small") => Scale::Small,
+            Some("tiny") => Scale::Tiny,
+            Some("medium") => Scale::Medium,
+            Some(other) => return Err(format!("unknown scale: {other}")),
+        };
+        return Problem::suite(name, scale, seed)
+            .ok_or_else(|| format!("unknown suite problem: {name}"));
+    }
+    if let Some(path) = selector.strip_prefix("mtx:") {
+        return Problem::from_matrix_market(std::path::Path::new(path), seed)
+            .map_err(|e| format!("loading {path}: {e}"));
+    }
+    if let Some(dims) = selector.strip_prefix("grid:") {
+        let (nx, ny) = dims
+            .split_once('x')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .ok_or_else(|| format!("bad grid spec: {dims} (want e.g. grid:64x64)"))?;
+        let a = aj_matrices::fd::laplacian_2d(nx, ny);
+        return Problem::from_matrix(format!("grid-{nx}x{ny}"), a, seed).map_err(|e| e.to_string());
+    }
+    Err(format!("unknown matrix selector: {selector} (try --help)"))
+}
+
+/// Parses a backend name (`sync`, `gs`, `cg`, `async-threads`, `sim-async`,
+/// `sim-sync`, `dist-async`, `dist-sync`) into a [`Backend`], filling in the
+/// worker/rank counts the parallel backends need.
+pub fn parse_backend(
+    name: &str,
+    threads: usize,
+    ranks: usize,
+    detect: bool,
+) -> Result<Backend, String> {
+    Ok(match name {
+        "sync" => Backend::Jacobi,
+        "gs" => Backend::GaussSeidel,
+        "cg" => Backend::ConjugateGradient,
+        "async-threads" => Backend::AsyncThreads { workers: threads },
+        "sim-async" => Backend::SimShared {
+            workers: threads,
+            asynchronous: true,
+        },
+        "sim-sync" => Backend::SimShared {
+            workers: threads,
+            asynchronous: false,
+        },
+        "dist-async" => Backend::SimDistributed {
+            ranks,
+            asynchronous: true,
+            detect,
+        },
+        "dist-sync" => Backend::SimDistributed {
+            ranks,
+            asynchronous: false,
+            detect: false,
+        },
+        other => return Err(format!("unknown backend: {other} (try --help)")),
+    })
+}
+
+/// Checks a backend's worker/rank counts against a problem size (every
+/// parallel engine needs `1 ≤ count ≤ n`), returning a message suitable for
+/// a CLI error or a service rejection.
+pub fn validate_backend(backend: &Backend, n: usize) -> Result<(), String> {
+    let check = |what: &str, count: usize| {
+        if (1..=n).contains(&count) {
+            Ok(())
+        } else {
+            Err(format!(
+                "{what} must be in 1..={n} for this matrix (got {count})"
+            ))
+        }
+    };
+    match *backend {
+        Backend::AsyncThreads { workers } | Backend::SimShared { workers, .. } => {
+            check("workers", workers)
+        }
+        Backend::SimDistributed { ranks, .. } => check("ranks", ranks),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors_resolve() {
+        assert_eq!(load_problem("fd68", 1).unwrap().n(), 68);
+        assert_eq!(load_problem("fe", 1).unwrap().n(), 3136);
+        assert!(load_problem("suite:ecology2:tiny", 1).unwrap().n() > 1000);
+        assert_eq!(load_problem("grid:5x7", 1).unwrap().n(), 35);
+    }
+
+    #[test]
+    fn bad_selectors_error() {
+        assert!(load_problem("nope", 1).is_err());
+        assert!(load_problem("suite:nope", 1).is_err());
+        assert!(load_problem("suite:ecology2:giant", 1).is_err());
+        assert!(load_problem("grid:5by7", 1).is_err());
+        assert!(load_problem("mtx:/does/not/exist.mtx", 1).is_err());
+    }
+
+    #[test]
+    fn backends_parse_and_validate() {
+        assert_eq!(
+            parse_backend("sync", 4, 16, false).unwrap(),
+            Backend::Jacobi
+        );
+        assert_eq!(
+            parse_backend("dist-async", 4, 16, true).unwrap(),
+            Backend::SimDistributed {
+                ranks: 16,
+                asynchronous: true,
+                detect: true
+            }
+        );
+        assert!(parse_backend("warp-drive", 4, 16, false).is_err());
+        let b = parse_backend("dist-async", 4, 16, false).unwrap();
+        assert!(validate_backend(&b, 68).is_ok());
+        assert!(validate_backend(&b, 8).is_err());
+        assert!(validate_backend(&Backend::Jacobi, 1).is_ok());
+    }
+}

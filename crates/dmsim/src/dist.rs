@@ -323,10 +323,27 @@ pub fn run_dist_async(
     partition: &Partition,
     config: &DistConfig,
 ) -> SimOutcome {
+    run_dist_async_plan(a, b, x0, &CommPlan::build(a, partition), config)
+}
+
+/// [`run_dist_async`] with a prebuilt communication plan. The plan must
+/// have been built from `a` and the intended partition — callers that
+/// solve the same partitioned system repeatedly (the `aj-serve` plan
+/// cache) reuse the ghost/send-list assembly instead of rebuilding it per
+/// run.
+///
+/// # Panics
+/// Panics on dimension mismatches or a delayed-rank index out of range.
+pub fn run_dist_async_plan(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    plan: &CommPlan,
+    config: &DistConfig,
+) -> SimOutcome {
     let n = a.nrows();
     assert_eq!(b.len(), n);
     assert_eq!(x0.len(), n);
-    let plan = CommPlan::build(a, partition);
     let nparts = plan.nparts();
     if let Some(d) = config.delay {
         assert!(d.worker < nparts, "delayed rank {} out of range", d.worker);
@@ -335,7 +352,7 @@ pub fn run_dist_async(
     // so fault-free runs stay byte-identical to the pre-fault engine.
     let fault_plan = config.faults.as_ref().filter(|p| !p.is_empty());
     let mut fault_state = fault_plan.map(|p| FaultState::new(p, nparts));
-    let mut ranks = build_ranks(a, b, x0, &plan, &config.cost, fault_plan);
+    let mut ranks = build_ranks(a, b, x0, plan, &config.cost, fault_plan);
     // Global mirror of owned values, for residual monitoring.
     let mut x_global = x0.to_vec();
     let mut monitor = ResidualMonitor::new(a, b, config.norm, config.tol, config.sample_every);
@@ -351,7 +368,7 @@ pub fn run_dist_async(
     // `gen_base[r]`, and each put carries its [`SendPlan::gen_idx`] so a
     // landing put updates the table with one precomputed indexed store.
     let mut obs = EngineObs::new(&config.obs, nparts);
-    let gen_base = gen_base(&plan);
+    let gen_base = gen_base(plan);
     let mut ghost_gen: Vec<u64> = if obs.is_some() {
         vec![0; gen_base[nparts]]
     } else {
@@ -826,8 +843,19 @@ pub fn run_dist_sync(
     partition: &Partition,
     config: &DistConfig,
 ) -> SimOutcome {
+    run_dist_sync_plan(a, b, x0, &CommPlan::build(a, partition), config)
+}
+
+/// [`run_dist_sync`] with a prebuilt communication plan (see
+/// [`run_dist_async_plan`] for when that pays off).
+pub fn run_dist_sync_plan(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    plan: &CommPlan,
+    config: &DistConfig,
+) -> SimOutcome {
     let n = a.nrows();
-    let plan = CommPlan::build(a, partition);
     let nparts = plan.nparts();
     let diag_inv: Vec<f64> = a.diagonal().iter().map(|d| 1.0 / d).collect();
     let rank_nnz: Vec<usize> = (0..nparts)

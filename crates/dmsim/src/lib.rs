@@ -49,7 +49,9 @@ pub mod termination;
 
 pub use aj_obs::ObsConfig;
 pub use cost::{CostModel, Jitter};
-pub use dist::{run_dist_async, run_dist_sync, DistConfig, DistVariant};
+pub use dist::{
+    run_dist_async, run_dist_async_plan, run_dist_sync, run_dist_sync_plan, DistConfig, DistVariant,
+};
 pub use event::EventQueue;
 pub use fault::{CrashFault, FaultPlan, FaultStats, LinkFault, StallFault};
 pub use monitor::{ResidualMonitor, SimOutcome};

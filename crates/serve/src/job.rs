@@ -1,0 +1,142 @@
+//! Job vocabulary: what clients ask for and what they get back.
+//!
+//! The contract the whole subsystem hangs on: **every submitted job gets
+//! exactly one [`JobOutcome`]** — a result, a structured shed, or a solver
+//! failure. Nothing is silently dropped, which is what the stress tests and
+//! the `serve_load` accounting guard pin down.
+
+use std::time::Duration;
+
+/// One solve request, in the CLI's string vocabulary (see
+/// [`aj_core::spec`]): a matrix selector + seed identifying the assembled
+/// problem (also the plan-cache key) and a backend name with its knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Matrix selector (`fd68`, `suite:ecology2:tiny`, `grid:64x64`, …).
+    pub matrix: String,
+    /// Seed for the problem's random `b`/`x0` (part of the cache key) and
+    /// for simulated-backend jitter.
+    pub seed: u64,
+    /// Backend name (`sync`, `gs`, `cg`, `async-threads`, `sim-async`,
+    /// `sim-sync`, `dist-async`, `dist-sync`).
+    pub backend: String,
+    /// Worker count for thread/shared-memory backends.
+    pub threads: usize,
+    /// Rank count for distributed backends.
+    pub ranks: usize,
+    /// Use the distributed termination-detection protocol (`dist-async`).
+    pub detect: bool,
+    /// Relative residual tolerance.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iterations: u64,
+    /// Relaxation weight.
+    pub omega: f64,
+    /// Shed the job if it has not *started* within this long of being
+    /// submitted. `None` = wait as long as it takes.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            matrix: "fd68".into(),
+            seed: 2018,
+            backend: "sync".into(),
+            threads: 4,
+            ranks: 16,
+            detect: false,
+            tol: 1e-6,
+            max_iterations: 100_000,
+            omega: 1.0,
+            deadline: None,
+        }
+    }
+}
+
+/// Why a job was answered without being solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission queue was at capacity when the job arrived.
+    QueueFull,
+    /// The job's deadline passed while it waited in the queue.
+    DeadlineExpired,
+    /// The client cancelled the job before a worker picked it up.
+    Cancelled,
+    /// The service was shutting down (rejected at the door, or drained
+    /// from the queue by a non-draining shutdown).
+    ShuttingDown,
+}
+
+impl ShedReason {
+    /// Stable wire name (used in protocol responses and metrics keys).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DeadlineExpired => "deadline",
+            ShedReason::Cancelled => "cancelled",
+            ShedReason::ShuttingDown => "shutdown",
+        }
+    }
+
+    /// Inverse of [`ShedReason::as_str`].
+    pub fn from_wire(s: &str) -> Option<ShedReason> {
+        Some(match s {
+            "queue_full" => ShedReason::QueueFull,
+            "deadline" => ShedReason::DeadlineExpired,
+            "cancelled" => ShedReason::Cancelled,
+            "shutdown" => ShedReason::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A completed solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Human-readable backend label from the solver report.
+    pub backend: String,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Final relative residual.
+    pub final_residual: f64,
+    /// Number of residual-history samples.
+    pub samples: usize,
+    /// Whether the plan cache already held this job's problem.
+    pub cache_hit: bool,
+    /// Time spent queued before a worker started the job.
+    pub queued: Duration,
+    /// Time spent inside the solver.
+    pub solved: Duration,
+}
+
+/// The one answer every submitted job receives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The solver ran to completion (converged or not — see
+    /// [`JobResult::converged`]).
+    Done(JobResult),
+    /// The job was shed without running.
+    Shed(ShedReason),
+    /// The solver returned an error or panicked; the pool survives and the
+    /// message says why.
+    Failed(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_reason_wire_names_roundtrip() {
+        for r in [
+            ShedReason::QueueFull,
+            ShedReason::DeadlineExpired,
+            ShedReason::Cancelled,
+            ShedReason::ShuttingDown,
+        ] {
+            assert_eq!(ShedReason::from_wire(r.as_str()), Some(r));
+        }
+        assert_eq!(ShedReason::from_wire("gremlins"), None);
+    }
+}

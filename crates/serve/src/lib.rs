@@ -1,0 +1,49 @@
+//! # aj-serve
+//!
+//! A concurrent solve service over the `aj_core` backends: bounded
+//! admission queue with structured load shedding, a crossbeam-channel
+//! worker pool, an LRU plan cache that reuses assembled problems and
+//! distributed communication plans across requests, per-job cancellation
+//! and panic isolation, and a dependency-free NDJSON-over-TCP front end.
+//!
+//! In-process use:
+//!
+//! ```
+//! use aj_serve::{JobOutcome, JobSpec, ServiceConfig, SolveService};
+//!
+//! let service = SolveService::start(ServiceConfig {
+//!     workers: 2,
+//!     queue_cap: 8,
+//!     cache_cap: 4,
+//!     ..Default::default()
+//! });
+//! let handle = service
+//!     .submit(JobSpec {
+//!         matrix: "fd40".into(),
+//!         backend: "sync".into(),
+//!         ..Default::default()
+//!     })
+//!     .expect("admitted");
+//! let JobOutcome::Done(result) = handle.wait() else {
+//!     panic!("solve did not run");
+//! };
+//! assert!(result.converged);
+//! service.shutdown(true);
+//! ```
+//!
+//! Over TCP, `aj serve --addr 127.0.0.1:4100` speaks the newline-delimited
+//! JSON protocol in [`proto`]; `serve_load` (in `crates/bench`) is the
+//! load-generation harness against it.
+
+pub mod cache;
+pub mod job;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use cache::{CachedPlan, PlanCache, PlanKey};
+pub use job::{JobOutcome, JobResult, JobSpec, ShedReason};
+pub use metrics::ServeMetrics;
+pub use server::Server;
+pub use service::{CancelToken, JobHandle, ServiceConfig, SolveService, PANIC_SELECTOR};

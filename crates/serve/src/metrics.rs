@@ -1,0 +1,165 @@
+//! Service-level observability, snapshotted through `aj-obs`.
+//!
+//! Request-lifecycle granularity (one record per job, not per relaxation),
+//! so the counters and histograms here are always on — there is no budget
+//! to defend at a few thousand events per second. Per-*solve* engine
+//! metrics (staleness, put latency, …) are separate: they are recorded only
+//! when [`crate::ServiceConfig::solve_obs`] turns them on, and merged into
+//! the same snapshot so `aj obs summary` shows the whole story.
+
+use crate::job::ShedReason;
+use aj_obs::{Counter, Gauge, Histogram, Snapshot};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Shared metric state for one [`crate::SolveService`].
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Every submit attempt (accepted + shed-at-the-door).
+    pub submitted: Counter,
+    /// Jobs accepted into the queue.
+    pub accepted: Counter,
+    /// Jobs whose solver ran to completion.
+    pub completed: Counter,
+    /// Jobs whose solver errored or panicked.
+    pub failed: Counter,
+    /// Subset of `failed` that panicked (pool survived via `catch_unwind`).
+    pub panics: Counter,
+    /// Sheds by reason.
+    pub shed_queue_full: Counter,
+    /// Sheds by reason.
+    pub shed_deadline: Counter,
+    /// Sheds by reason.
+    pub shed_cancelled: Counter,
+    /// Sheds by reason.
+    pub shed_shutdown: Counter,
+    /// Jobs currently buffered in the admission queue.
+    pub queue_depth: Gauge,
+    hists: Mutex<LatencyHists>,
+    solve_obs: Mutex<Snapshot>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyHists {
+    queue_us: Histogram,
+    solve_us: Histogram,
+    total_us: Histogram,
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Counts one shed.
+    pub fn record_shed(&self, reason: ShedReason) {
+        match reason {
+            ShedReason::QueueFull => self.shed_queue_full.inc(),
+            ShedReason::DeadlineExpired => self.shed_deadline.inc(),
+            ShedReason::Cancelled => self.shed_cancelled.inc(),
+            ShedReason::ShuttingDown => self.shed_shutdown.inc(),
+        }
+    }
+
+    /// Total sheds across all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full.get()
+            + self.shed_deadline.get()
+            + self.shed_cancelled.get()
+            + self.shed_shutdown.get()
+    }
+
+    /// Records a completed job's queue/solve latency split.
+    pub fn record_latency(&self, queued: Duration, solved: Duration) {
+        let mut h = self.hists.lock().unwrap();
+        h.queue_us.record(queued.as_micros() as u64);
+        h.solve_us.record(solved.as_micros() as u64);
+        h.total_us.record((queued + solved).as_micros() as u64);
+    }
+
+    /// Merges one solve's engine snapshot (produced under
+    /// [`crate::ServiceConfig::solve_obs`]) into the service aggregate.
+    pub fn absorb_solve(&self, snap: &Snapshot) {
+        let mut agg = self.solve_obs.lock().unwrap();
+        for (k, v) in &snap.counters {
+            agg.add_counter(k, *v);
+        }
+        for (k, h) in &snap.histograms {
+            agg.merge_histogram(k, h);
+        }
+        // Timelines and gauges are per-run state; merging them across jobs
+        // would interleave unrelated runs, so they stay per-solve only.
+    }
+
+    /// The merged service snapshot: job counters, queue-depth gauge,
+    /// latency histograms, plan-cache stats (passed in by the service,
+    /// which owns the cache), plus any absorbed per-solve engine metrics.
+    pub fn snapshot(&self, cache: &crate::cache::PlanCache) -> Snapshot {
+        let mut snap = self.solve_obs.lock().unwrap().clone();
+        snap.set_counter("jobs_submitted", self.submitted.get());
+        snap.set_counter("jobs_accepted", self.accepted.get());
+        snap.set_counter("jobs_completed", self.completed.get());
+        snap.set_counter("jobs_failed", self.failed.get());
+        snap.set_counter("jobs_panicked", self.panics.get());
+        snap.set_counter("jobs_shed_queue_full", self.shed_queue_full.get());
+        snap.set_counter("jobs_shed_deadline", self.shed_deadline.get());
+        snap.set_counter("jobs_shed_cancelled", self.shed_cancelled.get());
+        snap.set_counter("jobs_shed_shutdown", self.shed_shutdown.get());
+        snap.set_counter("plan_cache_hits", cache.hits.get());
+        snap.set_counter("plan_cache_misses", cache.misses.get());
+        snap.set_counter("plan_cache_evictions", cache.evictions.get());
+        snap.set_gauge("queue_depth", self.queue_depth.get());
+        snap.set_gauge("plan_cache_entries", cache.len() as f64);
+        snap.set_gauge("plan_cache_hit_ratio", cache.hit_ratio());
+        let h = self.hists.lock().unwrap();
+        snap.merge_histogram("serve/queue_us", &h.queue_us);
+        snap.merge_histogram("serve/solve_us", &h.solve_us);
+        snap.merge_histogram("serve/total_us", &h.total_us);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PlanCache;
+
+    #[test]
+    fn snapshot_carries_counters_latencies_and_cache_stats() {
+        let m = ServeMetrics::new();
+        let cache = PlanCache::new(2);
+        cache.get_or_build("fd40", 1).unwrap();
+        cache.get_or_build("fd40", 1).unwrap();
+        m.submitted.add(3);
+        m.completed.add(2);
+        m.record_shed(ShedReason::QueueFull);
+        m.record_latency(Duration::from_micros(50), Duration::from_micros(900));
+        m.queue_depth.set(1.0);
+        let snap = m.snapshot(&cache);
+        assert_eq!(snap.counters["jobs_submitted"], 3);
+        assert_eq!(snap.counters["jobs_shed_queue_full"], 1);
+        assert_eq!(snap.counters["plan_cache_hits"], 1);
+        assert_eq!(snap.gauges["plan_cache_hit_ratio"], 0.5);
+        assert_eq!(snap.histograms["serve/total_us"].count(), 1);
+        // Deterministic, parseable JSON like every other snapshot.
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn absorb_merges_engine_counters_and_histograms() {
+        let m = ServeMetrics::new();
+        let cache = PlanCache::new(2);
+        let mut engine = Snapshot::new();
+        engine.set_counter("relaxations", 10);
+        let mut h = Histogram::new();
+        h.record(4);
+        engine.merge_histogram("staleness/rank0", &h);
+        m.absorb_solve(&engine);
+        m.absorb_solve(&engine);
+        let snap = m.snapshot(&cache);
+        assert_eq!(snap.counters["relaxations"], 20);
+        assert_eq!(snap.histograms["staleness/rank0"].count(), 2);
+    }
+}

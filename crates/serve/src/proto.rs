@@ -1,0 +1,470 @@
+//! Newline-delimited JSON wire protocol for the TCP front end.
+//!
+//! One JSON object per line in each direction, parsed and rendered with
+//! `aj_obs::json` (the workspace's `serde` is an inert stub, so there is no
+//! derive machinery to lean on — and the protocol is small enough not to
+//! want it). Responses are correlated to requests by a client-chosen `id`;
+//! the server answers out of order as jobs finish, which is the whole point
+//! of serving an *asynchronous* solver family.
+//!
+//! Requests (`"op"` discriminates):
+//!
+//! ```text
+//! {"op":"solve","id":1,"matrix":"fd68","backend":"sync","seed":7,...}
+//! {"op":"cancel","id":1}
+//! {"op":"stats"}
+//! {"op":"shutdown","drain":true}
+//! ```
+//!
+//! Responses (`"status"` discriminates): `done`, `shed` (with `reason`),
+//! `failed` (with `error`), `stats` (snapshot under `"snapshot"`),
+//! `shutting_down`, and protocol-level `error`.
+
+use crate::job::{JobResult, JobSpec, ShedReason};
+use aj_obs::json::{self, Value};
+use aj_obs::Snapshot;
+use std::time::Duration;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a solve; `id` correlates the eventual response.
+    Solve {
+        /// Client-chosen correlation id (unique per connection).
+        id: u64,
+        /// What to solve.
+        spec: JobSpec,
+    },
+    /// Cancel a previously submitted job (best-effort: only queued jobs
+    /// can still be shed).
+    Cancel {
+        /// The id the job was submitted under.
+        id: u64,
+    },
+    /// Ask for the service metrics snapshot.
+    Stats,
+    /// Stop the service; `drain` finishes queued jobs first.
+    Shutdown {
+        /// Work off the queue (`true`) or shed it (`false`).
+        drain: bool,
+    },
+}
+
+/// A server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Solve finished (converged or not — inspect the result).
+    Done {
+        /// Correlation id from the request.
+        id: u64,
+        /// What the solver produced.
+        result: JobResult,
+    },
+    /// Solve was shed without running.
+    Shed {
+        /// Correlation id from the request.
+        id: u64,
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+    /// The solver errored or panicked.
+    Failed {
+        /// Correlation id from the request.
+        id: u64,
+        /// Failure message.
+        error: String,
+    },
+    /// Metrics snapshot (in reply to `stats`).
+    Stats {
+        /// The service snapshot.
+        snapshot: Snapshot,
+    },
+    /// Acknowledges a `shutdown` request.
+    ShuttingDown,
+    /// The request line itself was malformed; `id` echoes the request's id
+    /// when one could be parsed.
+    Error {
+        /// Correlation id, if recoverable from the bad request.
+        id: Option<u64>,
+        /// What was wrong.
+        error: String,
+    },
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// Returns `(recovered id, message)` so the server can still correlate the
+/// error response when the line had a parseable `id`.
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
+    let v = json::parse(line).map_err(|e| (None, format!("bad JSON: {e}")))?;
+    let id = v.get("id").and_then(Value::as_u64);
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or((id, "missing \"op\"".to_string()))?;
+    match op {
+        "solve" => {
+            let id = id.ok_or((None, "solve needs a numeric \"id\"".to_string()))?;
+            let spec = spec_from(&v).map_err(|e| (Some(id), e))?;
+            Ok(Request::Solve { id, spec })
+        }
+        "cancel" => {
+            let id = id.ok_or((None, "cancel needs a numeric \"id\"".to_string()))?;
+            Ok(Request::Cancel { id })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown {
+            drain: !matches!(v.get("drain"), Some(Value::Bool(false))),
+        }),
+        other => Err((id, format!("unknown op {other:?}"))),
+    }
+}
+
+/// Fills a [`JobSpec`] from a solve request object: `matrix` and `backend`
+/// are required, everything else defaults as in [`JobSpec::default`].
+fn spec_from(v: &Value) -> Result<JobSpec, String> {
+    let mut spec = JobSpec {
+        matrix: v
+            .get("matrix")
+            .and_then(Value::as_str)
+            .ok_or("solve needs a \"matrix\" selector")?
+            .to_string(),
+        backend: v
+            .get("backend")
+            .and_then(Value::as_str)
+            .ok_or("solve needs a \"backend\" name")?
+            .to_string(),
+        ..Default::default()
+    };
+    if let Some(x) = v.get("seed") {
+        spec.seed = x
+            .as_u64()
+            .ok_or("\"seed\" must be a non-negative integer")?;
+    }
+    if let Some(x) = v.get("threads") {
+        spec.threads = x
+            .as_u64()
+            .ok_or("\"threads\" must be a non-negative integer")? as usize;
+    }
+    if let Some(x) = v.get("ranks") {
+        spec.ranks = x
+            .as_u64()
+            .ok_or("\"ranks\" must be a non-negative integer")? as usize;
+    }
+    if let Some(x) = v.get("detect") {
+        spec.detect = matches!(x, Value::Bool(true));
+    }
+    if let Some(x) = v.get("tol") {
+        spec.tol = x.as_f64().ok_or("\"tol\" must be a number")?;
+    }
+    if let Some(x) = v.get("max_iterations") {
+        spec.max_iterations = x.as_u64().ok_or("\"max_iterations\" must be an integer")?;
+    }
+    if let Some(x) = v.get("omega") {
+        spec.omega = x.as_f64().ok_or("\"omega\" must be a number")?;
+    }
+    if let Some(x) = v.get("deadline_ms") {
+        let ms = x.as_f64().ok_or("\"deadline_ms\" must be a number")?;
+        if ms < 0.0 {
+            return Err("\"deadline_ms\" must be non-negative".into());
+        }
+        spec.deadline = Some(Duration::from_secs_f64(ms / 1000.0));
+    }
+    Ok(spec)
+}
+
+/// Renders a solve request line (used by the load generator and tests).
+pub fn render_request(req: &Request) -> String {
+    let mut s = String::from("{");
+    match req {
+        Request::Solve { id, spec } => {
+            push_kv(&mut s, "op", |o| json::write_escaped(o, "solve"));
+            push_kv(&mut s, "id", |o| push_u64(o, *id));
+            push_kv(&mut s, "matrix", |o| json::write_escaped(o, &spec.matrix));
+            push_kv(&mut s, "backend", |o| json::write_escaped(o, &spec.backend));
+            push_kv(&mut s, "seed", |o| push_u64(o, spec.seed));
+            push_kv(&mut s, "threads", |o| push_u64(o, spec.threads as u64));
+            push_kv(&mut s, "ranks", |o| push_u64(o, spec.ranks as u64));
+            push_kv(&mut s, "detect", |o| {
+                o.push_str(if spec.detect { "true" } else { "false" })
+            });
+            push_kv(&mut s, "tol", |o| json::write_f64(o, spec.tol));
+            push_kv(&mut s, "max_iterations", |o| {
+                push_u64(o, spec.max_iterations)
+            });
+            push_kv(&mut s, "omega", |o| json::write_f64(o, spec.omega));
+            if let Some(d) = spec.deadline {
+                push_kv(&mut s, "deadline_ms", |o| {
+                    json::write_f64(o, d.as_secs_f64() * 1000.0)
+                });
+            }
+        }
+        Request::Cancel { id } => {
+            push_kv(&mut s, "op", |o| json::write_escaped(o, "cancel"));
+            push_kv(&mut s, "id", |o| push_u64(o, *id));
+        }
+        Request::Stats => push_kv(&mut s, "op", |o| json::write_escaped(o, "stats")),
+        Request::Shutdown { drain } => {
+            push_kv(&mut s, "op", |o| json::write_escaped(o, "shutdown"));
+            push_kv(&mut s, "drain", |o| {
+                o.push_str(if *drain { "true" } else { "false" })
+            });
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Renders a response line.
+pub fn render_response(resp: &Response) -> String {
+    let mut s = String::from("{");
+    match resp {
+        Response::Done { id, result } => {
+            push_kv(&mut s, "status", |o| json::write_escaped(o, "done"));
+            push_kv(&mut s, "id", |o| push_u64(o, *id));
+            push_kv(&mut s, "backend", |o| {
+                json::write_escaped(o, &result.backend)
+            });
+            push_kv(&mut s, "converged", |o| {
+                o.push_str(if result.converged { "true" } else { "false" })
+            });
+            push_kv(&mut s, "final_residual", |o| {
+                json::write_f64(o, result.final_residual)
+            });
+            push_kv(&mut s, "samples", |o| push_u64(o, result.samples as u64));
+            push_kv(&mut s, "cache_hit", |o| {
+                o.push_str(if result.cache_hit { "true" } else { "false" })
+            });
+            push_kv(&mut s, "queued_us", |o| {
+                push_u64(o, result.queued.as_micros() as u64)
+            });
+            push_kv(&mut s, "solved_us", |o| {
+                push_u64(o, result.solved.as_micros() as u64)
+            });
+        }
+        Response::Shed { id, reason } => {
+            push_kv(&mut s, "status", |o| json::write_escaped(o, "shed"));
+            push_kv(&mut s, "id", |o| push_u64(o, *id));
+            push_kv(&mut s, "reason", |o| {
+                json::write_escaped(o, reason.as_str())
+            });
+        }
+        Response::Failed { id, error } => {
+            push_kv(&mut s, "status", |o| json::write_escaped(o, "failed"));
+            push_kv(&mut s, "id", |o| push_u64(o, *id));
+            push_kv(&mut s, "error", |o| json::write_escaped(o, error));
+        }
+        Response::Stats { snapshot } => {
+            push_kv(&mut s, "status", |o| json::write_escaped(o, "stats"));
+            // The snapshot is embedded as an escaped JSON *string*: the
+            // response stays one flat line to assemble, and readers recover
+            // the full document with `Snapshot::from_json` on the field.
+            push_kv(&mut s, "snapshot", |o| {
+                json::write_escaped(o, &snapshot.to_json())
+            });
+        }
+        Response::ShuttingDown => {
+            push_kv(&mut s, "status", |o| {
+                json::write_escaped(o, "shutting_down")
+            });
+        }
+        Response::Error { id, error } => {
+            push_kv(&mut s, "status", |o| json::write_escaped(o, "error"));
+            if let Some(id) = id {
+                push_kv(&mut s, "id", |o| push_u64(o, *id));
+            }
+            push_kv(&mut s, "error", |o| json::write_escaped(o, error));
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Parses one response line (client side: load generator, example, tests).
+///
+/// # Errors
+/// Returns a message for malformed lines.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let v = json::parse(line)?;
+    let status = v
+        .get("status")
+        .and_then(Value::as_str)
+        .ok_or("missing \"status\"")?;
+    let id = || {
+        v.get("id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| "missing \"id\"".to_string())
+    };
+    match status {
+        "done" => Ok(Response::Done {
+            id: id()?,
+            result: JobResult {
+                backend: v
+                    .get("backend")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                converged: matches!(v.get("converged"), Some(Value::Bool(true))),
+                final_residual: v
+                    .get("final_residual")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(f64::NAN),
+                samples: v.get("samples").and_then(Value::as_u64).unwrap_or(0) as usize,
+                cache_hit: matches!(v.get("cache_hit"), Some(Value::Bool(true))),
+                queued: Duration::from_micros(
+                    v.get("queued_us").and_then(Value::as_u64).unwrap_or(0),
+                ),
+                solved: Duration::from_micros(
+                    v.get("solved_us").and_then(Value::as_u64).unwrap_or(0),
+                ),
+            },
+        }),
+        "shed" => {
+            let reason = v
+                .get("reason")
+                .and_then(Value::as_str)
+                .and_then(ShedReason::from_wire)
+                .ok_or("shed response without a known \"reason\"")?;
+            Ok(Response::Shed { id: id()?, reason })
+        }
+        "failed" => Ok(Response::Failed {
+            id: id()?,
+            error: v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        }),
+        "stats" => {
+            let doc = v
+                .get("snapshot")
+                .and_then(Value::as_str)
+                .ok_or("stats response without a \"snapshot\" string")?;
+            Ok(Response::Stats {
+                snapshot: Snapshot::from_json(doc)?,
+            })
+        }
+        "shutting_down" => Ok(Response::ShuttingDown),
+        "error" => Ok(Response::Error {
+            id: v.get("id").and_then(Value::as_u64),
+            error: v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        }),
+        other => Err(format!("unknown status {other:?}")),
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, write: impl FnOnce(&mut String)) {
+    if !out.ends_with('{') {
+        out.push(',');
+    }
+    json::write_escaped(out, key);
+    out.push(':');
+    write(out);
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_request_roundtrips_through_render_and_parse() {
+        let spec = JobSpec {
+            matrix: "grid:8x8".into(),
+            backend: "dist-async".into(),
+            ranks: 4,
+            deadline: Some(Duration::from_millis(250)),
+            ..Default::default()
+        };
+        let req = Request::Solve { id: 42, spec };
+        let line = render_request(&req);
+        assert_eq!(parse_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn minimal_solve_request_uses_defaults() {
+        let req =
+            parse_request(r#"{"op":"solve","id":1,"matrix":"fd68","backend":"sync"}"#).unwrap();
+        let Request::Solve { id, spec } = req else {
+            panic!("wrong variant");
+        };
+        assert_eq!(id, 1);
+        assert_eq!(spec.tol, JobSpec::default().tol);
+        assert_eq!(spec.deadline, None);
+    }
+
+    #[test]
+    fn malformed_requests_recover_the_id_when_possible() {
+        assert_eq!(
+            parse_request(r#"{"op":"warp","id":9}"#).unwrap_err().0,
+            Some(9)
+        );
+        assert!(parse_request("not json").unwrap_err().0.is_none());
+        assert!(parse_request(r#"{"op":"solve","id":3}"#).unwrap_err().0 == Some(3));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = [
+            Response::Done {
+                id: 7,
+                result: JobResult {
+                    backend: "Jacobi".into(),
+                    converged: true,
+                    final_residual: 4.2e-7,
+                    samples: 120,
+                    cache_hit: true,
+                    queued: Duration::from_micros(35),
+                    solved: Duration::from_micros(990),
+                },
+            },
+            Response::Shed {
+                id: 8,
+                reason: ShedReason::QueueFull,
+            },
+            Response::Failed {
+                id: 9,
+                error: "solver \"broke\"\nbadly".into(),
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                id: None,
+                error: "bad JSON".into(),
+            },
+        ];
+        for c in &cases {
+            assert_eq!(&parse_response(&render_response(c)).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn stats_response_carries_a_full_snapshot() {
+        let mut snap = Snapshot::new();
+        snap.set_counter("jobs_completed", 3);
+        snap.set_gauge("queue_depth", 1.0);
+        let line = render_response(&Response::Stats {
+            snapshot: snap.clone(),
+        });
+        let Response::Stats { snapshot } = parse_response(&line).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(snapshot, snap);
+    }
+
+    #[test]
+    fn request_lines_are_single_line() {
+        let req = Request::Solve {
+            id: 1,
+            spec: JobSpec::default(),
+        };
+        assert!(!render_request(&req).contains('\n'));
+    }
+}

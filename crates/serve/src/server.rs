@@ -1,0 +1,181 @@
+//! Dependency-free TCP front end over [`SolveService`].
+//!
+//! `std::net` only: a nonblocking accept loop that polls a stop flag, one
+//! reader thread per connection, and a shared writer guarded by a mutex so
+//! worker threads can push completions to the socket *as jobs finish* —
+//! responses are correlated by client-chosen `id`, not by order.
+//!
+//! A `shutdown` request stops the whole server (admission first, then the
+//! worker pool, then the accept loop), which is how the CLI's `aj serve`
+//! and the `serve_load` harness end a run deterministically.
+
+use crate::job::JobOutcome;
+use crate::proto::{self, Request, Response};
+use crate::service::{CancelToken, SolveService};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A bound, running TCP server wrapping a [`SolveService`].
+pub struct Server {
+    service: Arc<SolveService>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over a
+    /// running service.
+    ///
+    /// # Errors
+    /// Returns a message when the bind fails.
+    pub fn bind(addr: &str, service: SolveService) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        Ok(Server {
+            service: Arc::new(service),
+            listener,
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the actual port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A flag that makes [`Server::run`] return when set (for embedding the
+    /// server in a thread and stopping it from outside).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The underlying service (metrics/cache access while serving).
+    pub fn service(&self) -> &Arc<SolveService> {
+        &self.service
+    }
+
+    /// Serves until a `shutdown` request arrives or the stop flag is set.
+    /// Connection reader threads are detached; they exit on socket EOF or
+    /// read errors once the client hangs up.
+    ///
+    /// # Errors
+    /// Returns a message when the listener cannot be polled at all.
+    pub fn run(&self) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot poll listener: {e}"))?;
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = Arc::clone(&self.service);
+                    let stop = Arc::clone(&self.stop);
+                    std::thread::Builder::new()
+                        .name("aj-serve-conn".into())
+                        .spawn(move || handle_connection(stream, &service, &stop))
+                        .map_err(|e| format!("cannot spawn connection thread: {e}"))?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sends one response line; errors are swallowed (a client that hung up
+/// just stops receiving — the service-side accounting already happened).
+fn send(writer: &Mutex<TcpStream>, resp: &Response) {
+    let mut line = proto::render_response(resp);
+    line.push('\n');
+    let mut w = writer.lock().unwrap();
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.flush();
+}
+
+fn handle_connection(stream: TcpStream, service: &Arc<SolveService>, stop: &Arc<AtomicBool>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    // Periodic read timeouts let the reader notice a server-side stop even
+    // on an idle connection.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream);
+    // Queued-job cancel tokens for this connection, by request id.
+    let tokens: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match proto::parse_request(trimmed) {
+            Ok(Request::Solve { id, spec }) => {
+                let conn_writer = Arc::clone(&writer);
+                let tokens_done = Arc::clone(&tokens);
+                let submitted = service.submit_with(spec, move |outcome| {
+                    tokens_done.lock().unwrap().remove(&id);
+                    let resp = match outcome {
+                        JobOutcome::Done(result) => Response::Done { id, result },
+                        JobOutcome::Shed(reason) => Response::Shed { id, reason },
+                        JobOutcome::Failed(error) => Response::Failed { id, error },
+                    };
+                    send(&conn_writer, &resp);
+                });
+                match submitted {
+                    Ok(token) => {
+                        tokens.lock().unwrap().insert(id, token);
+                    }
+                    Err(reason) => send(&writer, &Response::Shed { id, reason }),
+                }
+            }
+            Ok(Request::Cancel { id }) => {
+                if let Some(token) = tokens.lock().unwrap().get(&id) {
+                    token.cancel();
+                }
+                // No direct reply: the solve's own response reports
+                // `shed/cancelled` if the cancel won the race.
+            }
+            Ok(Request::Stats) => send(
+                &writer,
+                &Response::Stats {
+                    snapshot: service.metrics_snapshot(),
+                },
+            ),
+            Ok(Request::Shutdown { drain }) => {
+                service.shutdown(drain);
+                send(&writer, &Response::ShuttingDown);
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            Err((id, error)) => send(&writer, &Response::Error { id, error }),
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The in-process solve service: bounded admission queue, worker pool,
+//! plan cache, per-job isolation, graceful shutdown.
+//!
+//! ## Request lifecycle
+//!
+//! `submit` performs **admission control**: while the service is accepting
+//! and the bounded queue has room, the job is enqueued and the caller gets
+//! a handle; otherwise the job is shed *immediately* with a structured
+//! reason ([`ShedReason::QueueFull`] / [`ShedReason::ShuttingDown`]) — the
+//! asynchronous-relaxation workloads this serves degrade gracefully under
+//! stale answers, so fast rejection beats unbounded queueing. Workers pull
+//! jobs off a `crossbeam` channel; a job whose deadline passed while it
+//! waited, or that was cancelled, is shed at pickup. Each solve runs under
+//! `catch_unwind`, so a panicking backend fails one job and the pool keeps
+//! serving.
+//!
+//! ## The one-outcome invariant
+//!
+//! Every accepted job's completion closure is called exactly once — by the
+//! worker that picks it up, or by the drain loop on a non-draining
+//! shutdown. Together with shed-at-the-door accounting this gives
+//! `submitted = completed + failed + shed` once the service has shut down,
+//! which the stress/proptest suites assert.
+
+use crate::cache::PlanCache;
+use crate::job::{JobOutcome, JobResult, JobSpec, ShedReason};
+use crate::metrics::ServeMetrics;
+use aj_core::spec;
+use aj_obs::{ObsConfig, Snapshot};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Matrix selector that makes the worker panic inside the solve path —
+/// the test hook behind the panic-isolation tests. Real selectors can
+/// never collide with it (`test:` is not a recognized scheme).
+pub const PANIC_SELECTOR: &str = "test:panic";
+
+/// Knobs for [`SolveService::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing solves.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_cap: usize,
+    /// Plan-cache capacity in problems.
+    pub cache_cap: usize,
+    /// Engine-level observability for each solve (merged into the service
+    /// snapshot). Off by default — request-level metrics are always on.
+    pub solve_obs: ObsConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(2),
+            queue_cap: 64,
+            cache_cap: 8,
+            solve_obs: ObsConfig::off(),
+        }
+    }
+}
+
+/// Cancels a queued job (no effect once a worker has started it).
+#[derive(Debug, Clone)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Requests cancellation; the job is shed when a worker picks it up.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Blocking handle to a submitted job's outcome.
+#[derive(Debug)]
+pub struct JobHandle {
+    cell: Arc<OutcomeCell>,
+    cancel: CancelToken,
+}
+
+#[derive(Debug, Default)]
+struct OutcomeCell {
+    slot: Mutex<Option<JobOutcome>>,
+    ready: Condvar,
+}
+
+impl JobHandle {
+    /// Waits for the job's outcome.
+    pub fn wait(&self) -> JobOutcome {
+        let mut slot = self.cell.slot.lock().unwrap();
+        loop {
+            if let Some(out) = slot.as_ref() {
+                return out.clone();
+            }
+            slot = self.cell.ready.wait(slot).unwrap();
+        }
+    }
+
+    /// The outcome, if already delivered.
+    pub fn try_outcome(&self) -> Option<JobOutcome> {
+        self.cell.slot.lock().unwrap().clone()
+    }
+
+    /// Requests cancellation (effective only while the job is queued).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+}
+
+type Completion = Box<dyn FnOnce(JobOutcome) + Send + 'static>;
+
+struct Job {
+    spec: JobSpec,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+    complete: Completion,
+}
+
+struct ServiceInner {
+    cfg: ServiceConfig,
+    cache: PlanCache,
+    metrics: ServeMetrics,
+    /// New submissions allowed?
+    accepting: AtomicBool,
+    /// Non-draining shutdown: workers shed instead of solving.
+    shedding: AtomicBool,
+}
+
+/// A running solve service. Dropping it performs a draining shutdown.
+pub struct SolveService {
+    inner: Arc<ServiceInner>,
+    tx: Mutex<Option<Sender<Job>>>,
+    rx: Receiver<Job>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SolveService {
+    /// Starts the worker pool and returns the running service.
+    pub fn start(cfg: ServiceConfig) -> SolveService {
+        let workers = cfg.workers.max(1);
+        let (tx, rx) = channel::bounded::<Job>(cfg.queue_cap.max(1));
+        let inner = Arc::new(ServiceInner {
+            cache: PlanCache::new(cfg.cache_cap),
+            metrics: ServeMetrics::new(),
+            accepting: AtomicBool::new(true),
+            shedding: AtomicBool::new(false),
+            cfg,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("aj-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        SolveService {
+            inner,
+            tx: Mutex::new(Some(tx)),
+            rx,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submits a job, delivering its outcome through the returned handle.
+    ///
+    /// # Errors
+    /// Returns the shed reason when admission control rejects the job
+    /// (queue full or shutting down); the job never ran.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, ShedReason> {
+        let cell = Arc::new(OutcomeCell::default());
+        let done = Arc::clone(&cell);
+        let token = self.submit_with(spec, move |outcome| {
+            *done.slot.lock().unwrap() = Some(outcome);
+            done.ready.notify_all();
+        })?;
+        Ok(JobHandle {
+            cell,
+            cancel: token,
+        })
+    }
+
+    /// Submits a job with an explicit completion callback (the TCP front
+    /// end writes the response from it, so out-of-order completions go out
+    /// as they happen). The callback runs on a worker thread, exactly once.
+    ///
+    /// # Errors
+    /// Returns the shed reason when admission control rejects the job.
+    pub fn submit_with(
+        &self,
+        spec: JobSpec,
+        complete: impl FnOnce(JobOutcome) + Send + 'static,
+    ) -> Result<CancelToken, ShedReason> {
+        let m = &self.inner.metrics;
+        m.submitted.inc();
+        if !self.inner.accepting.load(Ordering::SeqCst) {
+            m.record_shed(ShedReason::ShuttingDown);
+            return Err(ShedReason::ShuttingDown);
+        }
+        let submitted = Instant::now();
+        let job = Job {
+            deadline: spec.deadline.map(|d| submitted + d),
+            spec,
+            submitted,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            complete: Box::new(complete),
+        };
+        let token = CancelToken(Arc::clone(&job.cancelled));
+        let tx = self.tx.lock().unwrap();
+        let Some(tx) = tx.as_ref() else {
+            m.record_shed(ShedReason::ShuttingDown);
+            return Err(ShedReason::ShuttingDown);
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                m.accepted.inc();
+                m.queue_depth.set(tx.len() as f64);
+                Ok(token)
+            }
+            Err(TrySendError::Full(_)) => {
+                m.record_shed(ShedReason::QueueFull);
+                Err(ShedReason::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                m.record_shed(ShedReason::ShuttingDown);
+                Err(ShedReason::ShuttingDown)
+            }
+        }
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// The merged service metrics snapshot (see [`ServeMetrics::snapshot`]).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.inner.metrics.queue_depth.set(self.rx.len() as f64);
+        self.inner.metrics.snapshot(&self.inner.cache)
+    }
+
+    /// Raw metric counters (test/bench hook).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.inner.metrics
+    }
+
+    /// The plan cache (test/bench hook).
+    pub fn cache(&self) -> &PlanCache {
+        &self.inner.cache
+    }
+
+    /// Stops the service. New submissions are rejected immediately; with
+    /// `drain` the queue is worked off, otherwise queued jobs are shed with
+    /// [`ShedReason::ShuttingDown`] (their callbacks still fire). Blocks
+    /// until every worker has exited; idempotent.
+    pub fn shutdown(&self, drain: bool) {
+        self.inner.accepting.store(false, Ordering::SeqCst);
+        if !drain {
+            self.inner.shedding.store(true, Ordering::SeqCst);
+        }
+        // Closing the channel (dropping the only Sender) lets workers
+        // finish the buffered jobs and exit on Disconnected.
+        drop(self.tx.lock().unwrap().take());
+        let mut workers = self.workers.lock().unwrap();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+        self.inner.metrics.queue_depth.set(0.0);
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.shutdown(true);
+    }
+}
+
+fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        inner.metrics.queue_depth.set(rx.len() as f64);
+        let outcome = run_job(inner, &job);
+        match &outcome {
+            JobOutcome::Done(r) => {
+                inner.metrics.completed.inc();
+                inner.metrics.record_latency(r.queued, r.solved);
+            }
+            JobOutcome::Shed(reason) => inner.metrics.record_shed(*reason),
+            JobOutcome::Failed(_) => inner.metrics.failed.inc(),
+        }
+        (job.complete)(outcome);
+    }
+}
+
+fn run_job(inner: &ServiceInner, job: &Job) -> JobOutcome {
+    if inner.shedding.load(Ordering::SeqCst) {
+        return JobOutcome::Shed(ShedReason::ShuttingDown);
+    }
+    if job.cancelled.load(Ordering::Relaxed) {
+        return JobOutcome::Shed(ShedReason::Cancelled);
+    }
+    let started = Instant::now();
+    if job.deadline.is_some_and(|d| started > d) {
+        return JobOutcome::Shed(ShedReason::DeadlineExpired);
+    }
+    let queued = started - job.submitted;
+    match catch_unwind(AssertUnwindSafe(|| execute(inner, &job.spec))) {
+        Ok(Ok((mut result, metrics))) => {
+            result.queued = queued;
+            result.solved = started.elapsed();
+            if let Some(snap) = metrics {
+                inner.metrics.absorb_solve(&snap);
+            }
+            JobOutcome::Done(result)
+        }
+        Ok(Err(msg)) => JobOutcome::Failed(msg),
+        Err(payload) => {
+            inner.metrics.panics.inc();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            JobOutcome::Failed(format!("solver panicked: {msg}"))
+        }
+    }
+}
+
+/// The fallible part of a job: assemble (through the cache) and solve.
+/// Runs inside `catch_unwind`; durations are filled in by the caller.
+fn execute(inner: &ServiceInner, spec: &JobSpec) -> Result<(JobResult, Option<Snapshot>), String> {
+    if spec.matrix == PANIC_SELECTOR {
+        panic!("injected panic ({PANIC_SELECTOR})");
+    }
+    let backend = spec::parse_backend(&spec.backend, spec.threads, spec.ranks, spec.detect)?;
+    let (plan, cache_hit) = inner.cache.get_or_build(&spec.matrix, spec.seed)?;
+    spec::validate_backend(&backend, plan.problem.n())?;
+    let dist_plan = match backend {
+        aj_core::Backend::SimDistributed { ranks, .. } => Some(plan.dist_plan(ranks)),
+        _ => None,
+    };
+    let opts = aj_core::SolveOptions {
+        tol: spec.tol,
+        max_iterations: spec.max_iterations,
+        omega: spec.omega,
+        seed: spec.seed,
+        obs: inner.cfg.solve_obs,
+        plan: dist_plan,
+        ..Default::default()
+    };
+    let report = aj_core::solve(&plan.problem, backend, &opts)?;
+    Ok((
+        JobResult {
+            backend: report.backend,
+            converged: report.converged,
+            final_residual: report.final_residual,
+            samples: report.history.len(),
+            cache_hit,
+            queued: Duration::ZERO,
+            solved: Duration::ZERO,
+        },
+        report.metrics,
+    ))
+}

@@ -1,0 +1,196 @@
+//! Concurrency stress + property tests for the service invariants:
+//!
+//! * every submitted job completes or is *explicitly* shed — nothing lost;
+//! * the plan cache never exceeds its capacity bound;
+//! * queue accounting (`accepted + shed + drained = submitted`) holds for
+//!   arbitrary interleavings of submit / cancel / shutdown.
+
+use aj_serve::{JobOutcome, JobSpec, ServiceConfig, ShedReason, SolveService, PANIC_SELECTOR};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec(matrix: &str, backend: &str, seed: u64) -> JobSpec {
+    JobSpec {
+        matrix: matrix.into(),
+        backend: backend.into(),
+        seed,
+        threads: 2,
+        ranks: 4,
+        tol: 1e-4,
+        ..Default::default()
+    }
+}
+
+/// Many producer threads hammer a small service with a mixed workload
+/// (several specs × several backends, plus panics and cancellations).
+/// Every job must be answered, and the cache must respect its cap.
+#[test]
+fn stress_every_job_is_answered_and_cache_stays_bounded() {
+    const PRODUCERS: usize = 6;
+    const PER_PRODUCER: usize = 30;
+    let service = Arc::new(SolveService::start(ServiceConfig {
+        workers: 3,
+        queue_cap: 8,
+        cache_cap: 2, // small on purpose: force evictions under load
+        ..Default::default()
+    }));
+    let answered = Arc::new(AtomicU64::new(0));
+    let shed_at_door = Arc::new(AtomicU64::new(0));
+    let matrices = ["fd40", "fd68", "grid:8x8", PANIC_SELECTOR];
+    let backends = ["sync", "gs", "sim-async", "dist-async"];
+
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let service = Arc::clone(&service);
+            let answered = Arc::clone(&answered);
+            let shed_at_door = Arc::clone(&shed_at_door);
+            scope.spawn(move || {
+                let mut handles = Vec::new();
+                for i in 0..PER_PRODUCER {
+                    let k = p * PER_PRODUCER + i;
+                    let mut s = spec(
+                        matrices[k % matrices.len()],
+                        backends[(k / 3) % backends.len()],
+                        (k % 5) as u64,
+                    );
+                    if k.is_multiple_of(11) {
+                        s.deadline = Some(Duration::from_millis(1));
+                    }
+                    match service.submit(s) {
+                        Ok(h) => {
+                            if k.is_multiple_of(13) {
+                                h.cancel();
+                            }
+                            handles.push(h);
+                        }
+                        Err(ShedReason::QueueFull | ShedReason::ShuttingDown) => {
+                            shed_at_door.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("impossible door shed {other:?}"),
+                    }
+                    // Cache bound must hold at all times, not just at rest.
+                    assert!(service.cache().len() <= service.cache().cap());
+                }
+                for h in handles {
+                    // Done, Shed and Failed all count as answered; hanging
+                    // here forever is the failure mode this test exists for.
+                    let _ = h.wait();
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    service.shutdown(true);
+
+    let submitted = (PRODUCERS * PER_PRODUCER) as u64;
+    let answered = answered.load(Ordering::Relaxed);
+    let door = shed_at_door.load(Ordering::Relaxed);
+    assert_eq!(answered + door, submitted, "jobs went missing");
+    assert!(service.cache().len() <= service.cache().cap());
+    assert!(service.cache().evictions.get() > 0, "cap 2 never evicted");
+
+    // The metrics tell the same no-loss story.
+    let m = service.metrics();
+    assert_eq!(m.submitted.get(), submitted);
+    assert_eq!(m.accepted.get(), answered);
+    assert_eq!(
+        m.completed.get() + m.failed.get() + m.shed_total().saturating_sub(door),
+        answered,
+        "accepted jobs must all resolve"
+    );
+}
+
+/// Drop-based shutdown (draining) answers everything too.
+#[test]
+fn dropping_the_service_drains_outstanding_jobs() {
+    let service = SolveService::start(ServiceConfig {
+        workers: 2,
+        queue_cap: 16,
+        cache_cap: 2,
+        ..Default::default()
+    });
+    let handles: Vec<_> = (0..10)
+        .filter_map(|i| service.submit(spec("fd40", "sync", i)).ok())
+        .collect();
+    drop(service);
+    for h in handles {
+        assert!(
+            !matches!(h.wait(), JobOutcome::Shed(ShedReason::ShuttingDown)),
+            "draining drop shed a queued job"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Queue accounting holds for arbitrary service shapes and workloads:
+    /// submitted = accepted + shed-at-door, and every accepted job resolves
+    /// to exactly one of completed / failed / shed, so
+    /// accepted + shed + drained = submitted when the dust settles.
+    #[test]
+    fn queue_accounting_balances(
+        (workers, queue_cap, cache_cap) in (1usize..4, 1usize..6, 1usize..3),
+        jobs in collection::vec((0usize..6, 0u64..3, 0usize..8), 4..28),
+        drain in 0usize..2,
+    ) {
+        let service = SolveService::start(ServiceConfig {
+            workers,
+            queue_cap,
+            cache_cap,
+            ..Default::default()
+        });
+        let kinds = [
+            ("fd40", "sync"),
+            ("fd40", "gs"),
+            ("fd68", "sim-async"),
+            ("fd68", "dist-async"),
+            ("grid:6x6", "sync"),
+            (PANIC_SELECTOR, "sync"),
+        ];
+        let mut handles = Vec::new();
+        let mut door_shed = 0u64;
+        for &(kind, seed, tweak) in &jobs {
+            let (matrix, backend) = kinds[kind];
+            let mut s = spec(matrix, backend, seed);
+            if tweak == 0 {
+                s.deadline = Some(Duration::from_millis(1));
+            }
+            match service.submit(s) {
+                Ok(h) => {
+                    if tweak == 1 {
+                        h.cancel();
+                    }
+                    handles.push(h);
+                }
+                Err(_) => door_shed += 1,
+            }
+        }
+        service.shutdown(drain == 1);
+        let mut resolved = 0u64;
+        for h in &handles {
+            let out = h.wait();
+            prop_assert!(h.try_outcome().is_some());
+            match out {
+                JobOutcome::Done(_) | JobOutcome::Shed(_) | JobOutcome::Failed(_) => {
+                    resolved += 1;
+                }
+            }
+        }
+        let m = service.metrics();
+        prop_assert_eq!(m.submitted.get(), jobs.len() as u64);
+        prop_assert_eq!(m.accepted.get(), handles.len() as u64);
+        prop_assert_eq!(m.accepted.get() + door_shed, m.submitted.get());
+        prop_assert_eq!(resolved, m.accepted.get());
+        // Outcome counters partition the accepted set exactly: queue-side
+        // sheds = all sheds minus the door sheds counted above.
+        let queue_sheds = m.shed_total() - door_shed;
+        prop_assert_eq!(
+            m.completed.get() + m.failed.get() + queue_sheds,
+            m.accepted.get()
+        );
+        prop_assert!(service.cache().len() <= cache_cap.max(1));
+    }
+}

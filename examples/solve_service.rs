@@ -1,0 +1,96 @@
+//! The in-process solve-service API: submit, wait, hit the plan cache.
+//!
+//! ```sh
+//! cargo run --release --example solve_service
+//! ```
+//!
+//! `aj serve` wraps this same [`SolveService`] in a TCP front end; here we
+//! use it directly as a library. The script:
+//!
+//! 1. submit a 256-rank distributed solve — the first request pays for
+//!    matrix assembly, partitioning, and the communication plan (a cache
+//!    *miss*);
+//! 2. submit the identical spec again — the plan cache hands back the
+//!    assembled problem and comm plan, so only the solve itself remains
+//!    (a cache *hit*, visibly cheaper);
+//! 3. submit a job with an already-expired deadline to show a structured
+//!    shed (every job gets exactly one outcome, never a hang);
+//! 4. print the service's `aj-obs` snapshot: job accounting, cache
+//!    counters, and queue/solve latency quantiles.
+
+use aj_serve::{JobOutcome, JobSpec, ServiceConfig, SolveService};
+use std::time::Duration;
+
+fn main() {
+    let service = SolveService::start(ServiceConfig {
+        workers: 2,
+        queue_cap: 16,
+        cache_cap: 4,
+        ..Default::default()
+    });
+
+    let spec = JobSpec {
+        matrix: "suite:thermomech_dm:tiny".into(),
+        backend: "dist-async".into(),
+        ranks: 256,
+        tol: 1e-4,
+        ..Default::default()
+    };
+
+    // 1 + 2: the same spec twice — cold, then warm.
+    for label in ["cold cache", "warm cache"] {
+        let handle = service.submit(spec.clone()).expect("service is accepting");
+        match handle.wait() {
+            JobOutcome::Done(r) => println!(
+                "{label:>10}: {} converged={} rel.residual={:.2e} \
+                 (queued {:?}, solved {:?}, cache_hit={})",
+                r.backend, r.converged, r.final_residual, r.queued, r.solved, r.cache_hit
+            ),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    // 3: a deadline of zero can never be met — the worker sheds the job
+    // at pickup and the waiter still gets its one answer.
+    let doomed = service
+        .submit(JobSpec {
+            deadline: Some(Duration::ZERO),
+            ..spec.clone()
+        })
+        .expect("admission succeeds; the shed happens at pickup");
+    println!("{:>10}: {:?}", "deadline", doomed.wait());
+
+    // 4: the service's own accounting, as an aj-obs snapshot.
+    let snap = service.metrics_snapshot();
+    println!("\nservice snapshot:");
+    for key in [
+        "jobs_submitted",
+        "jobs_completed",
+        "jobs_shed_deadline",
+        "plan_cache_hits",
+        "plan_cache_misses",
+    ] {
+        println!(
+            "  {key:<22} {}",
+            snap.counters.get(key).copied().unwrap_or(0)
+        );
+    }
+    for (name, hist) in [
+        ("queue", snap.histograms.get("serve/queue_us")),
+        ("solve", snap.histograms.get("serve/solve_us")),
+    ] {
+        if let Some(h) = hist {
+            let mid = |q: f64| {
+                h.quantile_bounds(q)
+                    .map_or(0.0, |(lo, hi)| (lo + hi) as f64 / 2.0)
+            };
+            println!(
+                "  {name} latency         p50 ≈ {:.0} µs, p99 ≈ {:.0} µs",
+                mid(0.5),
+                mid(0.99)
+            );
+        }
+    }
+
+    service.shutdown(true);
+}

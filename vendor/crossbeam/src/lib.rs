@@ -1,10 +1,18 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::{scope, Scope, ScopedJoinHandle}` is provided —
-//! the surface this workspace consumes. Since Rust 1.63 the standard library
-//! ships scoped threads, so the stand-in is a thin adapter that keeps
-//! crossbeam's call shape: the spawn closure receives a `&Scope` argument
-//! and `scope` returns `Err` (instead of unwinding) when a child panics.
+//! Two surfaces are provided — exactly what this workspace consumes:
+//!
+//! * `crossbeam::thread::{scope, Scope, ScopedJoinHandle}` — since Rust
+//!   1.63 the standard library ships scoped threads, so the stand-in is a
+//!   thin adapter that keeps crossbeam's call shape: the spawn closure
+//!   receives a `&Scope` argument and `scope` returns `Err` (instead of
+//!   unwinding) when a child panics.
+//! * `crossbeam::channel::{bounded, Sender, Receiver, …}` — a bounded MPMC
+//!   channel over `Mutex` + `Condvar` with crossbeam's disconnect
+//!   semantics (`try_send` reports `Full`/`Disconnected`, `recv` drains
+//!   the buffer before reporting disconnect). Not lock-free like the real
+//!   crate, but the `aj-serve` worker pool it backs dispatches whole solve
+//!   jobs, so channel overhead is noise.
 
 /// Scoped threads.
 pub mod thread {
@@ -96,6 +104,308 @@ pub mod thread {
                 scope.spawn(|_| panic!("boom"));
             });
             assert!(r.is_err());
+        }
+    }
+}
+
+/// Bounded multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The buffer is at capacity; the message is handed back.
+        Full(T),
+        /// Every receiver is gone; the message is handed back.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send`]: every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`]: the channel is empty and every
+    /// sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing buffered right now.
+        Empty,
+        /// Empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// Empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half; clonable (MPMC — receivers compete for items).
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Creates a bounded channel holding at most `cap` buffered messages.
+    /// `cap` of zero is clamped to one (this stand-in has no rendezvous
+    /// mode; nothing in the workspace uses it).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake receivers parked in recv so they observe disconnect.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends without blocking, reporting `Full` at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.buf.len() >= self.0.cap {
+                return Err(TrySendError::Full(value));
+            }
+            st.buf.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Sends, blocking while the buffer is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.buf.len() < self.0.cap {
+                    st.buf.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Number of currently buffered messages.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().buf.len()
+        }
+
+        /// Whether the buffer is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until a message arrives or every sender is
+        /// gone (buffered messages are always drained first).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            match st.buf.pop_front() {
+                Some(v) => {
+                    self.0.not_full.notify_one();
+                    Ok(v)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Receives, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.0.not_empty.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+        }
+
+        /// Number of currently buffered messages.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().buf.len()
+        }
+
+        /// Whether the buffer is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_rejects_when_full_and_drains_fifo() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = bounded::<u32>(4);
+            tx.try_send(7).unwrap();
+            drop(tx);
+            // Buffered messages drain before disconnect is reported.
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+            let (tx, rx) = bounded::<u32>(4);
+            drop(rx);
+            assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+            assert_eq!(tx.send(2), Err(SendError(2)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.try_send(5).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        }
+
+        #[test]
+        fn mpmc_competing_receivers_see_every_message() {
+            let (tx, rx) = bounded(8);
+            let total: u64 = std::thread::scope(|s| {
+                let consumers: Vec<_> = (0..3)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        s.spawn(move || {
+                            let mut sum = 0u64;
+                            while let Ok(v) = rx.recv() {
+                                sum += v;
+                            }
+                            sum
+                        })
+                    })
+                    .collect();
+                for v in 1..=100u64 {
+                    tx.send(v).unwrap();
+                }
+                drop(tx);
+                drop(rx);
+                consumers.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, 5050);
+        }
+
+        #[test]
+        fn blocking_send_unblocks_on_recv() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            std::thread::scope(|s| {
+                s.spawn(|| tx.send(2).unwrap());
+                std::thread::sleep(Duration::from_millis(5));
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv(), Ok(2));
+            });
         }
     }
 }
