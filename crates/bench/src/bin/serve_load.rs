@@ -2,8 +2,10 @@
 //!
 //! Drives a mixed workload (two matrices × three backends, two seeds each,
 //! so the plan cache sees repeats; `--workload dist256` swaps in the dmsim
-//! baseline's 256-rank `suite:thermomech_dm:tiny` problem) through the
-//! NDJSON-over-TCP protocol in two classic modes:
+//! baseline's 256-rank `suite:thermomech_dm:tiny` problem; `--method M`
+//! stamps a relaxation-method selector onto every request, which also
+//! exercises the server's per-problem method-resolution memoization)
+//! through the NDJSON-over-TCP protocol in two classic modes:
 //!
 //! * **closed loop** — `--conns` connections, each submit → wait → repeat;
 //!   measures service capacity with bounded concurrency;
@@ -55,6 +57,7 @@ struct Cli {
     seed: u64,
     out: String,
     workload: Workload,
+    method: String,
 }
 
 /// Which request mix to generate.
@@ -81,6 +84,7 @@ fn parse_cli() -> Result<Cli, String> {
         seed: 2018,
         out: "BENCH_serve.json".into(),
         workload: Workload::Mixed,
+        method: "jacobi".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -115,6 +119,7 @@ fn parse_cli() -> Result<Cli, String> {
                     .map_err(|_| "bad --seed".to_string())?
             }
             "--out" => cli.out = value("--out")?,
+            "--method" => cli.method = value("--method")?,
             "--workload" => {
                 cli.workload = match value("--workload")?.as_str() {
                     "mixed" => Workload::Mixed,
@@ -136,8 +141,8 @@ fn parse_cli() -> Result<Cli, String> {
 /// three backends × two seeds = 4 distinct plan-cache keys, every one of
 /// them revisited many times per run; dist256 replays the dmsim baseline's
 /// 256-rank problem through the service.
-fn job_spec(workload: Workload, k: usize) -> JobSpec {
-    match workload {
+fn job_spec(workload: Workload, k: usize, method: &str) -> JobSpec {
+    let spec = match workload {
         Workload::Mixed => {
             let mix = [
                 ("fd68", "sync"),
@@ -171,6 +176,10 @@ fn job_spec(workload: Workload, k: usize) -> JobSpec {
             tol: 1e-4,
             ..Default::default()
         },
+    };
+    JobSpec {
+        method: method.into(),
+        ..spec
     }
 }
 
@@ -262,7 +271,13 @@ impl Conn {
 }
 
 /// Closed loop: `conns` client threads, one request in flight each.
-fn closed_loop(addr: &str, workload: Workload, jobs: usize, conns: usize) -> Result<Tally, String> {
+fn closed_loop(
+    addr: &str,
+    workload: Workload,
+    jobs: usize,
+    conns: usize,
+    method: &str,
+) -> Result<Tally, String> {
     let started = Instant::now();
     let tallies: Vec<Result<Tally, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
@@ -275,7 +290,7 @@ fn closed_loop(addr: &str, workload: Workload, jobs: usize, conns: usize) -> Res
                         let sent = Instant::now();
                         conn.send(&Request::Solve {
                             id: k as u64,
-                            spec: job_spec(workload, k),
+                            spec: job_spec(workload, k, method),
                         })?;
                         t.sent += 1;
                         t.absorb(&conn.recv()?, sent.elapsed())?;
@@ -309,6 +324,7 @@ fn open_loop(
     jobs: usize,
     rate: f64,
     seed: u64,
+    method: &str,
 ) -> Result<Tally, String> {
     let conn = Conn::connect(addr)?;
     let mut writer = conn.writer;
@@ -345,7 +361,7 @@ fn open_loop(
         sent_at.insert(k as u64, Instant::now());
         let mut line = proto::render_request(&Request::Solve {
             id: k as u64,
-            spec: job_spec(workload, k),
+            spec: job_spec(workload, k, method),
         });
         line.push('\n');
         writer
@@ -438,8 +454,15 @@ fn run() -> Result<i32, String> {
         "serve_load: {} jobs/mode against {addr} (closed ×{} conns, open @{} jobs/s)",
         cli.jobs, cli.conns, cli.rate
     );
-    let closed = closed_loop(&addr, cli.workload, cli.jobs, cli.conns.max(1))?;
-    let open = open_loop(&addr, cli.workload, cli.jobs, cli.rate.max(1.0), cli.seed)?;
+    let closed = closed_loop(&addr, cli.workload, cli.jobs, cli.conns.max(1), &cli.method)?;
+    let open = open_loop(
+        &addr,
+        cli.workload,
+        cli.jobs,
+        cli.rate.max(1.0),
+        cli.seed,
+        &cli.method,
+    )?;
     let stats = fetch_stats(&addr)?;
 
     if cli.shutdown || cli.embed {

@@ -139,6 +139,10 @@ pub fn solve(args: &Args) -> Result<i32, String> {
         max_iterations: args.get_or("max-iters", 100_000u64)?,
         norm: Norm::L1,
         omega: args.get_or("omega", 1.0)?,
+        method: match args.get("method") {
+            Some(selector) => aj_core::spec::parse_method(selector)?,
+            None => aj_core::linalg::method::Method::Jacobi,
+        },
         seed,
         faults: fault_plan(args, seed)?,
         staleness_timeout: args

@@ -51,6 +51,12 @@ SOLVE OPTIONS:
   --tol T            relative residual tolerance       (default 1e-6)
   --max-iters N      iteration cap                     (default 100000)
   --omega W          relaxation weight                 (default 1.0)
+  --method M         relaxation method (default jacobi):
+                       jacobi | richardson1[:omega=<w>|auto] |
+                       richardson2[:omega=<w>|auto][:beta=<b>] |
+                       rwr[:fraction=<f>]
+                     (omega=auto estimates the preconditioned spectrum;
+                      applies to Jacobi-family backends, not gs/cg)
   --seed S           workload seed                     (default 2018)
   --detect           use the distributed termination-detection protocol
   --staleness T      with --detect: presume a rank dead after T simulated

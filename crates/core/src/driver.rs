@@ -11,6 +11,7 @@ use aj_dmsim::{
     run_dist_async_plan, run_dist_sync_plan, DistConfig, FaultPlan, FaultStats,
     TerminationProtocol, TerminationStats,
 };
+use aj_linalg::method::{method_solve, Method, ResolvedMethod};
 use aj_linalg::vecops::Norm;
 use aj_linalg::{krylov, sweeps};
 use aj_obs::{ObsConfig, Snapshot};
@@ -62,6 +63,14 @@ pub struct SolveOptions {
     pub norm: Norm,
     /// Relaxation weight (ignored by CG).
     pub omega: f64,
+    /// Relaxation method (see [`aj_linalg::method`] and
+    /// [`crate::spec::parse_method`]). The default [`Method::Jacobi`] keeps
+    /// every backend on its classic path; non-default methods are honoured
+    /// by the Jacobi-family backends (sequential Jacobi, real threads, and
+    /// both simulators) and rejected by Gauss–Seidel and CG. `omega=auto`
+    /// variants estimate the preconditioned spectrum from the problem's
+    /// matrix at solve time.
+    pub method: Method,
     /// Seed for simulated-backend jitter.
     pub seed: u64,
     /// Fault injection for the asynchronous simulated distributed backend
@@ -95,6 +104,7 @@ impl Default for SolveOptions {
             max_iterations: 100_000,
             norm: Norm::L1,
             omega: 1.0,
+            method: Method::Jacobi,
             seed: 2018,
             faults: None,
             staleness_timeout: None,
@@ -159,6 +169,27 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             "fault injection requires the asynchronous simulated distributed backend".into(),
         );
     }
+    // Resolve the method once against this problem's matrix (free for the
+    // default; `omega=auto` runs the Lanczos spectrum estimate here).
+    let method = opts
+        .method
+        .resolve(&p.a, opts.seed)
+        .map_err(|e| format!("method {}: {e}", opts.method.name()))?;
+    if !matches!(method, ResolvedMethod::Jacobi)
+        && matches!(backend, Backend::GaussSeidel | Backend::ConjugateGradient)
+    {
+        return Err(format!(
+            "method {} applies to the Jacobi-family backends only",
+            method.label()
+        ));
+    }
+    // Tag non-default methods onto the backend label so reports and logs
+    // say which update rule actually ran.
+    let method_tag = if matches!(method, ResolvedMethod::Jacobi) {
+        String::new()
+    } else {
+        format!(" [{}]", method.label())
+    };
     let report = |label: String, x: Vec<f64>, history: Vec<(f64, f64)>| {
         let final_residual = p.relative_residual(&x, opts.norm);
         SolveReport {
@@ -175,7 +206,25 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
     };
     match backend {
         Backend::Jacobi => {
-            if opts.omega == 1.0 {
+            if !matches!(method, ResolvedMethod::Jacobi) {
+                let out = method_solve(
+                    &p.a,
+                    &p.b,
+                    &p.x0,
+                    &method,
+                    opts.tol,
+                    opts.max_iterations as usize,
+                    opts.norm,
+                )
+                .map_err(|e| e.to_string())?;
+                let curve = out
+                    .history
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &r)| (k as f64, r))
+                    .collect();
+                Ok(report(format!("sequential{method_tag}"), out.x, curve))
+            } else if opts.omega == 1.0 {
                 let (x, hist) = sweeps::jacobi_solve(
                     &p.a,
                     &p.b,
@@ -262,12 +311,13 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
                 norm: opts.norm,
                 mode: aj_shmem::Mode::Asynchronous,
                 omega: opts.omega,
+                method,
                 obs: opts.obs,
                 ..Default::default()
             };
             let out = aj_shmem::solver::run(&p.a, &p.b, &p.x0, &cfg);
             let mut rep = report(
-                format!("async threads ×{workers}"),
+                format!("async threads ×{workers}{method_tag}"),
                 out.x,
                 out.residual_history,
             );
@@ -283,6 +333,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.max_iterations = opts.max_iterations;
             cfg.norm = opts.norm;
             cfg.omega = opts.omega;
+            cfg.method = method;
             cfg.obs = opts.obs;
             let out = if asynchronous {
                 run_shmem_async(&p.a, &p.b, &p.x0, &cfg)
@@ -291,7 +342,11 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             };
             let curve = out.samples.iter().map(|s| (s.time, s.residual)).collect();
             let kind = if asynchronous { "async" } else { "sync" };
-            let mut rep = report(format!("simulated {kind} threads ×{workers}"), out.x, curve);
+            let mut rep = report(
+                format!("simulated {kind} threads ×{workers}{method_tag}"),
+                out.x,
+                curve,
+            );
             rep.metrics = out.obs;
             Ok(rep)
         }
@@ -315,6 +370,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.max_iterations = opts.max_iterations;
             cfg.norm = opts.norm;
             cfg.omega = opts.omega;
+            cfg.method = method;
             cfg.obs = opts.obs;
             if detect && asynchronous {
                 let mut proto = TerminationProtocol::default();
@@ -333,7 +389,11 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             };
             let curve = out.samples.iter().map(|s| (s.time, s.residual)).collect();
             let kind = if asynchronous { "async" } else { "sync" };
-            let mut rep = report(format!("simulated {kind} ranks ×{ranks}"), out.x, curve);
+            let mut rep = report(
+                format!("simulated {kind} ranks ×{ranks}{method_tag}"),
+                out.x,
+                curve,
+            );
             rep.comm = Some(out.comm);
             rep.termination = out.termination;
             rep.faults = out.faults;
@@ -505,6 +565,80 @@ mod tests {
             ..Default::default()
         };
         assert!(solve(&p, backend, &wrong).is_err());
+    }
+
+    #[test]
+    fn methods_flow_through_every_jacobi_family_backend() {
+        let p = problem();
+        for selector in [
+            "richardson1:omega=0.9",
+            "richardson2:omega=1.0:beta=0.3",
+            "rwr:fraction=0.5",
+        ] {
+            let opts = SolveOptions {
+                tol: 1e-5,
+                method: crate::spec::parse_method(selector).unwrap(),
+                ..Default::default()
+            };
+            for backend in [
+                Backend::Jacobi,
+                Backend::AsyncThreads { workers: 2 },
+                Backend::SimShared {
+                    workers: 4,
+                    asynchronous: true,
+                },
+                Backend::SimShared {
+                    workers: 4,
+                    asynchronous: false,
+                },
+                Backend::SimDistributed {
+                    ranks: 4,
+                    asynchronous: true,
+                    detect: false,
+                },
+                Backend::SimDistributed {
+                    ranks: 4,
+                    asynchronous: false,
+                    detect: false,
+                },
+            ] {
+                let r = solve(&p, backend, &opts)
+                    .unwrap_or_else(|e| panic!("{selector} on {backend:?}: {e}"));
+                assert!(
+                    r.converged,
+                    "{selector} on {} failed: {}",
+                    r.backend, r.final_residual
+                );
+                let name = opts.method.name();
+                assert!(
+                    r.backend.contains(name),
+                    "label '{}' must name the method {name}",
+                    r.backend
+                );
+            }
+            // Non-Jacobi-family backends reject the method instead of
+            // silently running their own iteration.
+            assert!(solve(&p, Backend::GaussSeidel, &opts).is_err());
+            assert!(solve(&p, Backend::ConjugateGradient, &opts).is_err());
+        }
+    }
+
+    #[test]
+    fn omega_auto_momentum_beats_plain_jacobi_in_iterations() {
+        let p = problem();
+        let opts = SolveOptions {
+            method: crate::spec::parse_method("richardson2:omega=auto").unwrap(),
+            ..Default::default()
+        };
+        let r2 = solve(&p, Backend::Jacobi, &opts).unwrap();
+        let j = solve(&p, Backend::Jacobi, &SolveOptions::default()).unwrap();
+        assert!(r2.converged && j.converged);
+        assert!(
+            r2.history.len() * 2 < j.history.len(),
+            "momentum {} vs jacobi {} iterations",
+            r2.history.len(),
+            j.history.len()
+        );
     }
 
     #[test]

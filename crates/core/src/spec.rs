@@ -10,6 +10,7 @@
 
 use crate::driver::Backend;
 use crate::problem::Problem;
+use aj_linalg::method::{Method, OmegaSpec};
 use aj_matrices::suite::Scale;
 
 /// Builds a [`Problem`] from a selector string.
@@ -31,10 +32,20 @@ pub fn load_problem(selector: &str, seed: u64) -> Result<Problem, String> {
             None | Some("small") => Scale::Small,
             Some("tiny") => Scale::Tiny,
             Some("medium") => Scale::Medium,
-            Some(other) => return Err(format!("unknown scale: {other}")),
+            Some(other) => {
+                return Err(format!(
+                    "unknown scale '{other}' in selector '{selector}' (want tiny|small|medium)"
+                ))
+            }
         };
+        if let Some(extra) = parts.next() {
+            return Err(format!(
+                "trailing part '{extra}' in selector '{selector}' \
+                 (want suite:NAME[:tiny|small|medium])"
+            ));
+        }
         return Problem::suite(name, scale, seed)
-            .ok_or_else(|| format!("unknown suite problem: {name}"));
+            .ok_or_else(|| format!("unknown suite problem '{name}' in selector '{selector}'"));
     }
     if let Some(path) = selector.strip_prefix("mtx:") {
         return Problem::from_matrix_market(std::path::Path::new(path), seed)
@@ -49,6 +60,124 @@ pub fn load_problem(selector: &str, seed: u64) -> Result<Problem, String> {
         return Problem::from_matrix(format!("grid-{nx}x{ny}"), a, seed).map_err(|e| e.to_string());
     }
     Err(format!("unknown matrix selector: {selector} (try --help)"))
+}
+
+/// The accepted relaxation-method grammar, quoted in full by every
+/// rejection so a user never has to guess which part of the selector was
+/// wrong.
+pub const METHOD_GRAMMAR: &str = "jacobi | richardson1[:omega=<w>|auto] \
+     | richardson2[:omega=<w>|auto][:beta=<b>] | rwr[:fraction=<f>]";
+
+fn method_err(selector: &str, what: &str) -> String {
+    format!("bad method selector '{selector}': {what} (grammar: {METHOD_GRAMMAR})")
+}
+
+/// Parses a relaxation-method selector (`jacobi`,
+/// `richardson1:omega=auto`, `richardson2:omega=auto:beta=0.3`,
+/// `rwr:fraction=0.5`, …) into a [`Method`]. A leading `method=` is
+/// accepted so full spec fragments can be passed through verbatim.
+///
+/// Every rejection reports the *full* selector string and the accepted
+/// grammar, not just the offending key.
+pub fn parse_method(selector: &str) -> Result<Method, String> {
+    let spec = selector.strip_prefix("method=").unwrap_or(selector);
+    if spec.is_empty() {
+        return Err(method_err(selector, "empty method name"));
+    }
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default();
+    let mut kv: Vec<(&str, &str)> = Vec::new();
+    for part in parts {
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(method_err(
+                selector,
+                &format!("expected key=value, got '{part}'"),
+            ));
+        };
+        if kv.iter().any(|&(seen, _)| seen == k) {
+            return Err(method_err(selector, &format!("duplicate key '{k}'")));
+        }
+        kv.push((k, v));
+    }
+    let parse_f64 = |key: &str, v: &str| -> Result<f64, String> {
+        v.parse::<f64>()
+            .map_err(|_| method_err(selector, &format!("invalid value '{v}' for key '{key}'")))
+    };
+    let parse_omega = |v: &str| -> Result<OmegaSpec, String> {
+        if v == "auto" {
+            Ok(OmegaSpec::Auto)
+        } else {
+            Ok(OmegaSpec::Fixed(parse_f64("omega", v)?))
+        }
+    };
+    let reject_unknown = |allowed: &[&str]| -> Result<(), String> {
+        for &(k, _) in &kv {
+            if !allowed.contains(&k) {
+                return Err(method_err(
+                    selector,
+                    &format!(
+                        "unknown key '{k}' for method '{name}' (allowed: {})",
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    };
+    let lookup = |key: &str| kv.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+    match name {
+        "jacobi" => {
+            reject_unknown(&[])?;
+            Ok(Method::Jacobi)
+        }
+        "richardson1" => {
+            reject_unknown(&["omega"])?;
+            let omega = match lookup("omega") {
+                Some(v) => parse_omega(v)?,
+                None => OmegaSpec::Auto,
+            };
+            Ok(Method::Richardson1 { omega })
+        }
+        "richardson2" => {
+            reject_unknown(&["omega", "beta"])?;
+            let omega = match lookup("omega") {
+                Some(v) => parse_omega(v)?,
+                None => OmegaSpec::Auto,
+            };
+            let beta = match lookup("beta") {
+                Some(v) => Some(parse_f64("beta", v)?),
+                None => None,
+            };
+            if let Some(b) = beta {
+                if !(0.0..1.0).contains(&b) {
+                    return Err(method_err(
+                        selector,
+                        &format!("beta must lie in [0, 1), got {b}"),
+                    ));
+                }
+            }
+            Ok(Method::Richardson2 { omega, beta })
+        }
+        "rwr" | "randomized" => {
+            reject_unknown(&["fraction"])?;
+            let fraction = match lookup("fraction") {
+                Some(v) => parse_f64("fraction", v)?,
+                None => 0.5,
+            };
+            if !(fraction > 0.0 && fraction <= 1.0) {
+                return Err(method_err(
+                    selector,
+                    &format!("fraction must lie in (0, 1], got {fraction}"),
+                ));
+            }
+            Ok(Method::RandomizedResidual { fraction })
+        }
+        other => Err(method_err(selector, &format!("unknown method '{other}'"))),
+    }
 }
 
 /// Parses a backend name (`sync`, `gs`, `cg`, `async-threads`, `sim-async`,
@@ -128,6 +257,106 @@ mod tests {
         assert!(load_problem("suite:ecology2:giant", 1).is_err());
         assert!(load_problem("grid:5by7", 1).is_err());
         assert!(load_problem("mtx:/does/not/exist.mtx", 1).is_err());
+    }
+
+    #[test]
+    fn selector_errors_quote_the_full_selector() {
+        for bad in [
+            "suite:ecology2:giant",
+            "suite:nope",
+            "suite:ecology2:tiny:junk",
+        ] {
+            let err = load_problem(bad, 1).unwrap_err();
+            assert!(err.contains(bad), "error '{err}' must quote '{bad}'");
+        }
+    }
+
+    #[test]
+    fn methods_parse() {
+        use aj_linalg::method::{Method, OmegaSpec};
+        assert_eq!(parse_method("jacobi").unwrap(), Method::Jacobi);
+        assert_eq!(parse_method("method=jacobi").unwrap(), Method::Jacobi);
+        assert_eq!(
+            parse_method("richardson1").unwrap(),
+            Method::Richardson1 {
+                omega: OmegaSpec::Auto
+            }
+        );
+        assert_eq!(
+            parse_method("richardson1:omega=0.8").unwrap(),
+            Method::Richardson1 {
+                omega: OmegaSpec::Fixed(0.8)
+            }
+        );
+        assert_eq!(
+            parse_method("method=richardson2:omega=auto").unwrap(),
+            Method::Richardson2 {
+                omega: OmegaSpec::Auto,
+                beta: None
+            }
+        );
+        assert_eq!(
+            parse_method("richardson2:omega=0.9:beta=0.25").unwrap(),
+            Method::Richardson2 {
+                omega: OmegaSpec::Fixed(0.9),
+                beta: Some(0.25)
+            }
+        );
+        assert_eq!(
+            parse_method("rwr").unwrap(),
+            Method::RandomizedResidual { fraction: 0.5 }
+        );
+        assert_eq!(
+            parse_method("randomized:fraction=0.25").unwrap(),
+            Method::RandomizedResidual { fraction: 0.25 }
+        );
+    }
+
+    #[test]
+    fn method_rejections_quote_selector_and_grammar() {
+        // One case per rejection path: empty name, unknown method, bare key
+        // without '=', duplicate key, unknown key for the method, bad
+        // numeric value, and out-of-range parameters.
+        for bad in [
+            "",
+            "method=",
+            "sor",
+            "richardson1:omega",
+            "richardson1:omega=0.8:omega=0.9",
+            "jacobi:omega=0.5",
+            "richardson1:beta=0.5",
+            "richardson2:fraction=0.5",
+            "rwr:omega=auto",
+            "richardson1:omega=fast",
+            "richardson2:beta=nope",
+            "rwr:fraction=zero",
+            "richardson2:beta=1.5",
+            "rwr:fraction=0",
+            "rwr:fraction=1.5",
+        ] {
+            let err = parse_method(bad).unwrap_err();
+            assert!(err.contains(bad), "error '{err}' must quote '{bad}'");
+            assert!(
+                err.contains(METHOD_GRAMMAR),
+                "error '{err}' must state the grammar"
+            );
+        }
+    }
+
+    #[test]
+    fn resolved_method_spec_roundtrips_through_the_grammar() {
+        use aj_linalg::method::Method;
+        let p = load_problem("fd68", 1).unwrap();
+        let m = parse_method("richardson2:omega=auto").unwrap();
+        let resolved = m.resolve(&p.a, 1).unwrap();
+        // A resolved method re-enters through its canonical selector with
+        // the parameters already fixed — no second spectrum estimate.
+        let reparsed = parse_method(&resolved.to_spec()).unwrap();
+        assert!(matches!(
+            reparsed,
+            Method::Richardson2 { beta: Some(_), .. }
+        ));
+        assert_eq!(reparsed.resolve(&p.a, 1).unwrap(), resolved);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::monitor::{ResidualMonitor, SimOutcome};
 use crate::obsrec::EngineObs;
 use crate::shmem_sim::{SimDelay, StopRule};
 use crate::termination::{RootAggregator, TerminationProtocol, TerminationStats};
+use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::vecops::Norm;
 use aj_linalg::CsrMatrix;
 use aj_obs::{ObsConfig, SpanKind};
@@ -78,6 +79,11 @@ pub struct DistConfig {
     /// Relaxation weight ω (1.0 = plain Jacobi; damping ω < 1 shrinks the
     /// spectrum of the local iteration).
     pub omega: f64,
+    /// Relaxation method (see [`aj_linalg::method`]). The default
+    /// [`ResolvedMethod::Jacobi`] keeps the engine bit-identical to the
+    /// pre-method build; non-Jacobi methods require
+    /// [`LocalSolve::Jacobi`] (the method *is* the local update rule).
+    pub method: ResolvedMethod,
     /// Local subdomain solver.
     pub local_solve: LocalSolve,
     /// When set, the asynchronous solver stops through the distributed
@@ -117,6 +123,7 @@ impl DistConfig {
             stop: StopRule::Tolerance,
             variant: DistVariant::Racy,
             omega: 1.0,
+            method: ResolvedMethod::Jacobi,
             local_solve: LocalSolve::Jacobi,
             termination: None,
             faults: None,
@@ -348,6 +355,12 @@ pub fn run_dist_async_plan(
     if let Some(d) = config.delay {
         assert!(d.worker < nparts, "delayed rank {} out of range", d.worker);
     }
+    assert!(
+        matches!(config.method, ResolvedMethod::Jacobi)
+            || matches!(config.local_solve, LocalSolve::Jacobi),
+        "non-Jacobi relaxation methods replace the Jacobi local update; \
+         they cannot be combined with a Gauss-Seidel local solve"
+    );
     // A `None` (or empty) plan draws no RNG and resolves every link clean,
     // so fault-free runs stay byte-identical to the pre-fault engine.
     let fault_plan = config.faults.as_ref().filter(|p| !p.is_empty());
@@ -424,6 +437,18 @@ pub fn run_dist_async_plan(
     // Scratch reused across every Jacobi sweep (two-phase staging buffer).
     let max_owned = ranks.iter().map(|r| r.local.n_owned()).max().unwrap_or(0);
     let mut sweep_values: Vec<f64> = Vec::with_capacity(max_owned);
+    // Residual-weight scratch for randomized row selection.
+    let mut sweep_weights: Vec<f64> = Vec::with_capacity(max_owned);
+    // Momentum state, globally indexed (each row has exactly one owner, so
+    // ranks never alias): x_prev[g] is the value row g held *before* its
+    // owner's last committed relaxation. Seeded with x0 so the first sweep's
+    // momentum term vanishes; a crashed rank's entries simply stay at the
+    // last committed state, which is exactly the restart semantics.
+    let mut x_prev_global: Vec<f64> = if config.method.needs_previous_iterate() {
+        x0.to_vec()
+    } else {
+        Vec::new()
+    };
     // Free list of put payload buffers: a consumed PutArrive returns its
     // `Vec<f64>` here instead of dropping it, so steady-state sweeps issue
     // puts without touching the allocator.
@@ -472,24 +497,87 @@ pub fn run_dist_async_plan(
                 }
                 // Relax against the freshest window contents as of now.
                 let n_owned = ranks[r].local.n_owned();
-                match config.local_solve {
-                    LocalSolve::Jacobi => {
-                        // Two-phase: all residuals from the same state.
-                        sweep_values.clear();
-                        {
-                            let rank = &ranks[r];
-                            for row in 0..n_owned {
-                                let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
-                                sweep_values.push(
-                                    rank.x[row] + config.omega * rank.local.diag_inv[row] * res,
-                                );
+                let swept = match config.local_solve {
+                    LocalSolve::Jacobi => match config.method {
+                        ResolvedMethod::Jacobi | ResolvedMethod::Richardson1 { .. } => {
+                            // Plain and first-order Richardson share one
+                            // arm: only ω differs, and the Jacobi path must
+                            // keep the exact pre-method arithmetic.
+                            let omega = match config.method {
+                                ResolvedMethod::Richardson1 { omega } => omega,
+                                _ => config.omega,
+                            };
+                            // Two-phase: all residuals from the same state.
+                            sweep_values.clear();
+                            {
+                                let rank = &ranks[r];
+                                for row in 0..n_owned {
+                                    let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
+                                    sweep_values
+                                        .push(rank.x[row] + omega * rank.local.diag_inv[row] * res);
+                                }
                             }
+                            for (l, v) in sweep_values.iter().enumerate() {
+                                ranks[r].x[l] = *v;
+                                x_global[ranks[r].local.global_owned[l]] = *v;
+                            }
+                            n_owned
                         }
-                        for (l, v) in sweep_values.iter().enumerate() {
-                            ranks[r].x[l] = *v;
-                            x_global[ranks[r].local.global_owned[l]] = *v;
+                        ResolvedMethod::Richardson2 { omega, beta } => {
+                            // Heavy-ball over the owned block; the momentum
+                            // term compares against the owner's previous
+                            // committed value, never a ghost.
+                            sweep_values.clear();
+                            {
+                                let rank = &ranks[r];
+                                for row in 0..n_owned {
+                                    let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
+                                    let g = rank.local.global_owned[row];
+                                    sweep_values.push(
+                                        rank.x[row]
+                                            + omega * rank.local.diag_inv[row] * res
+                                            + beta * (rank.x[row] - x_prev_global[g]),
+                                    );
+                                }
+                            }
+                            for (l, v) in sweep_values.iter().enumerate() {
+                                let g = ranks[r].local.global_owned[l];
+                                x_prev_global[g] = ranks[r].x[l];
+                                ranks[r].x[l] = *v;
+                                x_global[g] = *v;
+                            }
+                            n_owned
                         }
-                    }
+                        ResolvedMethod::RandomizedResidual { fraction, seed } => {
+                            // Residual-weighted selection over the owned
+                            // block; the stream index r+1 keeps rank draws
+                            // independent (stream 0 is the sync engine's).
+                            sweep_values.clear();
+                            sweep_weights.clear();
+                            {
+                                let rank = &ranks[r];
+                                for row in 0..n_owned {
+                                    let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
+                                    sweep_values.push(res);
+                                    sweep_weights.push(res.abs());
+                                }
+                            }
+                            let k = ((fraction * n_owned as f64).ceil() as usize).max(1);
+                            let chosen = method::select_residual_weighted(
+                                &sweep_weights,
+                                k,
+                                method::selection_seed(seed, r as u64 + 1, ranks[r].iterations),
+                            );
+                            let swept = chosen.len();
+                            for l in chosen {
+                                let v =
+                                    ranks[r].x[l] + ranks[r].local.diag_inv[l] * sweep_values[l];
+                                ranks[r].x[l] = v;
+                                x_global[ranks[r].local.global_owned[l]] = v;
+                            }
+                            swept
+                        }
+                    },
                     LocalSolve::GaussSeidel => {
                         // In-place: each row sees its predecessors' updates.
                         let rank = &mut ranks[r];
@@ -498,10 +586,11 @@ pub fn run_dist_async_plan(
                             rank.x[row] += config.omega * rank.local.diag_inv[row] * res;
                             x_global[rank.local.global_owned[row]] = rank.x[row];
                         }
+                        n_owned
                     }
-                }
+                };
                 ranks[r].iterations += 1;
-                relaxations += n_owned as u64;
+                relaxations += swept as u64;
                 if let Some(o) = obs.as_mut() {
                     if o.sweep_sampler.hit() {
                         for &gen in &ghost_gen[gen_base[r]..gen_base[r + 1]] {
@@ -805,6 +894,7 @@ pub fn run_dist_async_plan(
         let mut snap = o.into_snapshot(Some(&comm));
         snap.set_counter("relaxations", relaxations);
         snap.set_counter("ranks", nparts as u64);
+        snap.set_counter(&format!("method/{}", config.method.name()), 1);
         if let Some(fs) = fault_state.as_ref() {
             snap.set_counter("crashes", fs.stats.crash_times.len() as u64);
             snap.set_counter("recoveries", fs.stats.recovery_times.len() as u64);
@@ -879,6 +969,12 @@ pub fn run_dist_sync_plan(
 
     let mut x = x0.to_vec();
     let mut x_next = vec![0.0; n];
+    // Previous-iterate buffer for momentum; empty (never read) otherwise.
+    let mut x_prev = if matches!(config.method, ResolvedMethod::Jacobi) {
+        Vec::new()
+    } else {
+        x0.to_vec()
+    };
     let mut now = 0.0f64;
     let mut iters = 0u64;
     let mut relaxations = 0u64;
@@ -912,18 +1008,43 @@ pub fn run_dist_sync_plan(
             slowest = slowest.max(cost);
         }
         let exchange = config.cost.put_latency + config.cost.per_value_comm * max_send as f64;
-        aj_linalg::sweeps::weighted_jacobi_iteration(
-            a,
-            b,
-            &diag_inv,
-            config.omega,
-            &x,
-            &mut x_next,
-        );
-        std::mem::swap(&mut x, &mut x_next);
+        let swept = match config.method {
+            ResolvedMethod::Jacobi => {
+                // The pre-method path, untouched for bit-identity (and the
+                // only one where the legacy `omega` knob still applies).
+                aj_linalg::sweeps::weighted_jacobi_iteration(
+                    a,
+                    b,
+                    &diag_inv,
+                    config.omega,
+                    &x,
+                    &mut x_next,
+                );
+                std::mem::swap(&mut x, &mut x_next);
+                n
+            }
+            _ => {
+                // Synchronous mode is exactly one global dense-reference
+                // iteration per step, so every method-capable engine agrees
+                // bit-for-bit in sync mode.
+                let swept = method::method_iteration(
+                    a,
+                    b,
+                    &diag_inv,
+                    &config.method,
+                    iters,
+                    &x,
+                    &x_prev,
+                    &mut x_next,
+                );
+                std::mem::swap(&mut x_prev, &mut x);
+                std::mem::swap(&mut x, &mut x_next);
+                swept
+            }
+        };
         now += slowest + exchange;
         iters += 1;
-        relaxations += n as u64;
+        relaxations += swept as u64;
         monitor.observe(now, relaxations, &x);
     }
     monitor.finalize(now, relaxations, &x);
@@ -1195,5 +1316,137 @@ mod tests {
         cfg.tol = 0.0;
         let out = run_dist_async(&a, &b, &x0, &p, &cfg);
         assert!(out.worker_iterations.iter().all(|&i| i >= 25));
+    }
+
+    fn all_methods() -> Vec<ResolvedMethod> {
+        vec![
+            ResolvedMethod::Jacobi,
+            ResolvedMethod::Richardson1 { omega: 0.9 },
+            ResolvedMethod::Richardson2 {
+                omega: 1.0,
+                beta: 0.3,
+            },
+            ResolvedMethod::RandomizedResidual {
+                fraction: 0.5,
+                seed: 7,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_method_converges_async_distributed() {
+        let (a, b, x0) = problem(12, 12);
+        let p = block_partition(a.nrows(), 6);
+        for m in all_methods() {
+            let mut cfg = DistConfig::new(a.nrows(), 11);
+            cfg.method = m;
+            let o1 = run_dist_async(&a, &b, &x0, &p, &cfg);
+            assert!(
+                o1.converged,
+                "{} residual {}",
+                m.name(),
+                o1.final_residual()
+            );
+            // Every method keeps the event engine deterministic.
+            let o2 = run_dist_async(&a, &b, &x0, &p, &cfg);
+            assert_eq!(o1.x, o2.x, "{} must replay bitwise", m.name());
+            assert_eq!(o1.time, o2.time);
+        }
+    }
+
+    #[test]
+    fn sync_method_run_matches_the_dense_reference_bitwise() {
+        let (a, b, x0) = problem(10, 10);
+        let p = block_partition(a.nrows(), 4);
+        for m in all_methods().into_iter().skip(1) {
+            let mut cfg = DistConfig::new(a.nrows(), 3);
+            // Per-iteration sampling so the engine's stop check lands on
+            // the same iterate as the reference's (rwr relaxes fewer than
+            // n rows per sweep, which would desync the default cadence).
+            cfg.sample_every = 1;
+            cfg.method = m;
+            let out = run_dist_sync(&a, &b, &x0, &p, &cfg);
+            let reference = aj_linalg::method::method_solve(
+                &a,
+                &b,
+                &x0,
+                &m,
+                cfg.tol,
+                cfg.max_iterations as usize,
+                cfg.norm,
+            )
+            .unwrap();
+            assert!(out.converged && reference.converged, "{}", m.name());
+            assert_eq!(
+                out.x,
+                reference.x,
+                "sync dist {} must be the dense reference bit-for-bit",
+                m.name()
+            );
+            assert_eq!(out.relaxations, reference.relaxations, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn rwr_relaxes_only_the_selected_rows_distributed() {
+        let (a, b, x0) = problem(10, 10);
+        let p = block_partition(a.nrows(), 4); // 25 owned rows per rank
+        let mut cfg = DistConfig::new(a.nrows(), 13);
+        cfg.method = ResolvedMethod::RandomizedResidual {
+            fraction: 0.25,
+            seed: 5,
+        };
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        assert!(out.converged);
+        // ⌈0.25 · 25⌉ = 7 rows per sweep, on every rank.
+        let sweeps: u64 = out.worker_iterations.iter().sum();
+        assert_eq!(out.relaxations, sweeps * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "Gauss-Seidel")]
+    fn non_jacobi_method_rejects_gauss_seidel_local_solve() {
+        let (a, b, x0) = problem(6, 6);
+        let p = block_partition(a.nrows(), 2);
+        let mut cfg = DistConfig::new(a.nrows(), 1);
+        cfg.local_solve = LocalSolve::GaussSeidel;
+        cfg.method = ResolvedMethod::Richardson2 {
+            omega: 1.0,
+            beta: 0.3,
+        };
+        run_dist_async(&a, &b, &x0, &p, &cfg);
+    }
+
+    #[test]
+    fn momentum_converges_under_faults_distributed() {
+        // The fault path (crash + lossy links) composes with momentum: the
+        // recovered rank restarts from its last committed x and x_prev.
+        use crate::fault::{CrashFault, FaultPlan, LinkFault};
+        let (a, b, x0) = problem(12, 12);
+        let p = block_partition(a.nrows(), 6);
+        let mut cfg = DistConfig::new(a.nrows(), 21);
+        cfg.method = ResolvedMethod::Richardson2 {
+            omega: 1.0,
+            beta: 0.2,
+        };
+        let mut fp = FaultPlan::new(77);
+        fp.crashes.push(CrashFault {
+            rank: 2,
+            at: 400.0,
+            recover_after: Some(2_000.0),
+        });
+        fp.links.push(LinkFault {
+            from: Some(1),
+            to: None,
+            drop: 0.2,
+            duplicate: 0.1,
+            reorder: 0.1,
+            latency_factor: 2.0,
+        });
+        cfg.faults = Some(fp);
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        assert!(out.converged, "residual {}", out.final_residual());
+        let fs = out.faults.expect("fault stats recorded");
+        assert_eq!(fs.crash_times.len(), 1);
     }
 }

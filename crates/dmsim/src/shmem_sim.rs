@@ -11,6 +11,7 @@
 use crate::cost::{CostModel, WorkerJitter, TICK_SCALE};
 use crate::monitor::{ResidualMonitor, SimOutcome};
 use crate::obsrec::EngineObs;
+use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::vecops::Norm;
 use aj_linalg::CsrMatrix;
 use aj_obs::{ObsConfig, SpanKind};
@@ -60,8 +61,12 @@ pub struct ShmemSimConfig {
     pub sample_every: u64,
     /// Termination rule.
     pub stop: StopRule,
-    /// Relaxation weight ω (1.0 = plain Jacobi).
+    /// Relaxation weight ω (1.0 = plain Jacobi). Applies to the default
+    /// [`ResolvedMethod::Jacobi`]; the Richardson methods carry their own ω.
     pub omega: f64,
+    /// Relaxation method executed per sweep (default plain Jacobi; with
+    /// the default the engine is bit-identical to its pre-method form).
+    pub method: ResolvedMethod,
     /// Observability recording (off by default; the asynchronous block
     /// engine records per-worker staleness and sweep-period histograms and
     /// timelines into [`SimOutcome::obs`]).
@@ -82,6 +87,7 @@ impl ShmemSimConfig {
             sample_every: n as u64,
             stop: StopRule::Tolerance,
             omega: 1.0,
+            method: ResolvedMethod::Jacobi,
             obs: ObsConfig::off(),
         }
     }
@@ -195,9 +201,19 @@ pub fn run_shmem_async(
     let mut now = 0.0f64;
     let mut done = false;
     // Two-phase scratch, hoisted out of the event loop and reused by every
-    // sweep: the engine allocates nothing per event in steady state.
+    // sweep: the engine allocates nothing per event in steady state (the
+    // randomized-selection arm is the one exception — its weighted draw
+    // buffers are per-sweep).
     let mut values: Vec<f64> =
         Vec::with_capacity(ranges.iter().map(|r| r.len()).max().unwrap_or(0));
+    let mut weights: Vec<f64> = Vec::new();
+    // Momentum state: per-row value before the row's last relaxation, only
+    // materialized when the method reads it.
+    let mut x_prev = if config.method.needs_previous_iterate() {
+        x0.to_vec()
+    } else {
+        Vec::new()
+    };
     while let Some(Reverse((tick, _, w))) = queue.pop() {
         if done {
             break;
@@ -210,16 +226,58 @@ pub fn run_shmem_async(
         // available values (just-in-time reads). Two-phase within the
         // block: all residuals from the same state, then all corrections.
         let range = ranges[w].clone();
-        values.clear();
-        for i in range.clone() {
-            let r = b[i] - a.row_dot(i, &x);
-            values.push(x[i] + config.omega * diag_inv[i] * r);
-        }
-        for (offset, i) in range.clone().enumerate() {
-            x[i] = values[offset];
-        }
+        let swept = match config.method {
+            ResolvedMethod::Jacobi | ResolvedMethod::Richardson1 { .. } => {
+                let omega = match config.method {
+                    ResolvedMethod::Richardson1 { omega } => omega,
+                    _ => config.omega,
+                };
+                values.clear();
+                for i in range.clone() {
+                    let r = b[i] - a.row_dot(i, &x);
+                    values.push(x[i] + omega * diag_inv[i] * r);
+                }
+                for (offset, i) in range.clone().enumerate() {
+                    x[i] = values[offset];
+                }
+                range.len()
+            }
+            ResolvedMethod::Richardson2 { omega, beta } => {
+                values.clear();
+                for i in range.clone() {
+                    let r = b[i] - a.row_dot(i, &x);
+                    values.push(x[i] + omega * diag_inv[i] * r + beta * (x[i] - x_prev[i]));
+                }
+                for (offset, i) in range.clone().enumerate() {
+                    x_prev[i] = x[i];
+                    x[i] = values[offset];
+                }
+                range.len()
+            }
+            ResolvedMethod::RandomizedResidual { fraction, seed } => {
+                // Residual-weighted draw over the block, then plain Jacobi
+                // on the chosen rows; all residuals read the same state.
+                values.clear();
+                for i in range.clone() {
+                    values.push(b[i] - a.row_dot(i, &x));
+                }
+                weights.clear();
+                weights.extend(values.iter().map(|r| r.abs()));
+                let k = ((fraction * range.len() as f64).ceil() as usize).max(1);
+                let chosen = method::select_residual_weighted(
+                    &weights,
+                    k,
+                    method::selection_seed(seed, w as u64 + 1, iterations[w]),
+                );
+                for &c in &chosen {
+                    let i = range.start + c;
+                    x[i] += diag_inv[i] * values[c];
+                }
+                chosen.len()
+            }
+        };
         iterations[w] += 1;
-        relaxations += range.len() as u64;
+        relaxations += swept as u64;
         if let Some(o) = obs.as_mut() {
             if o.sweep_sampler.hit() {
                 for &nb in &neighbors[w] {
@@ -257,6 +315,7 @@ pub fn run_shmem_async(
     let obs_snapshot = obs.map(|o| {
         let mut snap = o.into_snapshot(None);
         snap.set_counter("relaxations", relaxations);
+        snap.set_counter(&format!("method/{}", config.method.name()), 1);
         snap.set_counter("workers", t as u64);
         snap.set_gauge("sim_time", now);
         snap.set_gauge(
@@ -521,6 +580,7 @@ pub fn run_shmem_sync(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemSimCon
 
     let mut x = x0.to_vec();
     let mut x_next = vec![0.0; n];
+    let mut x_prev = x0.to_vec();
     let mut now = 0.0f64;
     let mut relaxations = 0u64;
     let mut iters = 0u64;
@@ -556,18 +616,34 @@ pub fn run_shmem_sync(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemSimCon
             }
             slowest = slowest.max(cost);
         }
-        aj_linalg::sweeps::weighted_jacobi_iteration(
-            a,
-            b,
-            &diag_inv,
-            config.omega,
-            &x,
-            &mut x_next,
-        );
-        std::mem::swap(&mut x, &mut x_next);
+        let swept = match config.method {
+            // The classic path, untouched: lock-step (damped) Jacobi.
+            ResolvedMethod::Jacobi => {
+                aj_linalg::sweeps::weighted_jacobi_iteration(
+                    a,
+                    b,
+                    &diag_inv,
+                    config.omega,
+                    &x,
+                    &mut x_next,
+                );
+                std::mem::swap(&mut x, &mut x_next);
+                n
+            }
+            // Every other method routes through the shared dense reference
+            // iteration, so a synchronous simulated run is bit-identical to
+            // `aj_linalg::method::method_solve`.
+            m => {
+                let swept =
+                    method::method_iteration(a, b, &diag_inv, &m, iters, &x, &x_prev, &mut x_next);
+                std::mem::swap(&mut x_prev, &mut x);
+                std::mem::swap(&mut x, &mut x_next);
+                swept
+            }
+        };
         now += slowest + barrier;
         iters += 1;
-        relaxations += n as u64;
+        relaxations += swept as u64;
         monitor.observe(now, relaxations, &x);
     }
     monitor.finalize(now, relaxations, &x);
@@ -752,6 +828,115 @@ mod tests {
             analysis1.fraction()
         );
         assert!(analysis1.fraction() >= analysis.fraction());
+    }
+
+    #[test]
+    fn every_method_converges_asynchronously() {
+        let (a, b, x0) = fd68();
+        for method in [
+            ResolvedMethod::Richardson1 { omega: 0.9 },
+            ResolvedMethod::Richardson2 {
+                omega: 0.9,
+                beta: 0.3,
+            },
+            ResolvedMethod::RandomizedResidual {
+                fraction: 0.5,
+                seed: 2,
+            },
+        ] {
+            let mut cfg = ShmemSimConfig::new(8, 68, 3);
+            cfg.method = method;
+            let out = run_shmem_async(&a, &b, &x0, &cfg);
+            assert!(
+                out.converged,
+                "{} stalled at {}",
+                method.name(),
+                out.final_residual()
+            );
+            let o2 = run_shmem_async(&a, &b, &x0, &cfg);
+            assert_eq!(out.x, o2.x, "{} is not deterministic", method.name());
+        }
+    }
+
+    #[test]
+    fn momentum_needs_fewer_relaxations_than_jacobi() {
+        let (a, b, x0) = fd68();
+        let mut plain = ShmemSimConfig::new(8, 68, 9);
+        plain.tol = 1e-6;
+        let mut momentum = plain.clone();
+        // ω/β from the fd68 spectrum via the auto rule.
+        momentum.method = aj_linalg::method::Method::Richardson2 {
+            omega: aj_linalg::method::OmegaSpec::Auto,
+            beta: None,
+        }
+        .resolve(&a, 0)
+        .unwrap();
+        let o_plain = run_shmem_async(&a, &b, &x0, &plain);
+        let o_momentum = run_shmem_async(&a, &b, &x0, &momentum);
+        assert!(o_plain.converged && o_momentum.converged);
+        // The asynchronous block engine is already multiplicative
+        // (Gauss–Seidel-like), which eats part of momentum's synchronous
+        // advantage; it still has to win measurably.
+        assert!(
+            o_momentum.relaxations * 10 < o_plain.relaxations * 9,
+            "momentum {} vs jacobi {} relaxations",
+            o_momentum.relaxations,
+            o_plain.relaxations
+        );
+    }
+
+    #[test]
+    fn rwr_counts_only_the_selected_rows() {
+        let (a, b, x0) = fd68();
+        let mut cfg = ShmemSimConfig::new(4, 68, 5);
+        cfg.method = ResolvedMethod::RandomizedResidual {
+            fraction: 0.25,
+            seed: 11,
+        };
+        cfg.stop = StopRule::FixedIterations(10);
+        cfg.tol = 0.0;
+        let out = run_shmem_async(&a, &b, &x0, &cfg);
+        let sweeps: u64 = out.worker_iterations.iter().sum();
+        // Each 17-row block relaxes ⌈0.25·17⌉ = 5 rows per sweep.
+        assert_eq!(out.relaxations, sweeps * 5);
+    }
+
+    #[test]
+    fn sync_method_run_matches_the_dense_reference_bitwise() {
+        let (a, b, x0) = fd68();
+        for method in [
+            ResolvedMethod::Richardson1 { omega: 0.85 },
+            ResolvedMethod::Richardson2 {
+                omega: 0.9,
+                beta: 0.35,
+            },
+            ResolvedMethod::RandomizedResidual {
+                fraction: 0.5,
+                seed: 6,
+            },
+        ] {
+            let mut cfg = ShmemSimConfig::new(4, 68, 7);
+            cfg.tol = 1e-6;
+            cfg.method = method;
+            // Check convergence after every sweep, as the reference does —
+            // rwr relaxes fewer than `n` rows per sweep, so the default
+            // once-per-n-relaxations cadence would stop later.
+            cfg.sample_every = 1;
+            let out = run_shmem_sync(&a, &b, &x0, &cfg);
+            let reference = aj_linalg::method::method_solve(
+                &a,
+                &b,
+                &x0,
+                &method,
+                cfg.tol,
+                cfg.max_iterations as usize,
+                cfg.norm,
+            )
+            .unwrap();
+            assert!(out.converged && reference.converged, "{}", method.name());
+            assert_eq!(out.x, reference.x, "{} drifted bitwise", method.name());
+            assert_eq!(out.relaxations, reference.relaxations);
+        }
     }
 
     #[test]

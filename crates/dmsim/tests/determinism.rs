@@ -27,6 +27,7 @@ use aj_dmsim::shmem_sim::{
     run_shmem_async, run_shmem_async_rowwise, run_shmem_sync, ShmemSimConfig,
 };
 use aj_dmsim::termination::TerminationProtocol;
+use aj_linalg::method::ResolvedMethod;
 use aj_linalg::CsrMatrix;
 use aj_matrices::{fd, rhs};
 use aj_partition::block_partition;
@@ -213,6 +214,113 @@ const EXPECTED: &[(&str, usize, u64)] = &[
     ("dist_faulted_links", 141, 0x8500288c0f0308ce),
     ("dist_faulted_crash_term", 164, 0x9331d486d656e4a4),
 ];
+
+/// The three non-Jacobi methods, each through the distributed engine twice:
+/// once fault-free and once under the `dist_faulted_links` fault plan
+/// (lossy links + recovering crash + transient stall). Labelled like the
+/// main table.
+fn capture_methods() -> Vec<(&'static str, usize, u64)> {
+    let (a, b, x0) = lap144();
+    let p = block_partition(a.nrows(), 8);
+    let methods: [(&'static str, &'static str, ResolvedMethod); 3] = [
+        (
+            "dist_richardson1",
+            "dist_richardson1_faulted",
+            ResolvedMethod::Richardson1 { omega: 0.9 },
+        ),
+        (
+            "dist_richardson2",
+            "dist_richardson2_faulted",
+            ResolvedMethod::Richardson2 {
+                omega: 1.0,
+                beta: 0.3,
+            },
+        ),
+        (
+            "dist_rwr",
+            "dist_rwr_faulted",
+            ResolvedMethod::RandomizedResidual {
+                fraction: 0.5,
+                seed: 7,
+            },
+        ),
+    ];
+    let mut got = Vec::new();
+    for (clean_name, faulted_name, m) in methods {
+        let mut cfg = DistConfig::new(a.nrows(), 5);
+        cfg.method = m;
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        let (c, h) = fingerprint(&out);
+        got.push((clean_name, c, h));
+
+        let mut cfg = DistConfig::new(a.nrows(), 5);
+        cfg.method = m;
+        cfg.faults = Some(
+            FaultPlan::new(7)
+                .with_link(LinkFault {
+                    drop: 0.05,
+                    duplicate: 0.10,
+                    reorder: 0.10,
+                    latency_factor: 1.5,
+                    ..LinkFault::everywhere()
+                })
+                .with_crash(2, 10_000.0, Some(8_000.0))
+                .with_stall(5, 8_000.0, 6_000.0),
+        );
+        let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+        let (c, h) = fingerprint(&out);
+        got.push((faulted_name, c, h));
+    }
+    got
+}
+
+/// Golden fingerprints for the relaxation methods: one fault-free and one
+/// faulted run each, captured when the method abstraction landed. The
+/// `seeded-schedules` corpus under `results/` mirrors this table (see
+/// [`method_schedule_corpus_matches_results_file`]).
+const EXPECTED_METHODS: &[(&str, usize, u64)] = &[
+    ("dist_richardson1", 137, 0x5c9b2a5559f4b659),
+    ("dist_richardson1_faulted", 154, 0xe2abab0b99d58787),
+    ("dist_richardson2", 80, 0xcd72ed7a81197ae8),
+    ("dist_richardson2_faulted", 98, 0x11ac5ad84d72c45f),
+    ("dist_rwr", 90, 0x39ae0e5c3e091963),
+    ("dist_rwr_faulted", 98, 0xb144dbed4e0b6d5e),
+];
+
+#[test]
+fn method_runs_match_golden_fingerprints() {
+    let got = capture_methods();
+    let expected: Vec<(&str, usize, u64)> = EXPECTED_METHODS.to_vec();
+    if got != expected {
+        let mut table = String::new();
+        for (name, c, h) in &got {
+            table.push_str(&format!("    (\"{name}\", {c}, 0x{h:016x}),\n"));
+        }
+        panic!("method fingerprints changed — semantics drifted.\nActual table:\n{table}");
+    }
+}
+
+/// The seeded-schedule regression corpus: `results/method_schedules.csv`
+/// holds one row per method run (same runs as [`capture_methods`]), and a
+/// fresh capture must regenerate it byte for byte. The file is the
+/// repo-level record; this test is what keeps it honest.
+#[test]
+fn method_schedule_corpus_matches_results_file() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/method_schedules.csv"
+    );
+    let recorded =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("corpus {path} must exist: {e}"));
+    let mut fresh = String::from("run,samples,fingerprint\n");
+    for (name, c, h) in capture_methods() {
+        fresh.push_str(&format!("{name},{c},0x{h:016x}\n"));
+    }
+    assert_eq!(
+        recorded, fresh,
+        "results/method_schedules.csv is stale — regenerate it from this test's capture"
+    );
+}
 
 #[test]
 fn engines_match_pre_optimization_fingerprints() {

@@ -14,6 +14,7 @@ use aj_dmsim::dist::{run_dist_async, DistConfig};
 use aj_dmsim::fault::{FaultPlan, LinkFault};
 use aj_dmsim::monitor::SimOutcome;
 use aj_dmsim::termination::TerminationProtocol;
+use aj_linalg::method::ResolvedMethod;
 use aj_linalg::CsrMatrix;
 use aj_matrices::{fd, rhs};
 use aj_partition::{block_partition, Partition};
@@ -197,22 +198,37 @@ fn empty_fault_plan_is_byte_identical_to_none() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Theorem 1 under arbitrary faults, stated honestly. The theorem's
-    /// `‖Ĥ(k)‖₁ = 1` applies to the *propagation model*, where relaxing
-    /// rows read current values; a relaxation against stale ghosts (put in
-    /// flight, dropped, or regressed by a reordered/duplicated delivery)
-    /// falls outside it — §IV-A's conditions exist precisely to decide
-    /// which real asynchronous relaxations the model covers — and can grow
-    /// the true residual *transiently* (measured: up to ~17% per step
-    /// under 30% drop + reorder). What survives arbitrary fault plans,
-    /// with zero violations across hundreds of sampled heavy-fault runs:
-    /// the sampled residual 1-norm never exceeds its initial value, ends
-    /// no higher than it started, and any transient growth is bounded.
+    /// Theorem 1 under arbitrary faults, stated honestly and extended to
+    /// every relaxation method. The theorem's `‖Ĥ(k)‖₁ = 1` applies to the
+    /// *propagation model*, where relaxing rows read current values; a
+    /// relaxation against stale ghosts (put in flight, dropped, or
+    /// regressed by a reordered/duplicated delivery) falls outside it —
+    /// §IV-A's conditions exist precisely to decide which real
+    /// asynchronous relaxations the model covers — and can grow the true
+    /// residual *transiently* (measured: up to ~17% per step under 30%
+    /// drop + reorder). What survives arbitrary fault plans on W.D.D.
+    /// matrices, with zero violations across hundreds of sampled
+    /// heavy-fault runs per method: the sampled residual 1-norm never
+    /// exceeds its initial value, ends no higher than it started, and any
+    /// transient growth is bounded.
+    ///
+    /// The per-step bound is method-dependent. Under-relaxation (ω ≤ 1)
+    /// keeps the row-wise contraction of the W.D.D. argument, and rwr is a
+    /// row-mask schedule Theorem 1 covers directly — both stay inside the
+    /// same 1.25× staleness bound as plain Jacobi, as does light momentum
+    /// (β = 0.2, measured worst step 1.21×). Heavy momentum breaks the
+    /// ∞-norm argument: the β(x − x_prev) term is not a convex combination
+    /// of iterates, so a post-crash recovery step can overshoot. Measured
+    /// worst transient for β = 0.5 across 400 random heavy-fault runs:
+    /// 3.71× in one inter-sample window — pinned here at 4.0×. The global
+    /// envelope (never above the initial residual) held for every method
+    /// including β = 0.5.
     #[test]
     fn theorem1_residual_envelope_under_any_fault_plan(
         (nx, ny) in (4usize..9, 4usize..9),
         nparts in 2usize..6,
         seed in 0u64..1_000,
+        method_pick in 0usize..5,
         (drop, dup, reorder) in (0.0f64..0.35, 0.0f64..0.25, 0.0f64..0.25),
         latency_factor in 1.0f64..3.0,
         crash_frac in 0.1f64..0.9,
@@ -225,6 +241,18 @@ proptest! {
         let p = block_partition(a.nrows(), nparts);
         let mut cfg = DistConfig::new(a.nrows(), seed);
         cfg.max_time = 30_000.0; // crashed runs may never converge; bound them
+        cfg.method = match method_pick {
+            0 => ResolvedMethod::Jacobi,
+            1 => ResolvedMethod::Richardson1 { omega: 0.9 },
+            2 => ResolvedMethod::Richardson2 { omega: 1.0, beta: 0.2 },
+            3 => ResolvedMethod::Richardson2 { omega: 1.0, beta: 0.5 },
+            _ => ResolvedMethod::RandomizedResidual { fraction: 0.5, seed },
+        };
+        let step_bound = match cfg.method {
+            // Heavy momentum: measured worst transient 3.71× (see above).
+            ResolvedMethod::Richardson2 { beta, .. } if beta > 0.3 => 4.0,
+            _ => 1.25,
+        };
         let crash_rank = crash_pick % nparts;
         cfg.faults = Some(
             FaultPlan::new(seed ^ 0xfa17)
@@ -254,9 +282,9 @@ proptest! {
         }
         for w in out.samples.windows(2) {
             prop_assert!(
-                w[1].residual <= w[0].residual * 1.25,
-                "transient growth beyond the staleness bound: {} -> {} at t={}",
-                w[0].residual, w[1].residual, w[1].time
+                w[1].residual <= w[0].residual * step_bound,
+                "transient growth beyond the {} staleness bound {step_bound}: {} -> {} at t={}",
+                cfg.method.name(), w[0].residual, w[1].residual, w[1].time
             );
         }
     }

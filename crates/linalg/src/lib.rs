@@ -29,6 +29,7 @@ pub mod dense;
 pub mod eigen;
 pub mod error;
 pub mod krylov;
+pub mod method;
 pub mod multigrid;
 pub mod ops;
 pub mod perm;
@@ -40,4 +41,5 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
+pub use method::{Method, OmegaSpec, ResolvedMethod};
 pub use ops::{IterationMatrix, LinearOperator};

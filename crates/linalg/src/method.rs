@@ -1,0 +1,782 @@
+//! Relaxation methods beyond plain Jacobi.
+//!
+//! The paper's propagation-matrix model `x(k+1) = (I − D̂(k)D⁻¹A)x(k) +
+//! D̂(k)D⁻¹b` is not Jacobi-specific: any per-row update with an active-row
+//! mask fits it. This module defines the method family every engine in the
+//! workspace (model executor, shared-memory threads, both simulators)
+//! implements uniformly:
+//!
+//! * **`jacobi`** — the paper's method, `x_i ← x_i + d_i⁻¹ r_i`;
+//! * **`richardson1`** — first-order (weighted) Richardson,
+//!   `x_i ← x_i + ω d_i⁻¹ r_i`, with `ω` fixed or estimated from the
+//!   spectrum (Chow, Frommer & Szyld, *Asynchronous Richardson iterations*);
+//! * **`richardson2`** — second-order Richardson with a momentum term,
+//!   `x_i ← x_i + ω d_i⁻¹ r_i + β (x_i − x_i^prev)`, the stationary limit
+//!   of the Chebyshev semi-iteration (also heavy-ball momentum);
+//! * **`rwr`** — residual-weighted randomized row selection (Coleman et
+//!   al.): each sweep relaxes `⌈fraction·m⌉` rows drawn without replacement
+//!   with probability proportional to `|r_i|`.
+//!
+//! A [`Method`] may defer `ω`/`β` to the spectrum (`omega=auto`); calling
+//! [`Method::resolve`] against a concrete matrix runs a deterministic
+//! Lanczos estimate of the extreme eigenvalues of the Jacobi-preconditioned
+//! operator `D^{-1/2} A D^{-1/2}` and fixes the parameters, producing a
+//! [`ResolvedMethod`] that engines consume. Resolution is the only
+//! expensive step, so callers (e.g. a solve service) can cache it per
+//! matrix.
+//!
+//! ### ω-estimation rule
+//!
+//! With `λ_min`, `λ_max` the extreme eigenvalues of `D^{-1/2} A D^{-1/2}`
+//! (equal to those of `D⁻¹A` for SPD `A`):
+//!
+//! * `richardson1`: `ω = 2 / (λ_min + λ_max)` — the minimax-optimal
+//!   stationary first-order parameter;
+//! * `richardson2`: `ω = (2 / (√λ_max + √λ_min))²`,
+//!   `β = ((√λ_max − √λ_min) / (√λ_max + √λ_min))²` — the optimal
+//!   heavy-ball pair, with asymptotic rate `O(√κ)` instead of `O(κ)`.
+//!
+//! Both require `λ_min > 0` (SPD after Jacobi preconditioning); resolution
+//! fails otherwise rather than silently diverging.
+
+use crate::csr::CsrMatrix;
+use crate::eigen;
+use crate::error::LinalgError;
+use crate::ops::LinearOperator;
+use crate::sweeps;
+use crate::vecops::{self, Norm};
+
+/// Lanczos budget for `omega=auto` resolution. Extreme eigenvalues of the
+/// Laplacian-like suite matrices converge well within this many steps, and
+/// the run is deterministic (fixed start vector, full reorthogonalization).
+pub const AUTO_LANCZOS_STEPS: usize = 64;
+
+/// How `ω` is chosen for the Richardson methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OmegaSpec {
+    /// Use this value as-is.
+    Fixed(f64),
+    /// Estimate the extreme eigenvalues at [`Method::resolve`] time and
+    /// apply the module-level ω-estimation rule.
+    Auto,
+}
+
+/// A relaxation method with possibly-unresolved parameters. This is what
+/// the spec grammar parses to and what solve options carry; engines consume
+/// the [`ResolvedMethod`] produced by [`Method::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Method {
+    /// Plain Jacobi (the paper's method).
+    #[default]
+    Jacobi,
+    /// First-order Richardson: `x ← x + ω D⁻¹ r`.
+    Richardson1 {
+        /// Relaxation weight.
+        omega: OmegaSpec,
+    },
+    /// Second-order Richardson: `x ← x + ω D⁻¹ r + β (x − x_prev)`.
+    Richardson2 {
+        /// Relaxation weight.
+        omega: OmegaSpec,
+        /// Momentum coefficient; `None` derives it from the spectrum
+        /// together with ω (and forces a spectrum estimate even when ω is
+        /// fixed).
+        beta: Option<f64>,
+    },
+    /// Residual-weighted randomized row selection: each sweep relaxes
+    /// `⌈fraction·m⌉` of its `m` candidate rows, drawn without replacement
+    /// with probability ∝ `|r_i|`.
+    RandomizedResidual {
+        /// Fraction of candidate rows relaxed per sweep, in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl Method {
+    /// Canonical grammar name (`jacobi`, `richardson1`, `richardson2`,
+    /// `rwr`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Jacobi => "jacobi",
+            Method::Richardson1 { .. } => "richardson1",
+            Method::Richardson2 { .. } => "richardson2",
+            Method::RandomizedResidual { .. } => "rwr",
+        }
+    }
+
+    /// Fixes all parameters against a concrete matrix. `seed` feeds the
+    /// randomized row selection (ignored by the deterministic methods).
+    ///
+    /// # Errors
+    /// Fails when `omega=auto` (or a derived β) is requested and the
+    /// Jacobi-preconditioned operator is not positive definite, or when a
+    /// parameter is out of its documented range.
+    pub fn resolve(&self, a: &CsrMatrix, seed: u64) -> Result<ResolvedMethod, LinalgError> {
+        match *self {
+            Method::Jacobi => Ok(ResolvedMethod::Jacobi),
+            Method::Richardson1 { omega } => {
+                let omega = match omega {
+                    OmegaSpec::Fixed(w) => check_omega(w)?,
+                    OmegaSpec::Auto => {
+                        let (lo, hi) = preconditioned_extremes(a)?;
+                        2.0 / (lo + hi)
+                    }
+                };
+                Ok(ResolvedMethod::Richardson1 { omega })
+            }
+            Method::Richardson2 { omega, beta } => {
+                let (omega, beta) = match (omega, beta) {
+                    (OmegaSpec::Fixed(w), Some(b)) => (check_omega(w)?, check_beta(b)?),
+                    // Any unresolved parameter needs the spectrum; the
+                    // optimal pair is derived jointly, and a fixed ω keeps
+                    // its value with only β derived.
+                    (spec, b) => {
+                        let (lo, hi) = preconditioned_extremes(a)?;
+                        let (sl, sh) = (lo.sqrt(), hi.sqrt());
+                        let w_opt = (2.0 / (sl + sh)).powi(2);
+                        let b_opt = ((sh - sl) / (sh + sl)).powi(2);
+                        let w = match spec {
+                            OmegaSpec::Fixed(w) => check_omega(w)?,
+                            OmegaSpec::Auto => w_opt,
+                        };
+                        (
+                            w,
+                            match b {
+                                Some(b) => check_beta(b)?,
+                                None => b_opt,
+                            },
+                        )
+                    }
+                };
+                Ok(ResolvedMethod::Richardson2 { omega, beta })
+            }
+            Method::RandomizedResidual { fraction } => {
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Err(LinalgError::InvalidStructure(format!(
+                        "rwr fraction must lie in (0, 1], got {fraction}"
+                    )));
+                }
+                Ok(ResolvedMethod::RandomizedResidual { fraction, seed })
+            }
+        }
+    }
+}
+
+fn check_omega(w: f64) -> Result<f64, LinalgError> {
+    if w.is_finite() && w > 0.0 {
+        Ok(w)
+    } else {
+        Err(LinalgError::InvalidStructure(format!(
+            "omega must be finite and positive, got {w}"
+        )))
+    }
+}
+
+fn check_beta(b: f64) -> Result<f64, LinalgError> {
+    if b.is_finite() && (0.0..1.0).contains(&b) {
+        Ok(b)
+    } else {
+        Err(LinalgError::InvalidStructure(format!(
+            "beta must lie in [0, 1), got {b}"
+        )))
+    }
+}
+
+/// `D^{-1/2} A D^{-1/2}` applied matrix-free — same spectrum as `D⁻¹A` for
+/// SPD `A`, but symmetric, so Lanczos applies.
+struct JacobiScaledOp<'a> {
+    a: &'a CsrMatrix,
+    dinv_sqrt: Vec<f64>,
+}
+
+impl LinearOperator for JacobiScaledOp<'_> {
+    fn dim(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let scaled: Vec<f64> = x.iter().zip(&self.dinv_sqrt).map(|(v, s)| v * s).collect();
+        self.a.spmv_into(&scaled, y);
+        for (v, s) in y.iter_mut().zip(&self.dinv_sqrt) {
+            *v *= s;
+        }
+    }
+}
+
+/// Extreme eigenvalues of the Jacobi-preconditioned operator, validated
+/// positive.
+fn preconditioned_extremes(a: &CsrMatrix) -> Result<(f64, f64), LinalgError> {
+    let diag = a.diagonal();
+    let mut dinv_sqrt = Vec::with_capacity(diag.len());
+    for (row, &d) in diag.iter().enumerate() {
+        if d <= 0.0 {
+            return Err(if d == 0.0 {
+                LinalgError::ZeroDiagonal { row }
+            } else {
+                LinalgError::InvalidStructure(format!(
+                    "omega=auto needs a positive diagonal; row {row} has {d}"
+                ))
+            });
+        }
+        dinv_sqrt.push(1.0 / d.sqrt());
+    }
+    let op = JacobiScaledOp { a, dinv_sqrt };
+    let ext = eigen::lanczos_extreme(&op, AUTO_LANCZOS_STEPS)?;
+    if ext.min <= 0.0 || !ext.min.is_finite() || !ext.max.is_finite() {
+        return Err(LinalgError::InvalidStructure(format!(
+            "omega=auto needs an SPD Jacobi-preconditioned operator \
+             (estimated spectrum [{}, {}])",
+            ext.min, ext.max
+        )));
+    }
+    Ok((ext.min, ext.max))
+}
+
+/// A method with every parameter fixed; what the engines execute.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ResolvedMethod {
+    /// Plain Jacobi.
+    #[default]
+    Jacobi,
+    /// `x ← x + ω D⁻¹ r`.
+    Richardson1 {
+        /// Relaxation weight.
+        omega: f64,
+    },
+    /// `x ← x + ω D⁻¹ r + β (x − x_prev)`.
+    Richardson2 {
+        /// Relaxation weight.
+        omega: f64,
+        /// Momentum coefficient.
+        beta: f64,
+    },
+    /// Residual-weighted randomized row selection.
+    RandomizedResidual {
+        /// Fraction of candidate rows relaxed per sweep.
+        fraction: f64,
+        /// Base seed for the selection streams (engines mix in their own
+        /// worker/sweep indices via [`selection_seed`]).
+        seed: u64,
+    },
+}
+
+impl ResolvedMethod {
+    /// Canonical grammar name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResolvedMethod::Jacobi => "jacobi",
+            ResolvedMethod::Richardson1 { .. } => "richardson1",
+            ResolvedMethod::Richardson2 { .. } => "richardson2",
+            ResolvedMethod::RandomizedResidual { .. } => "rwr",
+        }
+    }
+
+    /// Human-readable tag with resolved parameters, e.g.
+    /// `richardson2(ω=0.872, β=0.311)`.
+    pub fn label(&self) -> String {
+        match *self {
+            ResolvedMethod::Jacobi => "jacobi".into(),
+            ResolvedMethod::Richardson1 { omega } => format!("richardson1(ω={omega:.4})"),
+            ResolvedMethod::Richardson2 { omega, beta } => {
+                format!("richardson2(ω={omega:.4}, β={beta:.4})")
+            }
+            ResolvedMethod::RandomizedResidual { fraction, .. } => {
+                format!("rwr(fraction={fraction})")
+            }
+        }
+    }
+
+    /// Whether the update reads the previous value of the relaxed row
+    /// (engines must keep per-row `x_prev` state).
+    pub fn needs_previous_iterate(&self) -> bool {
+        matches!(self, ResolvedMethod::Richardson2 { .. })
+    }
+
+    /// The canonical `method=` selector that re-parses to this resolved
+    /// method with no further spectrum estimation — lets a cache hand a
+    /// resolved method back through a string interface.
+    pub fn to_spec(&self) -> String {
+        match *self {
+            ResolvedMethod::Jacobi => "jacobi".into(),
+            ResolvedMethod::Richardson1 { omega } => format!("richardson1:omega={omega}"),
+            ResolvedMethod::Richardson2 { omega, beta } => {
+                format!("richardson2:omega={omega}:beta={beta}")
+            }
+            ResolvedMethod::RandomizedResidual { fraction, .. } => {
+                format!("rwr:fraction={fraction}")
+            }
+        }
+    }
+}
+
+/// Mixes the method seed with an engine-chosen stream (worker/rank id) and
+/// step (sweep counter) into one selection-stream seed. Engines that must
+/// agree bit-for-bit (a synchronous engine and the dense reference) use the
+/// same `(stream, step)` pair.
+pub fn selection_seed(base: u64, stream: u64, step: u64) -> u64 {
+    base ^ stream
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(step.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+}
+
+/// Draws `k` of the `weights.len()` candidates without replacement with
+/// probability ∝ `weights[i]` (Efraimidis–Spirakis exponential keys), using
+/// a self-contained splitmix64 stream so every engine reproduces the same
+/// draw from the same seed. Returns the chosen indices in ascending order.
+pub fn select_residual_weighted(weights: &[f64], k: usize, seed: u64) -> Vec<usize> {
+    let m = weights.len();
+    let k = k.min(m);
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == m {
+        return (0..m).collect();
+    }
+    let mut state = seed;
+    let mut next_unit = move || {
+        // splitmix64; (0, 1] so the log key is always defined.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        ((z >> 11) + 1) as f64 / (1u64 << 53) as f64
+    };
+    // key_i = ln(u_i) / w_i; the k largest keys are a weighted sample
+    // without replacement. Zero-weight rows key to -∞ and are only chosen
+    // once every positive-weight row is, with the index breaking ties
+    // deterministically.
+    let mut keyed: Vec<(f64, usize)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let u = next_unit();
+            let key = if w > 0.0 {
+                u.ln() / w
+            } else {
+                f64::NEG_INFINITY
+            };
+            (key, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut chosen: Vec<usize> = keyed[..k].iter().map(|&(_, i)| i).collect();
+    chosen.sort_unstable();
+    chosen
+}
+
+/// One synchronous iteration of `method`, writing into `x_next` (two-phase:
+/// every update reads `x`). `x_prev` is the iterate before `x` (pass `x0`
+/// on the first step, where the momentum term then vanishes) and `step` is
+/// the 0-based iteration index feeding the randomized selection stream.
+/// Returns the number of rows relaxed this iteration.
+///
+/// This is the dense reference every synchronous engine must match
+/// bit-for-bit: they either call it directly or perform the identical
+/// floating-point expression in the identical row order.
+#[allow(clippy::too_many_arguments)] // the dense-iteration contract: all engine state, explicitly
+pub fn method_iteration(
+    a: &CsrMatrix,
+    b: &[f64],
+    diag_inv: &[f64],
+    method: &ResolvedMethod,
+    step: u64,
+    x: &[f64],
+    x_prev: &[f64],
+    x_next: &mut [f64],
+) -> usize {
+    let n = a.nrows();
+    match *method {
+        ResolvedMethod::Jacobi => {
+            sweeps::weighted_jacobi_iteration(a, b, diag_inv, 1.0, x, x_next);
+            n
+        }
+        ResolvedMethod::Richardson1 { omega } => {
+            sweeps::weighted_jacobi_iteration(a, b, diag_inv, omega, x, x_next);
+            n
+        }
+        ResolvedMethod::Richardson2 { omega, beta } => {
+            for i in 0..n {
+                let r = b[i] - a.row_dot(i, x);
+                x_next[i] = x[i] + omega * diag_inv[i] * r + beta * (x[i] - x_prev[i]);
+            }
+            n
+        }
+        ResolvedMethod::RandomizedResidual { fraction, seed } => {
+            let mut res = vec![0.0; n];
+            for i in 0..n {
+                res[i] = b[i] - a.row_dot(i, x);
+            }
+            let weights: Vec<f64> = res.iter().map(|r| r.abs()).collect();
+            let k = ((fraction * n as f64).ceil() as usize).max(1);
+            let rows = select_residual_weighted(&weights, k, selection_seed(seed, 0, step));
+            x_next.copy_from_slice(x);
+            for &i in &rows {
+                x_next[i] = x[i] + diag_inv[i] * res[i];
+            }
+            rows.len()
+        }
+    }
+}
+
+/// Outcome of [`method_solve`].
+#[derive(Debug, Clone)]
+pub struct MethodSolve {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Relative-residual history (entry 0 is the initial value).
+    pub history: Vec<f64>,
+    /// Total rows relaxed across all iterations.
+    pub relaxations: u64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Runs `method` synchronously until the relative residual (in `norm`)
+/// drops below `tol` or `max_iter` iterations elapse — the sequential
+/// reference solver for every method, mirroring
+/// [`sweeps::jacobi_solve`]'s contract.
+///
+/// # Errors
+/// Propagates a zero diagonal.
+pub fn method_solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    method: &ResolvedMethod,
+    tol: f64,
+    max_iter: usize,
+    norm: Norm,
+) -> Result<MethodSolve, LinalgError> {
+    let diag = a.diagonal();
+    let diag_inv: Result<Vec<f64>, LinalgError> = diag
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            if d == 0.0 {
+                Err(LinalgError::ZeroDiagonal { row: i })
+            } else {
+                Ok(1.0 / d)
+            }
+        })
+        .collect();
+    let diag_inv = diag_inv?;
+    let mut x_prev = x0.to_vec();
+    let mut x = x0.to_vec();
+    let mut x_next = vec![0.0; x.len()];
+    let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
+    let mut history = vec![vecops::norm(&a.residual(&x, b), norm) / nb];
+    let mut relaxations = 0u64;
+    for step in 0..max_iter {
+        if *history.last().unwrap() < tol {
+            break;
+        }
+        relaxations += method_iteration(
+            a,
+            b,
+            &diag_inv,
+            method,
+            step as u64,
+            &x,
+            &x_prev,
+            &mut x_next,
+        ) as u64;
+        std::mem::swap(&mut x_prev, &mut x);
+        std::mem::swap(&mut x, &mut x_next);
+        // After the swaps: x is the new iterate, x_prev the one before it,
+        // x_next scratch (holding the stale pre-previous values).
+        history.push(vecops::norm(&a.residual(&x, b), norm) / nb);
+    }
+    let converged = *history.last().unwrap() < tol;
+    Ok(MethodSolve {
+        x,
+        history,
+        relaxations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push_sym(i, i + 1, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn unit_laplacian(n: usize) -> CsrMatrix {
+        laplacian(n).scale_to_unit_diagonal().unwrap()
+    }
+
+    #[test]
+    fn jacobi_resolution_is_trivial() {
+        let a = unit_laplacian(8);
+        assert_eq!(
+            Method::Jacobi.resolve(&a, 1).unwrap(),
+            ResolvedMethod::Jacobi
+        );
+    }
+
+    #[test]
+    fn auto_omega_matches_the_known_laplacian_spectrum() {
+        // Unit-diagonal 1-D Laplacian of size n: eigenvalues
+        // 1 − cos(kπ/(n+1)), so λmin+λmax = 2 and the optimal first-order
+        // ω is exactly 1.
+        let a = unit_laplacian(40);
+        let m = Method::Richardson1 {
+            omega: OmegaSpec::Auto,
+        }
+        .resolve(&a, 0)
+        .unwrap();
+        match m {
+            ResolvedMethod::Richardson1 { omega } => {
+                assert!((omega - 1.0).abs() < 1e-6, "ω = {omega}");
+            }
+            other => panic!("wrong resolution: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn richardson2_auto_derives_a_momentum_pair() {
+        let a = unit_laplacian(40);
+        let m = Method::Richardson2 {
+            omega: OmegaSpec::Auto,
+            beta: None,
+        }
+        .resolve(&a, 0)
+        .unwrap();
+        match m {
+            ResolvedMethod::Richardson2 { omega, beta } => {
+                assert!(omega > 0.0 && omega < 2.0);
+                assert!(beta > 0.0 && beta < 1.0);
+                // κ is large for n=40, so momentum should be substantial.
+                assert!(beta > 0.5, "β = {beta}");
+            }
+            other => panic!("wrong resolution: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_omega_with_derived_beta_keeps_omega() {
+        let a = unit_laplacian(20);
+        let m = Method::Richardson2 {
+            omega: OmegaSpec::Fixed(0.75),
+            beta: None,
+        }
+        .resolve(&a, 0)
+        .unwrap();
+        match m {
+            ResolvedMethod::Richardson2 { omega, beta } => {
+                assert_eq!(omega, 0.75);
+                assert!(beta > 0.0 && beta < 1.0);
+            }
+            other => panic!("wrong resolution: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_parameters_are_rejected() {
+        let a = unit_laplacian(8);
+        assert!(Method::Richardson1 {
+            omega: OmegaSpec::Fixed(-0.5)
+        }
+        .resolve(&a, 0)
+        .is_err());
+        assert!(Method::Richardson2 {
+            omega: OmegaSpec::Fixed(1.0),
+            beta: Some(1.5)
+        }
+        .resolve(&a, 0)
+        .is_err());
+        assert!(Method::RandomizedResidual { fraction: 0.0 }
+            .resolve(&a, 0)
+            .is_err());
+        assert!(Method::RandomizedResidual { fraction: 1.5 }
+            .resolve(&a, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn indefinite_preconditioned_operator_fails_auto_resolution() {
+        // A symmetric matrix with positive diagonal but an indefinite
+        // Jacobi-preconditioned spectrum: strong off-diagonal coupling.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push_sym(0, 1, -3.0);
+        let a = coo.to_csr();
+        let err = Method::Richardson1 {
+            omega: OmegaSpec::Auto,
+        }
+        .resolve(&a, 0)
+        .unwrap_err();
+        assert!(err.to_string().contains("SPD"), "{err}");
+    }
+
+    #[test]
+    fn weighted_selection_is_deterministic_and_biased() {
+        let weights = vec![0.0, 0.0, 10.0, 0.1, 10.0, 0.0];
+        let s1 = select_residual_weighted(&weights, 2, 42);
+        let s2 = select_residual_weighted(&weights, 2, 42);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 2);
+        // Heavy rows dominate a k=2 draw over many seeds.
+        let mut heavy = 0;
+        for seed in 0..200 {
+            let s = select_residual_weighted(&weights, 2, seed);
+            heavy += s.iter().filter(|&&i| i == 2 || i == 4).count();
+        }
+        assert!(heavy > 350, "heavy rows picked only {heavy}/400 times");
+        // k ≥ m returns everything; k = 0 nothing.
+        assert_eq!(
+            select_residual_weighted(&weights, 10, 7),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert!(select_residual_weighted(&weights, 0, 7).is_empty());
+    }
+
+    #[test]
+    fn selection_never_repeats_an_index() {
+        let weights: Vec<f64> = (0..50).map(|i| (i as f64 * 0.73).sin().abs()).collect();
+        for seed in 0..20 {
+            let s = select_residual_weighted(&weights, 20, seed);
+            assert_eq!(s.len(), 20);
+            let mut dedup = s.clone();
+            dedup.dedup();
+            assert_eq!(s, dedup, "duplicate index in draw");
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "not ascending");
+        }
+    }
+
+    #[test]
+    fn every_method_solves_the_laplacian() {
+        let a = unit_laplacian(24);
+        let b = vec![1.0; 24];
+        let x0 = vec![0.0; 24];
+        for method in [
+            ResolvedMethod::Jacobi,
+            ResolvedMethod::Richardson1 { omega: 0.9 },
+            Method::Richardson2 {
+                omega: OmegaSpec::Auto,
+                beta: None,
+            }
+            .resolve(&a, 0)
+            .unwrap(),
+            ResolvedMethod::RandomizedResidual {
+                fraction: 0.5,
+                seed: 7,
+            },
+        ] {
+            let out = method_solve(&a, &b, &x0, &method, 1e-8, 200_000, Norm::L2).unwrap();
+            assert!(out.converged, "{} did not converge", method.name());
+            assert!(
+                a.relative_residual(&out.x, &b, Norm::L2) < 1e-7,
+                "{} residual too high",
+                method.name()
+            );
+            assert!(out.relaxations > 0);
+        }
+    }
+
+    #[test]
+    fn momentum_beats_plain_jacobi_in_iterations() {
+        let a = unit_laplacian(64);
+        let b = vec![1.0; 64];
+        let x0 = vec![0.0; 64];
+        let plain = method_solve(
+            &a,
+            &b,
+            &x0,
+            &ResolvedMethod::Jacobi,
+            1e-6,
+            500_000,
+            Norm::L2,
+        )
+        .unwrap();
+        let r2 = Method::Richardson2 {
+            omega: OmegaSpec::Auto,
+            beta: None,
+        }
+        .resolve(&a, 0)
+        .unwrap();
+        let momentum = method_solve(&a, &b, &x0, &r2, 1e-6, 500_000, Norm::L2).unwrap();
+        assert!(plain.converged && momentum.converged);
+        assert!(
+            momentum.history.len() * 4 < plain.history.len(),
+            "momentum {} vs jacobi {} iterations",
+            momentum.history.len(),
+            plain.history.len()
+        );
+    }
+
+    #[test]
+    fn jacobi_method_iteration_matches_the_classic_kernel() {
+        let a = unit_laplacian(12);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64).sin()).collect();
+        let x: Vec<f64> = (0..12).map(|i| (i as f64).cos()).collect();
+        let diag_inv = vec![1.0; 12];
+        let mut m = vec![0.0; 12];
+        let mut c = vec![0.0; 12];
+        method_iteration(
+            &a,
+            &b,
+            &diag_inv,
+            &ResolvedMethod::Jacobi,
+            0,
+            &x,
+            &x,
+            &mut m,
+        );
+        sweeps::jacobi_iteration(&a, &b, &diag_inv, &x, &mut c);
+        assert_eq!(m, c, "must be bit-identical");
+    }
+
+    #[test]
+    fn first_richardson2_step_has_no_momentum() {
+        let a = unit_laplacian(10);
+        let b = vec![0.5; 10];
+        let x0: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
+        let diag_inv = vec![1.0; 10];
+        let mut with_m = vec![0.0; 10];
+        let mut without = vec![0.0; 10];
+        method_iteration(
+            &a,
+            &b,
+            &diag_inv,
+            &ResolvedMethod::Richardson2 {
+                omega: 0.8,
+                beta: 0.4,
+            },
+            0,
+            &x0,
+            &x0,
+            &mut with_m,
+        );
+        sweeps::weighted_jacobi_iteration(&a, &b, &diag_inv, 0.8, &x0, &mut without);
+        for i in 0..10 {
+            assert!((with_m[i] - without[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn spec_roundtrip_resolves_without_spectrum_work() {
+        let a = unit_laplacian(16);
+        let resolved = Method::Richardson2 {
+            omega: OmegaSpec::Auto,
+            beta: None,
+        }
+        .resolve(&a, 0)
+        .unwrap();
+        let spec = resolved.to_spec();
+        assert!(spec.starts_with("richardson2:omega="), "{spec}");
+        assert!(spec.contains(":beta="), "{spec}");
+    }
+}

@@ -7,8 +7,9 @@
 //! iteration when a thread is δ-delayed).
 
 use crate::mask::ActiveMask;
-use crate::propagation::apply_step;
+use crate::propagation::{apply_method_step, apply_step};
 use crate::schedule::DelaySchedule;
+use aj_linalg::method::{method_iteration, ResolvedMethod};
 use aj_linalg::vecops::{self, Norm};
 use aj_linalg::{CsrMatrix, LinalgError};
 
@@ -137,6 +138,94 @@ pub fn run_sync_model(
     })
 }
 
+/// Runs the **asynchronous** model for an arbitrary relaxation method:
+/// like [`run_async_model`], but each masked step updates per `method`
+/// (momentum rows carry their per-row previous value; randomized selection
+/// draws a residual-weighted subset of the mask). With
+/// [`ResolvedMethod::Jacobi`] this reproduces [`run_async_model`] exactly.
+#[allow(clippy::too_many_arguments)] // mirrors the run_*_model signature plus the method
+pub fn run_async_model_method(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    schedule: &DelaySchedule,
+    method: &ResolvedMethod,
+    tol: f64,
+    max_steps: u64,
+    norm: Norm,
+) -> Result<ModelRun, LinalgError> {
+    let n = a.nrows();
+    let diag_inv = diag_inv_of(a)?;
+    let mut x = x0.to_vec();
+    let mut x_prev = x0.to_vec();
+    let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
+    let mut history = vec![(0u64, vecops::norm(&a.residual(&x, b), norm) / nb)];
+    let mut relaxations = 0u64;
+    let mut steps = 0u64;
+    let mut converged = history[0].1 < tol;
+    while !converged && steps < max_steps {
+        let k = steps + 1;
+        let mask = schedule.mask_at(n, k);
+        relaxations +=
+            apply_method_step(a, b, &diag_inv, &mask, method, k, &mut x, &mut x_prev) as u64;
+        steps = k;
+        let r = vecops::norm(&a.residual(&x, b), norm) / nb;
+        history.push((k, r));
+        converged = r < tol;
+    }
+    Ok(ModelRun {
+        residual_history: history,
+        x,
+        relaxations,
+        converged,
+        steps,
+    })
+}
+
+/// Runs the **synchronous** model for an arbitrary relaxation method. The
+/// iterate sequence is bit-identical to the dense reference
+/// [`method_iteration`] (it *is* that iteration); the schedule only
+/// stretches model time per iteration as in [`run_sync_model`].
+#[allow(clippy::too_many_arguments)] // mirrors the run_*_model signature plus the method
+pub fn run_sync_model_method(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    schedule: &DelaySchedule,
+    method: &ResolvedMethod,
+    tol: f64,
+    max_steps: u64,
+    norm: Norm,
+) -> Result<ModelRun, LinalgError> {
+    let diag_inv = diag_inv_of(a)?;
+    let cost = schedule.sync_iteration_cost();
+    let mut x_prev = x0.to_vec();
+    let mut x = x0.to_vec();
+    let mut x_next = vec![0.0; x.len()];
+    let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
+    let mut history = vec![(0u64, vecops::norm(&a.residual(&x, b), norm) / nb)];
+    let mut relaxations = 0u64;
+    let mut steps = 0u64;
+    let mut converged = history[0].1 < tol;
+    while !converged && (steps + 1) * cost <= max_steps {
+        relaxations +=
+            method_iteration(a, b, &diag_inv, method, steps, &x, &x_prev, &mut x_next) as u64;
+        std::mem::swap(&mut x_prev, &mut x);
+        std::mem::swap(&mut x, &mut x_next);
+        steps += 1;
+        let r = vecops::norm(&a.residual(&x, b), norm) / nb;
+        history.push((steps * cost, r));
+        converged = r < tol;
+    }
+    Ok(ModelRun {
+        residual_history: history,
+        x,
+        relaxations,
+        converged,
+        steps,
+    })
+}
+
 /// The Figure 3 quantity: `speedup = (sync model time to tol) /
 /// (async model time to tol)` for one δ-delayed row. Returns
 /// `(sync_time, async_time, speedup)`; `None` when either run fails to reach
@@ -248,5 +337,116 @@ mod tests {
         let run =
             run_async_model(&a, &b, &x0, &DelaySchedule::None, 1e-2, 1_000, Norm::L1).unwrap();
         assert_eq!(run.relaxations, run.steps * 68);
+    }
+
+    #[test]
+    fn jacobi_method_run_reproduces_the_plain_run_bitwise() {
+        let (a, b, x0) = paper68();
+        let s = DelaySchedule::Random {
+            density: 0.6,
+            seed: 3,
+        };
+        let plain = run_async_model(&a, &b, &x0, &s, 1e-4, 50_000, Norm::L1).unwrap();
+        let via_method = run_async_model_method(
+            &a,
+            &b,
+            &x0,
+            &s,
+            &ResolvedMethod::Jacobi,
+            1e-4,
+            50_000,
+            Norm::L1,
+        )
+        .unwrap();
+        assert_eq!(plain.x, via_method.x);
+        assert_eq!(plain.relaxations, via_method.relaxations);
+        assert_eq!(plain.residual_history, via_method.residual_history);
+    }
+
+    #[test]
+    fn every_method_converges_under_a_delayed_schedule() {
+        let (a, b, x0) = paper68();
+        let s = DelaySchedule::Random {
+            density: 0.7,
+            seed: 12,
+        };
+        for method in [
+            ResolvedMethod::Richardson1 { omega: 0.9 },
+            ResolvedMethod::Richardson2 {
+                omega: 0.9,
+                beta: 0.3,
+            },
+            ResolvedMethod::RandomizedResidual {
+                fraction: 0.5,
+                seed: 4,
+            },
+        ] {
+            let run =
+                run_async_model_method(&a, &b, &x0, &s, &method, 1e-4, 500_000, Norm::L1).unwrap();
+            assert!(
+                run.converged,
+                "{} stalled at {}",
+                method.name(),
+                run.final_residual()
+            );
+            assert!(run.relaxations > 0);
+        }
+    }
+
+    #[test]
+    fn rwr_relaxes_only_the_selected_fraction() {
+        let (a, b, x0) = paper68();
+        let method = ResolvedMethod::RandomizedResidual {
+            fraction: 0.25,
+            seed: 8,
+        };
+        let run = run_async_model_method(
+            &a,
+            &b,
+            &x0,
+            &DelaySchedule::None,
+            &method,
+            1e-3,
+            100_000,
+            Norm::L1,
+        )
+        .unwrap();
+        // ⌈0.25·68⌉ = 17 rows per full-mask step.
+        assert_eq!(run.relaxations, run.steps * 17);
+    }
+
+    #[test]
+    fn sync_method_run_is_bit_identical_to_the_dense_reference() {
+        let (a, b, x0) = paper68();
+        let methods = [
+            ResolvedMethod::Richardson1 { omega: 0.85 },
+            ResolvedMethod::Richardson2 {
+                omega: 0.9,
+                beta: 0.35,
+            },
+            ResolvedMethod::RandomizedResidual {
+                fraction: 0.5,
+                seed: 21,
+            },
+        ];
+        for method in methods {
+            let run = run_sync_model_method(
+                &a,
+                &b,
+                &x0,
+                &DelaySchedule::None,
+                &method,
+                1e-5,
+                200_000,
+                Norm::L1,
+            )
+            .unwrap();
+            let reference =
+                aj_linalg::method::method_solve(&a, &b, &x0, &method, 1e-5, 200_000, Norm::L1)
+                    .unwrap();
+            assert!(run.converged && reference.converged, "{}", method.name());
+            assert_eq!(run.x, reference.x, "{} drifted bitwise", method.name());
+            assert_eq!(run.relaxations, reference.relaxations);
+        }
     }
 }

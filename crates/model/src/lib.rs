@@ -46,6 +46,9 @@ pub mod propagation;
 pub mod schedule;
 pub mod tracked;
 
-pub use executor::{model_speedup, run_async_model, run_sync_model, ModelRun};
+pub use executor::{
+    model_speedup, run_async_model, run_async_model_method, run_sync_model, run_sync_model_method,
+    ModelRun,
+};
 pub use mask::ActiveMask;
 pub use schedule::DelaySchedule;

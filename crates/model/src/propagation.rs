@@ -7,6 +7,7 @@
 //! vector.
 
 use crate::mask::ActiveMask;
+use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::{eigen, CsrMatrix};
 
 /// One model relaxation step applied in place:
@@ -40,6 +41,71 @@ pub fn apply_step_weighted(
     }
     for (i, du) in updates {
         x[i] += du;
+    }
+}
+
+/// One masked step of an arbitrary [`ResolvedMethod`], generalizing
+/// [`apply_step_weighted`]: active rows update per the method, delayed rows
+/// hold. `x_prev[i]` must hold the value `x[i]` had before its last
+/// relaxation (initialize to `x0`; the momentum term then vanishes on a
+/// row's first relaxation) and is maintained here for the rows that relax.
+/// `step` feeds the randomized row-selection stream. Returns the number of
+/// rows relaxed, which for `rwr` is a residual-weighted subset of the mask.
+#[allow(clippy::too_many_arguments)] // mirrors the run_*_model signature plus the method
+pub fn apply_method_step(
+    a: &CsrMatrix,
+    b: &[f64],
+    diag_inv: &[f64],
+    mask: &ActiveMask,
+    method: &ResolvedMethod,
+    step: u64,
+    x: &mut [f64],
+    x_prev: &mut [f64],
+) -> usize {
+    match *method {
+        ResolvedMethod::Jacobi => {
+            apply_step(a, b, diag_inv, mask, x);
+            mask.num_active()
+        }
+        ResolvedMethod::Richardson1 { omega } => {
+            apply_step_weighted(a, b, diag_inv, mask, omega, x);
+            mask.num_active()
+        }
+        ResolvedMethod::Richardson2 { omega, beta } => {
+            let mut updates: Vec<(usize, f64)> = Vec::with_capacity(mask.num_active());
+            for (i, &dinv) in diag_inv.iter().enumerate() {
+                if mask.is_active(i) {
+                    let r = b[i] - a.row_dot(i, x);
+                    updates.push((i, x[i] + omega * dinv * r + beta * (x[i] - x_prev[i])));
+                }
+            }
+            let relaxed = updates.len();
+            for (i, next) in updates {
+                x_prev[i] = x[i];
+                x[i] = next;
+            }
+            relaxed
+        }
+        ResolvedMethod::RandomizedResidual { fraction, seed } => {
+            let active = mask.active_rows();
+            if active.is_empty() {
+                return 0;
+            }
+            let residuals: Vec<f64> = active.iter().map(|&i| b[i] - a.row_dot(i, x)).collect();
+            let weights: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+            let k = ((fraction * active.len() as f64).ceil() as usize).max(1);
+            let chosen = method::select_residual_weighted(
+                &weights,
+                k,
+                method::selection_seed(seed, 0, step),
+            );
+            for &c in &chosen {
+                let i = active[c];
+                x_prev[i] = x[i];
+                x[i] += diag_inv[i] * residuals[c];
+            }
+            chosen.len()
+        }
     }
 }
 

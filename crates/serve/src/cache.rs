@@ -10,6 +10,7 @@
 //! evicted while a solve still holds the `Arc` simply live until that
 //! solve drops it.
 
+use aj_core::linalg::method::ResolvedMethod;
 use aj_core::partition::CommPlan;
 use aj_core::{prepare_dist_plan, spec, Problem};
 use aj_obs::Counter;
@@ -33,6 +34,10 @@ pub struct CachedPlan {
     pub problem: Arc<Problem>,
     /// `(ranks, plan)` pairs, built on first use per rank count.
     dist_plans: Mutex<Vec<(usize, Arc<CommPlan>)>>,
+    /// `(method selector, (seed, resolved))` pairs: `omega=auto` selectors
+    /// run a Lanczos spectrum estimate against this problem's matrix, so
+    /// the resolution is memoized exactly like the distributed plans.
+    methods: Mutex<Vec<(String, u64, ResolvedMethod)>>,
 }
 
 impl CachedPlan {
@@ -40,6 +45,7 @@ impl CachedPlan {
         CachedPlan {
             problem: Arc::new(problem),
             dist_plans: Mutex::new(Vec::new()),
+            methods: Mutex::new(Vec::new()),
         }
     }
 
@@ -59,6 +65,46 @@ impl CachedPlan {
     /// Number of memoized per-rank-count plans (test hook).
     pub fn dist_plan_count(&self) -> usize {
         self.dist_plans.lock().unwrap().len()
+    }
+
+    /// Resolves a method selector against this problem's matrix, memoizing
+    /// the result per `(selector, seed)` so repeat `omega=auto` solves skip
+    /// the spectrum estimate. Distinct selectors per problem are few, so a
+    /// linear scan beats a map (same reasoning as [`CachedPlan::dist_plan`]).
+    ///
+    /// # Errors
+    /// Propagates parse errors (full grammar in the message) and resolution
+    /// failures (e.g. `omega=auto` on a non-SPD operator).
+    pub fn resolve_method(&self, selector: &str, seed: u64) -> Result<ResolvedMethod, String> {
+        {
+            let methods = self.methods.lock().unwrap();
+            if let Some((_, _, m)) = methods
+                .iter()
+                .find(|(sel, s, _)| sel == selector && *s == seed)
+            {
+                return Ok(*m);
+            }
+        }
+        // Parse + resolve outside the lock (Lanczos on a large matrix is
+        // slow); two racing misses both resolve identically, and the loser
+        // adopts the winner's entry.
+        let resolved = spec::parse_method(selector)?
+            .resolve(&self.problem.a, seed)
+            .map_err(|e| format!("method '{selector}': {e}"))?;
+        let mut methods = self.methods.lock().unwrap();
+        if let Some((_, _, m)) = methods
+            .iter()
+            .find(|(sel, s, _)| sel == selector && *s == seed)
+        {
+            return Ok(*m);
+        }
+        methods.push((selector.to_string(), seed, resolved));
+        Ok(resolved)
+    }
+
+    /// Number of memoized method resolutions (test hook).
+    pub fn resolved_method_count(&self) -> usize {
+        self.methods.lock().unwrap().len()
     }
 }
 
@@ -200,6 +246,30 @@ mod tests {
         assert!(cache.get_or_build("nope", 1).is_err());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.misses.get(), 1);
+    }
+
+    #[test]
+    fn method_resolutions_memoize_per_selector_and_seed() {
+        let cache = PlanCache::new(2);
+        let (e, _) = cache.get_or_build("fd68", 1).unwrap();
+        let m1 = e.resolve_method("richardson2:omega=auto", 1).unwrap();
+        let m2 = e.resolve_method("richardson2:omega=auto", 1).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(e.resolved_method_count(), 1);
+        // A different seed is a different rwr selection stream → new entry.
+        e.resolve_method("rwr:fraction=0.5", 1).unwrap();
+        e.resolve_method("rwr:fraction=0.5", 2).unwrap();
+        assert_eq!(e.resolved_method_count(), 3);
+        // The canonical spec re-parses and re-resolves to the same method
+        // with no further spectrum work.
+        let again = spec::parse_method(&m1.to_spec())
+            .unwrap()
+            .resolve(&e.problem.a, 1)
+            .unwrap();
+        assert_eq!(again, m1);
+        // Parse errors surface, not cache.
+        assert!(e.resolve_method("warp-drive", 1).is_err());
+        assert_eq!(e.resolved_method_count(), 3);
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub struct JobSpec {
     pub max_iterations: u64,
     /// Relaxation weight.
     pub omega: f64,
+    /// Relaxation-method selector in the [`aj_core::spec`] grammar
+    /// (`jacobi`, `richardson1[:omega=<w>|auto]`,
+    /// `richardson2[:omega=<w>|auto][:beta=<b>]`, `rwr[:fraction=<f>]`).
+    /// `omega=auto` resolutions are memoized per cached problem, so repeat
+    /// solves skip the spectrum estimate.
+    pub method: String,
     /// Shed the job if it has not *started* within this long of being
     /// submitted. `None` = wait as long as it takes.
     pub deadline: Option<Duration>,
@@ -49,6 +55,7 @@ impl Default for JobSpec {
             tol: 1e-6,
             max_iterations: 100_000,
             omega: 1.0,
+            method: "jacobi".into(),
             deadline: None,
         }
     }

@@ -164,6 +164,12 @@ fn spec_from(v: &Value) -> Result<JobSpec, String> {
     if let Some(x) = v.get("omega") {
         spec.omega = x.as_f64().ok_or("\"omega\" must be a number")?;
     }
+    if let Some(x) = v.get("method") {
+        spec.method = x
+            .as_str()
+            .ok_or("\"method\" must be a selector string")?
+            .to_string();
+    }
     if let Some(x) = v.get("deadline_ms") {
         let ms = x.as_f64().ok_or("\"deadline_ms\" must be a number")?;
         if ms < 0.0 {
@@ -194,6 +200,7 @@ pub fn render_request(req: &Request) -> String {
                 push_u64(o, spec.max_iterations)
             });
             push_kv(&mut s, "omega", |o| json::write_f64(o, spec.omega));
+            push_kv(&mut s, "method", |o| json::write_escaped(o, &spec.method));
             if let Some(d) = spec.deadline {
                 push_kv(&mut s, "deadline_ms", |o| {
                     json::write_f64(o, d.as_secs_f64() * 1000.0)
@@ -381,6 +388,7 @@ mod tests {
             matrix: "grid:8x8".into(),
             backend: "dist-async".into(),
             ranks: 4,
+            method: "richardson2:omega=auto:beta=0.25".into(),
             deadline: Some(Duration::from_millis(250)),
             ..Default::default()
         };
@@ -398,6 +406,7 @@ mod tests {
         };
         assert_eq!(id, 1);
         assert_eq!(spec.tol, JobSpec::default().tol);
+        assert_eq!(spec.method, "jacobi");
         assert_eq!(spec.deadline, None);
     }
 

@@ -347,10 +347,16 @@ fn execute(inner: &ServiceInner, spec: &JobSpec) -> Result<(JobResult, Option<Sn
         aj_core::Backend::SimDistributed { ranks, .. } => Some(plan.dist_plan(ranks)),
         _ => None,
     };
+    // Resolve the method against the cached problem (memoized there), then
+    // hand the driver the canonical fixed-parameter selector so its own
+    // resolve step is free — `omega=auto` never re-runs Lanczos on a
+    // cache hit.
+    let method = spec::parse_method(&plan.resolve_method(&spec.method, spec.seed)?.to_spec())?;
     let opts = aj_core::SolveOptions {
         tol: spec.tol,
         max_iterations: spec.max_iterations,
         omega: spec.omega,
+        method,
         seed: spec.seed,
         obs: inner.cfg.solve_obs,
         plan: dist_plan,

@@ -93,6 +93,55 @@ fn dist_plan_reuse_matches_fresh_solve_exactly() {
 }
 
 #[test]
+fn method_selector_flows_through_and_memoizes_resolution() {
+    let service = SolveService::start(quiet_config(2, 16));
+    let spec = JobSpec {
+        method: "richardson2:omega=auto".into(),
+        ..small("fd68", "sim-async")
+    };
+    let first = service.submit(spec.clone()).unwrap().wait();
+    let second = service
+        .submit(JobSpec {
+            backend: "dist-async".into(),
+            ..spec.clone()
+        })
+        .unwrap()
+        .wait();
+    for out in [&first, &second] {
+        let JobOutcome::Done(r) = out else {
+            panic!("expected Done, got {out:?}");
+        };
+        assert!(r.converged, "{} did not converge", r.backend);
+        assert!(
+            r.backend.contains("richardson2"),
+            "label '{}' must name the method",
+            r.backend
+        );
+    }
+    // Both solves share one memoized omega=auto resolution: the Lanczos
+    // spectrum estimate ran once for the cached problem.
+    let (entry, hit) = service.cache().get_or_build("fd68", spec.seed).unwrap();
+    assert!(hit);
+    assert_eq!(entry.resolved_method_count(), 1);
+    // A bad selector fails the job with the grammar in the message.
+    let bad = service
+        .submit(JobSpec {
+            method: "warp-drive".into(),
+            ..small("fd68", "sync")
+        })
+        .unwrap()
+        .wait();
+    let JobOutcome::Failed(msg) = bad else {
+        panic!("bad method selector must fail the job, got {bad:?}");
+    };
+    assert!(
+        msg.contains("warp-drive") && msg.contains("jacobi"),
+        "unhelpful message: {msg}"
+    );
+    service.shutdown(true);
+}
+
+#[test]
 fn queue_full_sheds_at_the_door() {
     // One worker, tiny queue, slow jobs: submissions past capacity must be
     // rejected synchronously with QueueFull.

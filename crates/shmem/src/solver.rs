@@ -1,6 +1,7 @@
 //! The §V shared-memory solvers.
 
 use crate::shared_vec::SharedVec;
+use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::vecops::{self, Norm};
 use aj_linalg::CsrMatrix;
 use aj_obs::{Histogram, ObsConfig, Snapshot, SpanKind, Timeline};
@@ -49,6 +50,11 @@ pub struct ShmemConfig {
     pub residual_from_shared_r: bool,
     /// Relaxation weight ω (1.0 = plain Jacobi).
     pub omega: f64,
+    /// Relaxation method (see [`aj_linalg::method`]). The default
+    /// [`ResolvedMethod::Jacobi`] keeps the classic two-step program; the
+    /// other methods replace step 2's correction rule per thread (momentum
+    /// state and row selection are thread-private over the thread's rows).
+    pub method: ResolvedMethod,
     /// Observability recording (off by default). When on, each thread owns
     /// a private iteration-duration histogram and timeline shard — no
     /// cross-thread synchronization on the hot path — merged into
@@ -67,6 +73,7 @@ impl Default for ShmemConfig {
             delay: None,
             residual_from_shared_r: false,
             omega: 1.0,
+            method: ResolvedMethod::Jacobi,
             obs: ObsConfig::off(),
         }
     }
@@ -158,6 +165,15 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
             let diag_inv = &diag_inv;
             handles.push(scope.spawn(move |_| {
                 let mut iters = 0usize;
+                // Momentum state over my rows only (thread-private; no other
+                // thread writes my rows, so this is exact, not racy).
+                let mut x_prev: Vec<f64> = if config.method.needs_previous_iterate() {
+                    x0[range.clone()].to_vec()
+                } else {
+                    Vec::new()
+                };
+                // Residual-weight scratch for randomized row selection.
+                let mut weights: Vec<f64> = Vec::new();
                 let mut shard = if config.obs.is_on() {
                     Some((
                         Histogram::new(),
@@ -193,8 +209,44 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                         barrier.wait();
                     }
                     // Step 2: correct my rows.
-                    for i in range.clone() {
-                        x.store(i, x.load(i) + config.omega * diag_inv[i] * r.load(i));
+                    match config.method {
+                        ResolvedMethod::Jacobi | ResolvedMethod::Richardson1 { .. } => {
+                            let omega = match config.method {
+                                ResolvedMethod::Richardson1 { omega } => omega,
+                                _ => config.omega,
+                            };
+                            for i in range.clone() {
+                                x.store(i, x.load(i) + omega * diag_inv[i] * r.load(i));
+                            }
+                        }
+                        ResolvedMethod::Richardson2 { omega, beta } => {
+                            let lo = range.start;
+                            for i in range.clone() {
+                                let xi = x.load(i);
+                                let next = xi
+                                    + omega * diag_inv[i] * r.load(i)
+                                    + beta * (xi - x_prev[i - lo]);
+                                x_prev[i - lo] = xi;
+                                x.store(i, next);
+                            }
+                        }
+                        ResolvedMethod::RandomizedResidual { fraction, seed } => {
+                            let m = range.len();
+                            weights.clear();
+                            for i in range.clone() {
+                                weights.push(r.load(i).abs());
+                            }
+                            let k = ((fraction * m as f64).ceil() as usize).max(1);
+                            let chosen = method::select_residual_weighted(
+                                &weights,
+                                k,
+                                method::selection_seed(seed, tid as u64 + 1, iters as u64),
+                            );
+                            for l in chosen {
+                                let i = range.start + l;
+                                x.store(i, x.load(i) + diag_inv[i] * r.load(i));
+                            }
+                        }
                     }
                     iters += 1;
                     iter_counts[tid].store(iters as u64, Ordering::Relaxed);
@@ -327,12 +379,21 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
             }
         }
         snap.set_counter("threads", t as u64);
+        snap.set_counter(&format!("method/{}", config.method.name()), 1);
+        // Per sweep, rwr touches ⌈fraction·m⌉ of a thread's m rows; every
+        // other method touches all of them.
+        let rows_per_sweep = |m: usize| match config.method {
+            ResolvedMethod::RandomizedResidual { fraction, .. } => {
+                ((fraction * m as f64).ceil() as usize).clamp(1, m)
+            }
+            _ => m,
+        };
         snap.set_counter(
             "relaxations",
             iterations
                 .iter()
                 .zip(&ranges)
-                .map(|(&it, r)| it as u64 * r.len() as u64)
+                .map(|(&it, r)| it as u64 * rows_per_sweep(r.len()) as u64)
                 .sum(),
         );
         snap.set_gauge("wall_time_s", wall_time.as_secs_f64());
@@ -476,6 +537,56 @@ mod tests {
         };
         let r = run(&a, &b, &x0, &cfg);
         assert!(r.converged, "damped async failed: {}", r.final_residual);
+    }
+
+    #[test]
+    fn every_method_converges_on_real_threads() {
+        let (a, b, x0) = problem();
+        for m in [
+            ResolvedMethod::Richardson1 { omega: 0.9 },
+            ResolvedMethod::Richardson2 {
+                omega: 1.0,
+                beta: 0.3,
+            },
+            ResolvedMethod::RandomizedResidual {
+                fraction: 0.5,
+                seed: 3,
+            },
+        ] {
+            let cfg = ShmemConfig {
+                num_threads: 4,
+                tol: 1e-4,
+                max_iterations: 200_000,
+                mode: Mode::Asynchronous,
+                method: m,
+                ..Default::default()
+            };
+            let r = run(&a, &b, &x0, &cfg);
+            assert!(
+                r.converged,
+                "{} failed to converge: {}",
+                m.name(),
+                r.final_residual
+            );
+        }
+    }
+
+    #[test]
+    fn momentum_converges_synchronously_too() {
+        let (a, b, x0) = problem();
+        let cfg = ShmemConfig {
+            num_threads: 2,
+            tol: 1e-5,
+            max_iterations: 200_000,
+            mode: Mode::Synchronous,
+            method: ResolvedMethod::Richardson2 {
+                omega: 1.0,
+                beta: 0.3,
+            },
+            ..Default::default()
+        };
+        let r = run(&a, &b, &x0, &cfg);
+        assert!(r.converged, "residual {}", r.final_residual);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Cross-crate integration: every backend must solve the same problem and
 //! agree with the others.
 
-use async_jacobi_repro::dmsim::shmem_sim::{run_shmem_async, ShmemSimConfig};
+use async_jacobi_repro::dmsim::shmem_sim::{run_shmem_async, run_shmem_sync, ShmemSimConfig};
 use async_jacobi_repro::dmsim::{run_dist_async, run_dist_sync, DistConfig};
+use async_jacobi_repro::linalg::method::{method_solve, ResolvedMethod};
 use async_jacobi_repro::linalg::sweeps;
 use async_jacobi_repro::linalg::vecops::{self, Norm};
-use async_jacobi_repro::model::{run_async_model, run_sync_model, DelaySchedule};
+use async_jacobi_repro::model::{
+    run_async_model, run_async_model_method, run_sync_model, run_sync_model_method, DelaySchedule,
+};
 use async_jacobi_repro::partition::block_partition;
 use async_jacobi_repro::shmem::{Mode, ShmemConfig};
 use async_jacobi_repro::Problem;
@@ -94,6 +97,140 @@ fn all_backends_reach_the_same_solution() {
         vecops::rel_diff(&ds.x, &x_ref) < 1e-5,
         "dist sync vs reference"
     );
+}
+
+fn conformance_methods() -> Vec<ResolvedMethod> {
+    vec![
+        ResolvedMethod::Richardson1 { omega: 0.9 },
+        ResolvedMethod::Richardson2 {
+            omega: 1.0,
+            beta: 0.3,
+        },
+        ResolvedMethod::RandomizedResidual {
+            fraction: 0.5,
+            seed: 17,
+        },
+    ]
+}
+
+#[test]
+fn every_method_reaches_the_same_solution_on_every_engine() {
+    // Per method: the model executor, the shared-memory simulator, the
+    // distributed simulator, and the real threads all converge to the one
+    // fixed point of Ax = b (methods change the path, not the solution).
+    let p = problem();
+    let (x_ref, _) = sweeps::jacobi_solve(&p.a, &p.b, &p.x0, 1e-12, 500_000, Norm::L2).unwrap();
+
+    for m in conformance_methods() {
+        // Model executor under a random delay schedule.
+        let s = DelaySchedule::Random {
+            density: 0.5,
+            seed: 3,
+        };
+        let mr = run_async_model_method(&p.a, &p.b, &p.x0, &s, &m, TOL, 2_000_000, Norm::L2)
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        assert!(mr.converged, "{} model", m.name());
+        assert!(
+            vecops::rel_diff(&mr.x, &x_ref) < 1e-5,
+            "{} model vs reference",
+            m.name()
+        );
+
+        // Simulated shared memory (async).
+        let mut scfg = ShmemSimConfig::new(9, p.n(), 5);
+        scfg.tol = TOL;
+        scfg.norm = Norm::L2;
+        scfg.method = m;
+        let sim = run_shmem_async(&p.a, &p.b, &p.x0, &scfg);
+        assert!(sim.converged, "{} shmem sim", m.name());
+        assert!(
+            vecops::rel_diff(&sim.x, &x_ref) < 1e-5,
+            "{} shmem sim vs reference",
+            m.name()
+        );
+
+        // Simulated distributed memory (async).
+        let part = block_partition(p.n(), 6);
+        let mut dcfg = DistConfig::new(p.n(), 5);
+        dcfg.tol = TOL;
+        dcfg.norm = Norm::L2;
+        dcfg.method = m;
+        let da = run_dist_async(&p.a, &p.b, &p.x0, &part, &dcfg);
+        assert!(da.converged, "{} dist async", m.name());
+        assert!(
+            vecops::rel_diff(&da.x, &x_ref) < 1e-5,
+            "{} dist async vs reference",
+            m.name()
+        );
+
+        // Real threads (async racy). A notch looser than TOL: the racy
+        // stop check reads residual contributions that can be one update
+        // stale, which for rwr's partial sweeps can leave the reported
+        // residual hovering a hair above a tight threshold.
+        let cfg = ShmemConfig {
+            num_threads: 3,
+            tol: 1e-7,
+            max_iterations: 500_000,
+            norm: Norm::L2,
+            mode: Mode::Asynchronous,
+            method: m,
+            ..Default::default()
+        };
+        let t = async_jacobi_repro::shmem::solver::run(&p.a, &p.b, &p.x0, &cfg);
+        assert!(t.converged, "{} threads: {}", m.name(), t.final_residual);
+        assert!(
+            vecops::rel_diff(&t.x, &x_ref) < 1e-5,
+            "{} threads vs reference",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn synchronous_engines_match_the_dense_reference_bit_for_bit_per_method() {
+    // Synchronous mode is one global method iteration per step on every
+    // engine, so the iterates are not just close — they are identical.
+    let p = problem();
+    for m in conformance_methods() {
+        let reference = method_solve(&p.a, &p.b, &p.x0, &m, 1e-6, 100_000, Norm::L1).unwrap();
+        assert!(reference.converged, "{} reference", m.name());
+
+        let mr = run_sync_model_method(
+            &p.a,
+            &p.b,
+            &p.x0,
+            &DelaySchedule::None,
+            &m,
+            1e-6,
+            100_000,
+            Norm::L1,
+        )
+        .unwrap();
+        assert_eq!(mr.x, reference.x, "{} model sync", m.name());
+
+        // Per-relaxation sampling aligns the simulators' stop checks with
+        // the reference's per-iteration check (rwr sweeps touch fewer than
+        // n rows, which would desync the default cadence).
+        let mut scfg = ShmemSimConfig::new(4, p.n(), 5);
+        scfg.tol = 1e-6;
+        scfg.sample_every = 1;
+        scfg.method = m;
+        let sim = run_shmem_sync(&p.a, &p.b, &p.x0, &scfg);
+        assert_eq!(sim.x, reference.x, "{} shmem sim sync", m.name());
+
+        let mut dcfg = DistConfig::new(p.n(), 5);
+        dcfg.tol = 1e-6;
+        dcfg.sample_every = 1;
+        dcfg.method = m;
+        let ds = run_dist_sync(&p.a, &p.b, &p.x0, &block_partition(p.n(), 6), &dcfg);
+        assert_eq!(ds.x, reference.x, "{} dist sync", m.name());
+        assert_eq!(
+            ds.relaxations,
+            reference.relaxations,
+            "{} dist sync relaxations",
+            m.name()
+        );
+    }
 }
 
 #[test]
