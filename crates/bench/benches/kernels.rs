@@ -40,6 +40,46 @@ fn bench_relaxation(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sweep_kernel(c: &mut Criterion) {
+    // The storage-format abstraction behind every asynchronous block
+    // engine: block residuals through csr / SELL-C-σ / RCM-blocked
+    // kernels, at a small whole-matrix block, a large whole-matrix block,
+    // and the 256-rank subdomain shape the dist engine actually sweeps.
+    use aj_core::linalg::{StorageFormat, SweepKernel};
+    let formats = [
+        StorageFormat::Csr,
+        StorageFormat::SellC { c: 8 },
+        StorageFormat::RcmBlocked,
+    ];
+    let mut g = c.benchmark_group("sweep_kernel");
+    for (label, matrix) in [("fd272", "fd272"), ("fd4624", "fd4624")] {
+        let p = Problem::paper_fd(matrix, 1).unwrap();
+        let mut out = vec![0.0; p.n()];
+        for format in formats {
+            let mut k = SweepKernel::build(&p.a, 0..p.n(), format).unwrap();
+            g.bench_function(&format!("{label}/{format}"), |b| {
+                b.iter(|| {
+                    k.residuals_into(black_box(&p.a), &p.x0, &p.b, &mut out);
+                });
+            });
+        }
+    }
+    // 256-rank subdomain of the Table-I analogue: ~n/256 rows per kernel,
+    // swept over the full-width x (owned + ghost columns).
+    let p = Problem::suite("thermomech_dm", aj_core::matrices::suite::Scale::Tiny, 1).unwrap();
+    let rows = aj_core::linalg::util::even_ranges(p.n(), 256)[128].clone();
+    let mut out = vec![0.0; rows.len()];
+    for format in formats {
+        let mut k = SweepKernel::build(&p.a, rows.clone(), format).unwrap();
+        g.bench_function(&format!("subdomain_256r/{format}"), |b| {
+            b.iter(|| {
+                k.residuals_into(black_box(&p.a), &p.x0, &p.b[rows.clone()], &mut out);
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_model_step(c: &mut Criterion) {
     let p = Problem::paper_fd("fd4624", 1).unwrap();
     let diag_inv = vec![1.0; p.n()];
@@ -209,6 +249,6 @@ fn bench_eigen(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_spmv, bench_relaxation, bench_model_step, bench_residual, bench_event_queue, bench_event_engine, bench_partitioning, bench_reconstruction, bench_orderings_and_krylov, bench_eigen
+    targets = bench_spmv, bench_relaxation, bench_sweep_kernel, bench_model_step, bench_residual, bench_event_queue, bench_event_engine, bench_partitioning, bench_reconstruction, bench_orderings_and_krylov, bench_eigen
 }
 criterion_main!(kernels);

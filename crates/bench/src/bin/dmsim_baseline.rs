@@ -19,11 +19,15 @@
 use aj_bench::{fig5_scaling, RunOptions};
 use aj_core::dmsim::shmem_sim::StopRule;
 use aj_core::dmsim::{run_dist_async, DistConfig, ObsConfig};
+use aj_core::linalg::{StorageFormat, SweepKernel};
 use aj_core::partition::block_partition;
 use aj_core::Problem;
+use std::hint::black_box;
 use std::time::Instant;
 
 const REPS: usize = 5;
+/// Block sweeps per sweep-kernel timing sample.
+const KERNEL_SWEEPS: usize = 200;
 
 fn median_secs(mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..REPS)
@@ -101,18 +105,58 @@ fn main() {
     ratios.sort_by(f64::total_cmp);
     let overhead = ratios[ratios.len() / 2] - 1.0;
 
+    // Sweep-kernel throughput: one whole-matrix kernel per storage format
+    // on the same suite problem, min of 9 samples of KERNEL_SWEEPS block
+    // sweeps each (minimum because noise only ever adds time). Reported as
+    // µs per sweep, plus each format's speedup over the scalar CSR loop.
+    let kernel_us = |format: StorageFormat| {
+        let mut k = SweepKernel::build(&p.a, 0..p.n(), format).expect("kernel build");
+        let mut out = vec![0.0; p.n()];
+        let mut best = f64::INFINITY;
+        for _ in 0..9 {
+            let t0 = Instant::now();
+            for _ in 0..KERNEL_SWEEPS {
+                k.residuals_into(black_box(&p.a), &p.x0, &p.b, &mut out);
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        black_box(&out);
+        best / KERNEL_SWEEPS as f64 * 1e6
+    };
+    let k_csr = kernel_us(StorageFormat::Csr);
+    let k_sellc = kernel_us(StorageFormat::SellC { c: 8 });
+    let k_rcm = kernel_us(StorageFormat::RcmBlocked);
+    let sellc_speedup = k_csr / k_sellc;
+    let rcm_speedup = k_csr / k_rcm;
+
     let json = format!(
-        "{{\n  \"description\": \"dmsim wall-clock baselines (fig5: median of {REPS} runs; dist: min of 11 interleaved runs, seconds; overhead: median of 9 paired obs/off ratios at 240 iterations)\",\n  \"fig5_quick_seconds\": {fig5:.4},\n  \"dist_async_256r_60it_seconds\": {fig7:.4},\n  \"dist_async_256r_60it_obs_sampled16_seconds\": {fig7_obs:.4},\n  \"obs_overhead_frac\": {overhead:.4}\n}}\n"
+        "{{\n  \"description\": \"dmsim wall-clock baselines (fig5: median of {REPS} runs; dist: min of 11 interleaved runs, seconds; overhead: median of 9 paired obs/off ratios at 240 iterations; sweep_kernel: min-of-9 µs per whole-matrix block sweep on thermomech_dm:tiny)\",\n  \"fig5_quick_seconds\": {fig5:.4},\n  \"dist_async_256r_60it_seconds\": {fig7:.4},\n  \"dist_async_256r_60it_obs_sampled16_seconds\": {fig7_obs:.4},\n  \"obs_overhead_frac\": {overhead:.4},\n  \"sweep_kernel_csr_us\": {k_csr:.2},\n  \"sweep_kernel_sellc8_us\": {k_sellc:.2},\n  \"sweep_kernel_rcm_blocked_us\": {k_rcm:.2},\n  \"sweep_kernel_sellc8_speedup\": {sellc_speedup:.3},\n  \"sweep_kernel_rcm_blocked_speedup\": {rcm_speedup:.3}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write baseline JSON");
     print!("{json}");
     eprintln!("wrote {out_path}");
 
-    if std::env::args().any(|a| a == "--guard") && overhead > 0.05 {
-        eprintln!(
-            "obs overhead guard FAILED: sampled(16) costs {:.1}% (> 5% budget)",
-            overhead * 100.0
-        );
-        std::process::exit(1);
+    if std::env::args().any(|a| a == "--guard") {
+        let mut failed = false;
+        if overhead > 0.05 {
+            eprintln!(
+                "obs overhead guard FAILED: sampled(16) costs {:.1}% (> 5% budget)",
+                overhead * 100.0
+            );
+            failed = true;
+        }
+        // The SIMD formats exist to beat the scalar CSR loop; fail when the
+        // best of them regresses more than 5% below it.
+        let best_speedup = sellc_speedup.max(rcm_speedup);
+        if best_speedup < 0.95 {
+            eprintln!(
+                "sweep-kernel guard FAILED: best SIMD format runs at {best_speedup:.2}x \
+                 the CSR sweep (< 0.95x floor)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -143,6 +143,10 @@ pub fn solve(args: &Args) -> Result<i32, String> {
             Some(selector) => aj_core::spec::parse_method(selector)?,
             None => aj_core::linalg::method::Method::Jacobi,
         },
+        format: match args.get("format") {
+            Some(selector) => aj_core::spec::parse_format(selector)?,
+            None => aj_core::linalg::StorageFormat::Csr,
+        },
         seed,
         faults: fault_plan(args, seed)?,
         staleness_timeout: args

@@ -57,6 +57,10 @@ SOLVE OPTIONS:
                        rwr[:fraction=<f>]
                      (omega=auto estimates the preconditioned spectrum;
                       applies to Jacobi-family backends, not gs/cg)
+  --format F         sweep storage format (default csr):
+                       csr | sellc[:c=<2|4|8|16>] | rcm-blocked
+                     (non-csr formats apply to the asynchronous block
+                      engines: async-threads, sim-async, dist-async)
   --seed S           workload seed                     (default 2018)
   --detect           use the distributed termination-detection protocol
   --staleness T      with --detect: presume a rank dead after T simulated

@@ -13,7 +13,7 @@ use aj_dmsim::{
 };
 use aj_linalg::method::{method_solve, Method, ResolvedMethod};
 use aj_linalg::vecops::Norm;
-use aj_linalg::{krylov, sweeps};
+use aj_linalg::{krylov, sweeps, StorageFormat};
 use aj_obs::{ObsConfig, Snapshot};
 use aj_partition::{block_partition, CommPlan};
 use serde::{Deserialize, Serialize};
@@ -71,6 +71,13 @@ pub struct SolveOptions {
     /// variants estimate the preconditioned spectrum from the problem's
     /// matrix at solve time.
     pub method: Method,
+    /// Sweep storage format (see [`aj_linalg::kernel`] and
+    /// [`crate::spec::parse_format`]). The default [`StorageFormat::Csr`]
+    /// keeps every backend on its classic scalar loop, bit-identically.
+    /// Non-default formats are honoured by the asynchronous block engines
+    /// (real threads and both simulators' async modes) and rejected
+    /// elsewhere rather than silently ignored.
+    pub format: StorageFormat,
     /// Seed for simulated-backend jitter.
     pub seed: u64,
     /// Fault injection for the asynchronous simulated distributed backend
@@ -105,6 +112,7 @@ impl Default for SolveOptions {
             norm: Norm::L1,
             omega: 1.0,
             method: Method::Jacobi,
+            format: StorageFormat::Csr,
             seed: 2018,
             faults: None,
             staleness_timeout: None,
@@ -189,6 +197,36 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
         String::new()
     } else {
         format!(" [{}]", method.label())
+    };
+    // Non-default storage formats change how the asynchronous block engines
+    // lay out their sweep kernels; the sequential and synchronous reference
+    // paths stay on the classic CSR loops, so reject rather than silently
+    // ignore the selector there.
+    if opts.format != StorageFormat::Csr {
+        let supported = matches!(
+            backend,
+            Backend::AsyncThreads { .. }
+                | Backend::SimShared {
+                    asynchronous: true,
+                    ..
+                }
+                | Backend::SimDistributed {
+                    asynchronous: true,
+                    ..
+                }
+        );
+        if !supported {
+            return Err(format!(
+                "format {} applies to the asynchronous block engines only \
+                 (sequential and synchronous backends are csr-only)",
+                opts.format
+            ));
+        }
+    }
+    let format_tag = if opts.format == StorageFormat::Csr {
+        String::new()
+    } else {
+        format!(" [{}]", opts.format)
     };
     let report = |label: String, x: Vec<f64>, history: Vec<(f64, f64)>| {
         let final_residual = p.relative_residual(&x, opts.norm);
@@ -312,12 +350,13 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
                 mode: aj_shmem::Mode::Asynchronous,
                 omega: opts.omega,
                 method,
+                format: opts.format,
                 obs: opts.obs,
                 ..Default::default()
             };
             let out = aj_shmem::solver::run(&p.a, &p.b, &p.x0, &cfg);
             let mut rep = report(
-                format!("async threads ×{workers}{method_tag}"),
+                format!("async threads ×{workers}{method_tag}{format_tag}"),
                 out.x,
                 out.residual_history,
             );
@@ -334,6 +373,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.norm = opts.norm;
             cfg.omega = opts.omega;
             cfg.method = method;
+            cfg.format = opts.format;
             cfg.obs = opts.obs;
             let out = if asynchronous {
                 run_shmem_async(&p.a, &p.b, &p.x0, &cfg)
@@ -343,7 +383,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             let curve = out.samples.iter().map(|s| (s.time, s.residual)).collect();
             let kind = if asynchronous { "async" } else { "sync" };
             let mut rep = report(
-                format!("simulated {kind} threads ×{workers}{method_tag}"),
+                format!("simulated {kind} threads ×{workers}{method_tag}{format_tag}"),
                 out.x,
                 curve,
             );
@@ -371,6 +411,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.norm = opts.norm;
             cfg.omega = opts.omega;
             cfg.method = method;
+            cfg.format = opts.format;
             cfg.obs = opts.obs;
             if detect && asynchronous {
                 let mut proto = TerminationProtocol::default();
@@ -390,7 +431,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             let curve = out.samples.iter().map(|s| (s.time, s.residual)).collect();
             let kind = if asynchronous { "async" } else { "sync" };
             let mut rep = report(
-                format!("simulated {kind} ranks ×{ranks}{method_tag}"),
+                format!("simulated {kind} ranks ×{ranks}{method_tag}{format_tag}"),
                 out.x,
                 curve,
             );

@@ -11,6 +11,7 @@
 use crate::driver::Backend;
 use crate::problem::Problem;
 use aj_linalg::method::{Method, OmegaSpec};
+use aj_linalg::StorageFormat;
 use aj_matrices::suite::Scale;
 
 /// Builds a [`Problem`] from a selector string.
@@ -177,6 +178,88 @@ pub fn parse_method(selector: &str) -> Result<Method, String> {
             Ok(Method::RandomizedResidual { fraction })
         }
         other => Err(method_err(selector, &format!("unknown method '{other}'"))),
+    }
+}
+
+/// The accepted storage-format grammar, quoted in full by every rejection
+/// (same contract as [`METHOD_GRAMMAR`]).
+pub const FORMAT_GRAMMAR: &str = "csr | sellc[:c=<2|4|8|16>] | rcm-blocked";
+
+fn format_err(selector: &str, what: &str) -> String {
+    format!("bad format selector '{selector}': {what} (grammar: {FORMAT_GRAMMAR})")
+}
+
+/// Parses a sweep storage-format selector (`csr`, `sellc`, `sellc:c=8`,
+/// `rcm-blocked`) into a [`StorageFormat`]. A leading `format=` is accepted
+/// so full spec fragments can be passed through verbatim.
+///
+/// Every rejection reports the *full* selector string and the accepted
+/// grammar, not just the offending key.
+pub fn parse_format(selector: &str) -> Result<StorageFormat, String> {
+    let spec = selector.strip_prefix("format=").unwrap_or(selector);
+    if spec.is_empty() {
+        return Err(format_err(selector, "empty format name"));
+    }
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default();
+    let mut kv: Vec<(&str, &str)> = Vec::new();
+    for part in parts {
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(format_err(
+                selector,
+                &format!("expected key=value, got '{part}'"),
+            ));
+        };
+        if kv.iter().any(|&(seen, _)| seen == k) {
+            return Err(format_err(selector, &format!("duplicate key '{k}'")));
+        }
+        kv.push((k, v));
+    }
+    let reject_unknown = |allowed: &[&str]| -> Result<(), String> {
+        for &(k, _) in &kv {
+            if !allowed.contains(&k) {
+                return Err(format_err(
+                    selector,
+                    &format!(
+                        "unknown key '{k}' for format '{name}' (allowed: {})",
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    };
+    let lookup = |key: &str| kv.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+    match name {
+        "csr" => {
+            reject_unknown(&[])?;
+            Ok(StorageFormat::Csr)
+        }
+        "sellc" => {
+            reject_unknown(&["c"])?;
+            let c = match lookup("c") {
+                Some(v) => v.parse::<usize>().map_err(|_| {
+                    format_err(selector, &format!("invalid value '{v}' for key 'c'"))
+                })?,
+                None => aj_linalg::kernel::DEFAULT_SELL_LANES,
+            };
+            if !aj_linalg::kernel::SELL_LANE_CHOICES.contains(&c) {
+                return Err(format_err(
+                    selector,
+                    &format!("lane count c must be one of 2|4|8|16, got {c}"),
+                ));
+            }
+            Ok(StorageFormat::SellC { c })
+        }
+        "rcm-blocked" => {
+            reject_unknown(&[])?;
+            Ok(StorageFormat::RcmBlocked)
+        }
+        other => Err(format_err(selector, &format!("unknown format '{other}'"))),
     }
 }
 
@@ -357,6 +440,64 @@ mod tests {
             Method::Richardson2 { beta: Some(_), .. }
         ));
         assert_eq!(reparsed.resolve(&p.a, 1).unwrap(), resolved);
+    }
+
+    #[test]
+    fn formats_parse() {
+        assert_eq!(parse_format("csr").unwrap(), StorageFormat::Csr);
+        assert_eq!(parse_format("format=csr").unwrap(), StorageFormat::Csr);
+        assert_eq!(
+            parse_format("sellc").unwrap(),
+            StorageFormat::SellC {
+                c: aj_linalg::kernel::DEFAULT_SELL_LANES
+            }
+        );
+        for c in aj_linalg::kernel::SELL_LANE_CHOICES {
+            assert_eq!(
+                parse_format(&format!("sellc:c={c}")).unwrap(),
+                StorageFormat::SellC { c }
+            );
+        }
+        assert_eq!(
+            parse_format("format=rcm-blocked").unwrap(),
+            StorageFormat::RcmBlocked
+        );
+        // Canonical spec strings re-parse to the same format.
+        for f in [
+            StorageFormat::Csr,
+            StorageFormat::SellC { c: 4 },
+            StorageFormat::RcmBlocked,
+        ] {
+            assert_eq!(parse_format(&f.to_spec()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn format_rejections_quote_selector_and_grammar() {
+        // One case per rejection path: empty name, unknown format, bare key
+        // without '=', duplicate key, unknown key for the format, bad
+        // numeric value, and an unsupported lane count.
+        for bad in [
+            "",
+            "format=",
+            "ellpack",
+            "sellc:c",
+            "sellc:c=4:c=8",
+            "csr:c=8",
+            "rcm-blocked:c=4",
+            "sellc:lanes=8",
+            "sellc:c=eight",
+            "sellc:c=3",
+            "sellc:c=0",
+            "sellc:c=32",
+        ] {
+            let err = parse_format(bad).unwrap_err();
+            assert!(err.contains(bad), "error '{err}' must quote '{bad}'");
+            assert!(
+                err.contains(FORMAT_GRAMMAR),
+                "error '{err}' must state the grammar"
+            );
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::shmem_sim::{SimDelay, StopRule};
 use crate::termination::{RootAggregator, TerminationProtocol, TerminationStats};
 use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::vecops::Norm;
-use aj_linalg::CsrMatrix;
+use aj_linalg::{CsrMatrix, StorageFormat, SweepKernel};
 use aj_obs::{ObsConfig, SpanKind};
 use aj_partition::{CommPlan, LocalSystem, Partition};
 use std::rc::Rc;
@@ -84,6 +84,12 @@ pub struct DistConfig {
     /// pre-method build; non-Jacobi methods require
     /// [`LocalSolve::Jacobi`] (the method *is* the local update rule).
     pub method: ResolvedMethod,
+    /// Sweep storage format for each rank's local matrix in the
+    /// **asynchronous** engine (default [`StorageFormat::Csr`],
+    /// bit-identical to the classic loops). The synchronous solver and the
+    /// Gauss–Seidel local solve always run CSR; the driver rejects other
+    /// selectors for the synchronous backend.
+    pub format: StorageFormat,
     /// Local subdomain solver.
     pub local_solve: LocalSolve,
     /// When set, the asynchronous solver stops through the distributed
@@ -124,6 +130,7 @@ impl DistConfig {
             variant: DistVariant::Racy,
             omega: 1.0,
             method: ResolvedMethod::Jacobi,
+            format: StorageFormat::Csr,
             local_solve: LocalSolve::Jacobi,
             termination: None,
             faults: None,
@@ -366,6 +373,24 @@ pub fn run_dist_async_plan(
     let fault_plan = config.faults.as_ref().filter(|p| !p.is_empty());
     let mut fault_state = fault_plan.map(|p| FaultState::new(p, nparts));
     let mut ranks = build_ranks(a, b, x0, plan, &config.cost, fault_plan);
+    // One sweep kernel per rank over its local matrix, in the configured
+    // storage format (kept beside `ranks` so the borrow checker sees the
+    // kernels and the rank state as disjoint). The cost model charges the
+    // stored nonzeros the kernel streams per sweep — the plain local nnz
+    // for CSR and RCM-blocked, padded nnz for SELL-C-σ.
+    let mut kernels: Vec<SweepKernel> = ranks
+        .iter()
+        .map(|rk| {
+            rk.local
+                .kernel(config.format)
+                .expect("storage format rejected for this subdomain")
+        })
+        .collect();
+    let work_nnz: Vec<usize> = kernels
+        .iter()
+        .zip(&ranks)
+        .map(|(k, rk)| k.work_nnz(&rk.local.matrix))
+        .collect();
     // Global mirror of owned values, for residual monitoring.
     let mut x_global = x0.to_vec();
     let mut monitor = ResidualMonitor::new(a, b, config.norm, config.tol, config.sample_every);
@@ -394,7 +419,7 @@ pub fn run_dist_async_plan(
                           r: usize,
                           rank: &mut Rank,
                           config: &DistConfig| {
-        let mut cost = config.cost.sweep_cost(rank.local.matrix.nnz()) * rank.jitter.next_factor();
+        let mut cost = config.cost.sweep_cost(work_nnz[r]) * rank.jitter.next_factor();
         if let Some(d) = config.delay {
             if d.worker == r {
                 cost += d.extra_ticks;
@@ -437,6 +462,8 @@ pub fn run_dist_async_plan(
     // Scratch reused across every Jacobi sweep (two-phase staging buffer).
     let max_owned = ranks.iter().map(|r| r.local.n_owned()).max().unwrap_or(0);
     let mut sweep_values: Vec<f64> = Vec::with_capacity(max_owned);
+    // Kernel residual scratch, sliced per rank.
+    let mut sweep_res: Vec<f64> = vec![0.0; max_owned];
     // Residual-weight scratch for randomized row selection.
     let mut sweep_weights: Vec<f64> = Vec::with_capacity(max_owned);
     // Momentum state, globally indexed (each row has exactly one owner, so
@@ -511,8 +538,14 @@ pub fn run_dist_async_plan(
                             sweep_values.clear();
                             {
                                 let rank = &ranks[r];
+                                kernels[r].residuals_into(
+                                    &rank.local.matrix,
+                                    &rank.x,
+                                    &rank.b,
+                                    &mut sweep_res[..n_owned],
+                                );
                                 for row in 0..n_owned {
-                                    let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
+                                    let res = sweep_res[row];
                                     sweep_values
                                         .push(rank.x[row] + omega * rank.local.diag_inv[row] * res);
                                 }
@@ -530,8 +563,14 @@ pub fn run_dist_async_plan(
                             sweep_values.clear();
                             {
                                 let rank = &ranks[r];
+                                kernels[r].residuals_into(
+                                    &rank.local.matrix,
+                                    &rank.x,
+                                    &rank.b,
+                                    &mut sweep_res[..n_owned],
+                                );
                                 for row in 0..n_owned {
-                                    let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
+                                    let res = sweep_res[row];
                                     let g = rank.local.global_owned[row];
                                     sweep_values.push(
                                         rank.x[row]
@@ -556,11 +595,14 @@ pub fn run_dist_async_plan(
                             sweep_weights.clear();
                             {
                                 let rank = &ranks[r];
-                                for row in 0..n_owned {
-                                    let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
-                                    sweep_values.push(res);
-                                    sweep_weights.push(res.abs());
-                                }
+                                kernels[r].residuals_into(
+                                    &rank.local.matrix,
+                                    &rank.x,
+                                    &rank.b,
+                                    &mut sweep_res[..n_owned],
+                                );
+                                sweep_values.extend_from_slice(&sweep_res[..n_owned]);
+                                sweep_weights.extend(sweep_res[..n_owned].iter().map(|v| v.abs()));
                             }
                             let k = ((fraction * n_owned as f64).ceil() as usize).max(1);
                             let chosen = method::select_residual_weighted(

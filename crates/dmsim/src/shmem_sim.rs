@@ -13,7 +13,7 @@ use crate::monitor::{ResidualMonitor, SimOutcome};
 use crate::obsrec::EngineObs;
 use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::vecops::Norm;
-use aj_linalg::CsrMatrix;
+use aj_linalg::{CsrMatrix, StorageFormat, SweepKernel};
 use aj_obs::{ObsConfig, SpanKind};
 use aj_trace::{RelaxationEvent, Trace};
 use std::cmp::Reverse;
@@ -67,6 +67,11 @@ pub struct ShmemSimConfig {
     /// Relaxation method executed per sweep (default plain Jacobi; with
     /// the default the engine is bit-identical to its pre-method form).
     pub method: ResolvedMethod,
+    /// Sweep storage format for the asynchronous block engine (default
+    /// [`StorageFormat::Csr`], bit-identical to the classic loops). The
+    /// synchronous and row-granular engines always run CSR; the driver
+    /// rejects other selectors before they reach them.
+    pub format: StorageFormat,
     /// Observability recording (off by default; the asynchronous block
     /// engine records per-worker staleness and sweep-period histograms and
     /// timelines into [`SimOutcome::obs`]).
@@ -88,6 +93,7 @@ impl ShmemSimConfig {
             stop: StopRule::Tolerance,
             omega: 1.0,
             method: ResolvedMethod::Jacobi,
+            format: StorageFormat::Csr,
             obs: ObsConfig::off(),
         }
     }
@@ -132,10 +138,18 @@ pub fn run_shmem_async(
         })
         .collect();
     let ranges = block_ranges(n, t);
-    let block_nnz: Vec<usize> = ranges
+    // One sweep kernel per worker block in the configured storage format.
+    // The cost model charges the *stored* nonzeros the kernel streams per
+    // sweep — identical to the row-nnz sum for CSR (and the RCM-blocked
+    // layout), padded for SELL-C-σ whose lanes compute the padding too.
+    let mut kernels: Vec<SweepKernel> = ranges
         .iter()
-        .map(|r| r.clone().map(|i| a.row_nnz(i)).sum())
+        .map(|r| {
+            SweepKernel::build(a, r.clone(), config.format)
+                .expect("storage format rejected for this matrix")
+        })
         .collect();
+    let work_nnz: Vec<usize> = kernels.iter().map(|k| k.work_nnz(a)).collect();
 
     let mut x = x0.to_vec();
     let mut jitters: Vec<WorkerJitter> = (0..t)
@@ -184,7 +198,7 @@ pub fn run_shmem_async(
     let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
     let mut order = 0u64;
     let draw_cost = |w: usize, jitters: &mut [WorkerJitter]| {
-        let mut cost = config.cost.sweep_cost(block_nnz[w]) * jitters[w].next_factor();
+        let mut cost = config.cost.sweep_cost(work_nnz[w]) * jitters[w].next_factor();
         if let Some(d) = config.delay {
             if d.worker == w {
                 cost += d.extra_ticks;
@@ -204,8 +218,9 @@ pub fn run_shmem_async(
     // sweep: the engine allocates nothing per event in steady state (the
     // randomized-selection arm is the one exception — its weighted draw
     // buffers are per-sweep).
-    let mut values: Vec<f64> =
-        Vec::with_capacity(ranges.iter().map(|r| r.len()).max().unwrap_or(0));
+    let widest = ranges.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut values: Vec<f64> = Vec::with_capacity(widest);
+    let mut res: Vec<f64> = vec![0.0; widest];
     let mut weights: Vec<f64> = Vec::new();
     // Momentum state: per-row value before the row's last relaxation, only
     // materialized when the method reads it.
@@ -232,35 +247,38 @@ pub fn run_shmem_async(
                     ResolvedMethod::Richardson1 { omega } => omega,
                     _ => config.omega,
                 };
+                let blk = range.len();
+                kernels[w].residuals_into(a, &x, &b[range.clone()], &mut res[..blk]);
                 values.clear();
-                for i in range.clone() {
-                    let r = b[i] - a.row_dot(i, &x);
-                    values.push(x[i] + omega * diag_inv[i] * r);
+                for (offset, i) in range.clone().enumerate() {
+                    values.push(x[i] + omega * diag_inv[i] * res[offset]);
                 }
                 for (offset, i) in range.clone().enumerate() {
                     x[i] = values[offset];
                 }
-                range.len()
+                blk
             }
             ResolvedMethod::Richardson2 { omega, beta } => {
+                let blk = range.len();
+                kernels[w].residuals_into(a, &x, &b[range.clone()], &mut res[..blk]);
                 values.clear();
-                for i in range.clone() {
-                    let r = b[i] - a.row_dot(i, &x);
+                for (offset, i) in range.clone().enumerate() {
+                    let r = res[offset];
                     values.push(x[i] + omega * diag_inv[i] * r + beta * (x[i] - x_prev[i]));
                 }
                 for (offset, i) in range.clone().enumerate() {
                     x_prev[i] = x[i];
                     x[i] = values[offset];
                 }
-                range.len()
+                blk
             }
             ResolvedMethod::RandomizedResidual { fraction, seed } => {
                 // Residual-weighted draw over the block, then plain Jacobi
                 // on the chosen rows; all residuals read the same state.
+                let blk = range.len();
+                kernels[w].residuals_into(a, &x, &b[range.clone()], &mut res[..blk]);
                 values.clear();
-                for i in range.clone() {
-                    values.push(b[i] - a.row_dot(i, &x));
-                }
+                values.extend_from_slice(&res[..blk]);
                 weights.clear();
                 weights.extend(values.iter().map(|r| r.abs()));
                 let k = ((fraction * range.len() as f64).ceil() as usize).max(1);

@@ -13,7 +13,10 @@
 //! * vector kernels and the three norms the paper reports (`‖·‖₁`, `‖·‖₂`,
 //!   `‖·‖∞`; see [`vecops`]),
 //! * classic stationary sweeps used as references ([`sweeps`]), Krylov and
-//!   Chebyshev baselines ([`krylov`]), and
+//!   Chebyshev baselines ([`krylov`]),
+//! * pluggable block-sweep storage formats — scalar CSR, SIMD-friendly
+//!   SELL-C-σ, RCM cache blocking — behind one [`SweepKernel`] ([`kernel`],
+//!   [`rcm`]), and
 //! * permutations / principal submatrices for the §IV-C/D interlacing
 //!   analysis ([`perm`], [`CsrMatrix::principal_submatrix`]).
 //!
@@ -28,11 +31,13 @@ pub mod csr;
 pub mod dense;
 pub mod eigen;
 pub mod error;
+pub mod kernel;
 pub mod krylov;
 pub mod method;
 pub mod multigrid;
 pub mod ops;
 pub mod perm;
+pub mod rcm;
 pub mod sweeps;
 pub mod util;
 pub mod vecops;
@@ -41,5 +46,6 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;
+pub use kernel::{StorageFormat, SweepKernel};
 pub use method::{Method, OmegaSpec, ResolvedMethod};
 pub use ops::{IterationMatrix, LinearOperator};

@@ -64,14 +64,16 @@ pub fn jacobi_solve(
     let mut x = x0.to_vec();
     let mut x_next = vec![0.0; x.len()];
     let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
-    let mut history = vec![vecops::norm(&a.residual(&x, b), norm) / nb];
+    // The fused path is bit-identical to norm-of-residual but allocates no
+    // residual vector per iteration.
+    let mut history = vec![a.residual_norm(&x, b, norm) / nb];
     for _ in 0..max_iter {
         if *history.last().unwrap() < tol {
             break;
         }
         jacobi_iteration(a, b, &diag_inv, &x, &mut x_next);
         std::mem::swap(&mut x, &mut x_next);
-        history.push(vecops::norm(&a.residual(&x, b), norm) / nb);
+        history.push(a.residual_norm(&x, b, norm) / nb);
     }
     Ok((x, history))
 }
@@ -123,13 +125,14 @@ pub fn gauss_seidel_solve(
     let diag_inv = diag_inv?;
     let mut x = x0.to_vec();
     let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
-    let mut history = vec![vecops::norm(&a.residual(&x, b), norm) / nb];
+    // Fused residual norm: no per-iteration Vec (see jacobi_solve).
+    let mut history = vec![a.residual_norm(&x, b, norm) / nb];
     for _ in 0..max_iter {
         if *history.last().unwrap() < tol {
             break;
         }
         gauss_seidel_sweep(a, b, &diag_inv, &mut x);
-        history.push(vecops::norm(&a.residual(&x, b), norm) / nb);
+        history.push(a.residual_norm(&x, b, norm) / nb);
     }
     Ok((x, history))
 }

@@ -75,7 +75,7 @@ pub fn run_async_model(
     let diag_inv = diag_inv_of(a)?;
     let mut x = x0.to_vec();
     let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
-    let mut history = vec![(0u64, vecops::norm(&a.residual(&x, b), norm) / nb)];
+    let mut history = vec![(0u64, a.residual_norm(&x, b, norm) / nb)];
     let mut relaxations = 0u64;
     let mut steps = 0u64;
     let mut converged = history[0].1 < tol;
@@ -85,7 +85,7 @@ pub fn run_async_model(
         apply_step(a, b, &diag_inv, &mask, &mut x);
         relaxations += mask.num_active() as u64;
         steps = k;
-        let r = vecops::norm(&a.residual(&x, b), norm) / nb;
+        let r = a.residual_norm(&x, b, norm) / nb;
         history.push((k, r));
         converged = r < tol;
     }
@@ -115,7 +115,7 @@ pub fn run_sync_model(
     let cost = schedule.sync_iteration_cost();
     let mut x = x0.to_vec();
     let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
-    let mut history = vec![(0u64, vecops::norm(&a.residual(&x, b), norm) / nb)];
+    let mut history = vec![(0u64, a.residual_norm(&x, b, norm) / nb)];
     let mut relaxations = 0u64;
     let mut steps = 0u64;
     let mask = ActiveMask::all(n);
@@ -125,7 +125,7 @@ pub fn run_sync_model(
         steps += 1;
         apply_step(a, b, &diag_inv, &mask, &mut x);
         relaxations += n as u64;
-        let r = vecops::norm(&a.residual(&x, b), norm) / nb;
+        let r = a.residual_norm(&x, b, norm) / nb;
         history.push((steps * cost, r));
         converged = r < tol;
     }
@@ -159,7 +159,7 @@ pub fn run_async_model_method(
     let mut x = x0.to_vec();
     let mut x_prev = x0.to_vec();
     let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
-    let mut history = vec![(0u64, vecops::norm(&a.residual(&x, b), norm) / nb)];
+    let mut history = vec![(0u64, a.residual_norm(&x, b, norm) / nb)];
     let mut relaxations = 0u64;
     let mut steps = 0u64;
     let mut converged = history[0].1 < tol;
@@ -169,7 +169,7 @@ pub fn run_async_model_method(
         relaxations +=
             apply_method_step(a, b, &diag_inv, &mask, method, k, &mut x, &mut x_prev) as u64;
         steps = k;
-        let r = vecops::norm(&a.residual(&x, b), norm) / nb;
+        let r = a.residual_norm(&x, b, norm) / nb;
         history.push((k, r));
         converged = r < tol;
     }
@@ -203,7 +203,7 @@ pub fn run_sync_model_method(
     let mut x = x0.to_vec();
     let mut x_next = vec![0.0; x.len()];
     let nb = vecops::norm(b, norm).max(f64::MIN_POSITIVE);
-    let mut history = vec![(0u64, vecops::norm(&a.residual(&x, b), norm) / nb)];
+    let mut history = vec![(0u64, a.residual_norm(&x, b, norm) / nb)];
     let mut relaxations = 0u64;
     let mut steps = 0u64;
     let mut converged = history[0].1 < tol;
@@ -213,7 +213,7 @@ pub fn run_sync_model_method(
         std::mem::swap(&mut x_prev, &mut x);
         std::mem::swap(&mut x, &mut x_next);
         steps += 1;
-        let r = vecops::norm(&a.residual(&x, b), norm) / nb;
+        let r = a.residual_norm(&x, b, norm) / nb;
         history.push((steps * cost, r));
         converged = r < tol;
     }

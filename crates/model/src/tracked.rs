@@ -83,10 +83,7 @@ pub fn run_tracked(
         opts.x_exact
             .map(|xe| vecops::norm(&vecops::sub(x, xe), Norm::Inf))
     };
-    let mut residual_history = vec![(
-        0u64,
-        vecops::norm(&a.residual(&x, b), opts.residual_norm) / nb,
-    )];
+    let mut residual_history = vec![(0u64, a.residual_norm(&x, b, opts.residual_norm) / nb)];
     let mut error_history = error_of(&x).map(|e| vec![(0u64, e)]);
     let mut relaxations = 0u64;
     let mut step = 0u64;
@@ -95,10 +92,7 @@ pub fn run_tracked(
         let mask = schedule.mask_at(n, step);
         apply_step_weighted(a, b, &diag_inv, &mask, opts.omega, &mut x);
         relaxations += mask.num_active() as u64;
-        residual_history.push((
-            step,
-            vecops::norm(&a.residual(&x, b), opts.residual_norm) / nb,
-        ));
+        residual_history.push((step, a.residual_norm(&x, b, opts.residual_norm) / nb));
         if let (Some(h), Some(e)) = (error_history.as_mut(), error_of(&x)) {
             h.push((step, e));
         }

@@ -6,7 +6,7 @@
 //! which is how the paper's distributed implementation stores its halo.
 
 use crate::comm::SubdomainPlan;
-use aj_linalg::{CooMatrix, CsrMatrix};
+use aj_linalg::{CooMatrix, CsrMatrix, LinalgError, StorageFormat, SweepKernel};
 
 /// A subdomain's rows of `A` in local indexing, plus the index maps back to
 /// the global problem.
@@ -106,6 +106,34 @@ impl LocalSystem {
             .map(|r| b_local[r] - self.matrix.row_dot(r, x))
             .collect()
     }
+
+    /// Builds a reusable sweep kernel over all owned rows in the requested
+    /// storage format (see [`aj_linalg::kernel`]).
+    ///
+    /// # Errors
+    /// Propagates format-validation errors (bad SELL lane count, …).
+    pub fn kernel(&self, format: StorageFormat) -> Result<SweepKernel, LinalgError> {
+        SweepKernel::build(&self.matrix, 0..self.n_owned(), format)
+    }
+
+    /// [`LocalSystem::jacobi_sweep`] through a prebuilt [`SweepKernel`],
+    /// with caller-owned residual scratch so steady-state sweeps allocate
+    /// nothing. With a [`StorageFormat::Csr`] kernel this is bit-identical
+    /// to [`LocalSystem::jacobi_sweep`].
+    pub fn jacobi_sweep_with(
+        &self,
+        kernel: &mut SweepKernel,
+        b_local: &[f64],
+        x: &mut [f64],
+        residuals: &mut [f64],
+    ) {
+        let n = self.n_owned();
+        debug_assert_eq!(x.len(), n + self.n_ghost());
+        kernel.residuals_into(&self.matrix, x, b_local, residuals);
+        for r in 0..n {
+            x[r] += self.diag_inv[r] * residuals[r];
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +219,32 @@ mod tests {
             let r_local = ls.local_residual(&b_local, &x_local);
             for (l, &g) in plan.owned.iter().enumerate() {
                 assert!((r_local[l] - r_global[g]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_sweep_matches_plain_sweep_per_format() {
+        let (a, cp) = setup(24, 3);
+        let ls = LocalSystem::build(&a, cp.plan(1));
+        let width = ls.n_owned() + ls.n_ghost();
+        let b_local = vec![1.25; ls.n_owned()];
+        let x0: Vec<f64> = (0..width).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut x_ref = x0.clone();
+        ls.jacobi_sweep(&b_local, &mut x_ref);
+        for format in [
+            StorageFormat::Csr,
+            StorageFormat::SellC { c: 4 },
+            StorageFormat::RcmBlocked,
+        ] {
+            let mut k = ls.kernel(format).unwrap();
+            let mut x = x0.clone();
+            let mut res = vec![0.0; ls.n_owned()];
+            ls.jacobi_sweep_with(&mut k, &b_local, &mut x, &mut res);
+            if format.is_bit_compatible() {
+                assert_eq!(x, x_ref, "{format}");
+            } else {
+                assert!(aj_linalg::vecops::rel_diff(&x, &x_ref) < 1e-12, "{format}");
             }
         }
     }

@@ -7,62 +7,18 @@
 //! partitioning — the cheap path to the paper's "METIS then contiguous
 //! subdomains" pipeline.
 
-use aj_linalg::perm::Permutation;
-use aj_linalg::CsrMatrix;
-use std::collections::VecDeque;
-
-/// Computes the RCM ordering of the symmetric sparsity pattern of `a`.
-/// Returns a permutation suitable for [`CsrMatrix::permute_symmetric`]
-/// (`perm[new] = old`). Disconnected components are handled by restarting
-/// from the lowest-degree unvisited vertex.
-pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Permutation {
-    let n = a.nrows();
-    let degree = |v: usize| a.row_nnz(v).saturating_sub(1);
-    let mut visited = vec![false; n];
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    let mut queue = VecDeque::new();
-    while order.len() < n {
-        // Start from a pseudo-peripheral-ish vertex: the unvisited vertex of
-        // minimum degree.
-        let start = (0..n)
-            .filter(|&v| !visited[v])
-            .min_by_key(|&v| degree(v))
-            .expect("unvisited vertex exists");
-        visited[start] = true;
-        queue.push_back(start);
-        while let Some(v) = queue.pop_front() {
-            order.push(v);
-            // Neighbours in ascending degree order (Cuthill–McKee rule).
-            let mut nbrs: Vec<usize> = a
-                .row_indices(v)
-                .iter()
-                .copied()
-                .filter(|&u| u != v && !visited[u])
-                .collect();
-            nbrs.sort_by_key(|&u| degree(u));
-            for u in nbrs {
-                visited[u] = true;
-                queue.push_back(u);
-            }
-        }
-    }
-    order.reverse();
-    Permutation::from_vec(order)
-}
-
-/// Bandwidth of a matrix: `max |i − j|` over nonzeros.
-pub fn bandwidth(a: &CsrMatrix) -> usize {
-    (0..a.nrows())
-        .flat_map(|i| a.row_indices(i).iter().map(move |&j| i.abs_diff(j)))
-        .max()
-        .unwrap_or(0)
-}
+// The algorithm itself lives in `aj_linalg::rcm` so the cache-blocked sweep
+// kernel (`aj_linalg::kernel`) can reorder within blocks without inverting
+// the crate dependency; this module keeps the partition-level API and the
+// partition-scale tests.
+pub use aj_linalg::rcm::{bandwidth, reverse_cuthill_mckee};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::partitioners::block_partition;
     use crate::Partition;
+    use aj_linalg::CsrMatrix;
 
     /// A 2-D grid numbered *column-major-by-accident* (bad ordering) so RCM
     /// has something to fix: take the 5-point grid and scramble it.

@@ -38,6 +38,10 @@ pub struct JobSpec {
     /// `omega=auto` resolutions are memoized per cached problem, so repeat
     /// solves skip the spectrum estimate.
     pub method: String,
+    /// Sweep-storage-format selector in the [`aj_core::spec`] grammar
+    /// (`csr`, `sellc[:c=<2|4|8|16>]`, `rcm-blocked`). Resolutions are
+    /// memoized per cached problem alongside method resolutions.
+    pub format: String,
     /// Shed the job if it has not *started* within this long of being
     /// submitted. `None` = wait as long as it takes.
     pub deadline: Option<Duration>,
@@ -56,6 +60,7 @@ impl Default for JobSpec {
             max_iterations: 100_000,
             omega: 1.0,
             method: "jacobi".into(),
+            format: "csr".into(),
             deadline: None,
         }
     }

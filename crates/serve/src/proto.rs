@@ -170,6 +170,12 @@ fn spec_from(v: &Value) -> Result<JobSpec, String> {
             .ok_or("\"method\" must be a selector string")?
             .to_string();
     }
+    if let Some(x) = v.get("format") {
+        spec.format = x
+            .as_str()
+            .ok_or("\"format\" must be a selector string")?
+            .to_string();
+    }
     if let Some(x) = v.get("deadline_ms") {
         let ms = x.as_f64().ok_or("\"deadline_ms\" must be a number")?;
         if ms < 0.0 {
@@ -201,6 +207,7 @@ pub fn render_request(req: &Request) -> String {
             });
             push_kv(&mut s, "omega", |o| json::write_f64(o, spec.omega));
             push_kv(&mut s, "method", |o| json::write_escaped(o, &spec.method));
+            push_kv(&mut s, "format", |o| json::write_escaped(o, &spec.format));
             if let Some(d) = spec.deadline {
                 push_kv(&mut s, "deadline_ms", |o| {
                     json::write_f64(o, d.as_secs_f64() * 1000.0)
@@ -389,6 +396,7 @@ mod tests {
             backend: "dist-async".into(),
             ranks: 4,
             method: "richardson2:omega=auto:beta=0.25".into(),
+            format: "sellc:c=8".into(),
             deadline: Some(Duration::from_millis(250)),
             ..Default::default()
         };
@@ -407,6 +415,7 @@ mod tests {
         assert_eq!(id, 1);
         assert_eq!(spec.tol, JobSpec::default().tol);
         assert_eq!(spec.method, "jacobi");
+        assert_eq!(spec.format, "csr");
         assert_eq!(spec.deadline, None);
     }
 

@@ -352,11 +352,13 @@ fn execute(inner: &ServiceInner, spec: &JobSpec) -> Result<(JobResult, Option<Sn
     // resolve step is free — `omega=auto` never re-runs Lanczos on a
     // cache hit.
     let method = spec::parse_method(&plan.resolve_method(&spec.method, spec.seed)?.to_spec())?;
+    let format = plan.resolve_format(&spec.format)?;
     let opts = aj_core::SolveOptions {
         tol: spec.tol,
         max_iterations: spec.max_iterations,
         omega: spec.omega,
         method,
+        format,
         seed: spec.seed,
         obs: inner.cfg.solve_obs,
         plan: dist_plan,

@@ -3,7 +3,7 @@
 use crate::shared_vec::SharedVec;
 use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::vecops::{self, Norm};
-use aj_linalg::CsrMatrix;
+use aj_linalg::{CsrMatrix, StorageFormat, SweepKernel};
 use aj_obs::{Histogram, ObsConfig, Snapshot, SpanKind, Timeline};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -55,6 +55,15 @@ pub struct ShmemConfig {
     /// other methods replace step 2's correction rule per thread (momentum
     /// state and row selection are thread-private over the thread's rows).
     pub method: ResolvedMethod,
+    /// Sweep storage format for step 1's residual computation (see
+    /// [`aj_linalg::kernel`]). The default [`StorageFormat::Csr`] keeps the
+    /// classic racy per-row loop over the shared array. Non-default formats
+    /// run a per-thread [`SweepKernel`]: each iteration first *prefetches*
+    /// every column the block touches (owned rows and ghosts) from the
+    /// shared array into a dense thread-local vector, then sweeps that
+    /// snapshot — one sequential gather pass instead of scattered atomic
+    /// loads inside the kernel's vectorized inner loops.
+    pub format: StorageFormat,
     /// Observability recording (off by default). When on, each thread owns
     /// a private iteration-duration histogram and timeline shard — no
     /// cross-thread synchronization on the hot path — merged into
@@ -74,6 +83,7 @@ impl Default for ShmemConfig {
             residual_from_shared_r: false,
             omega: 1.0,
             method: ResolvedMethod::Jacobi,
+            format: StorageFormat::Csr,
             obs: ObsConfig::off(),
         }
     }
@@ -174,6 +184,20 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                 };
                 // Residual-weight scratch for randomized row selection.
                 let mut weights: Vec<f64> = Vec::new();
+                // Non-CSR formats sweep a thread-local snapshot: `touched`
+                // lists every column my rows reference (owned + ghosts),
+                // gathered from the shared array once per iteration.
+                let mut kernel = (config.format != StorageFormat::Csr).then(|| {
+                    let k = SweepKernel::build(a, range.clone(), config.format)
+                        .expect("storage format rejected for this matrix");
+                    let mut touched: Vec<usize> = range
+                        .clone()
+                        .flat_map(|i| a.row_indices(i).iter().copied())
+                        .collect();
+                    touched.sort_unstable();
+                    touched.dedup();
+                    (k, touched, vec![0.0; n], vec![0.0; range.len()])
+                });
                 let mut shard = if config.obs.is_on() {
                     Some((
                         Histogram::new(),
@@ -198,12 +222,27 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                         }
                     }
                     // Step 1: residual for my rows (racy reads of shared x).
-                    for i in range.clone() {
-                        let mut acc = 0.0;
-                        for (j, v) in a.row_iter(i) {
-                            acc += v * x.load(j);
+                    if let Some((k, touched, x_local, res)) = kernel.as_mut() {
+                        // Prefetch the ghost (and owned) entries my block
+                        // reads into a dense snapshot, then run the kernel
+                        // on it. The snapshot is one ordered pass over the
+                        // shared array — still "whatever information is
+                        // available", read just before the sweep.
+                        for &j in touched.iter() {
+                            x_local[j] = x.load(j);
                         }
-                        r.store(i, b[i] - acc);
+                        k.residuals_into(a, x_local, &b[range.clone()], res);
+                        for (offset, i) in range.clone().enumerate() {
+                            r.store(i, res[offset]);
+                        }
+                    } else {
+                        for i in range.clone() {
+                            let mut acc = 0.0;
+                            for (j, v) in a.row_iter(i) {
+                                acc += v * x.load(j);
+                            }
+                            r.store(i, b[i] - acc);
+                        }
                     }
                     if config.mode == Mode::Synchronous {
                         barrier.wait();
@@ -568,6 +607,30 @@ mod tests {
                 m.name(),
                 r.final_residual
             );
+        }
+    }
+
+    #[test]
+    fn every_format_converges_on_real_threads() {
+        let (a, b, x0) = problem();
+        let (x_ref, _) =
+            aj_linalg::sweeps::jacobi_solve(&a, &b, &x0, 1e-5, 100_000, Norm::L1).unwrap();
+        for format in [StorageFormat::SellC { c: 8 }, StorageFormat::RcmBlocked] {
+            let cfg = ShmemConfig {
+                num_threads: 4,
+                tol: 1e-5,
+                max_iterations: 200_000,
+                mode: Mode::Asynchronous,
+                format,
+                ..Default::default()
+            };
+            let r = run(&a, &b, &x0, &cfg);
+            assert!(
+                r.converged,
+                "{format} failed to converge: {}",
+                r.final_residual
+            );
+            assert!(vecops::rel_diff(&r.x, &x_ref) < 1e-3, "{format}");
         }
     }
 

@@ -264,4 +264,77 @@ proptest! {
         let b = async_jacobi_repro::matrices::mm::read_matrix_market(&buf[..]).unwrap();
         prop_assert_eq!(a, b);
     }
+
+    /// `apply` then `apply_inverse` (and the inverse permutation's `apply`)
+    /// recover any vector exactly, for any permutation.
+    #[test]
+    fn permutation_apply_round_trips(
+        xs in proptest::collection::vec(-1.0f64..1.0, 12),
+        seed in 0u64..1000,
+    ) {
+        let mut order: Vec<usize> = (0..12).collect();
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for i in (1..12).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let p = Permutation::from_vec(order);
+        let forward = p.apply(&xs);
+        prop_assert_eq!(&p.apply_inverse(&forward), &xs);
+        prop_assert_eq!(&p.inverse().apply(&forward), &xs);
+        prop_assert_eq!(&p.apply(&p.inverse().apply(&xs)), &xs);
+    }
+
+    /// RCM orderings are bijections, and conjugating by the ordering and
+    /// then by its inverse recovers the matrix exactly.
+    #[test]
+    fn rcm_permutation_round_trips(
+        entries in proptest::collection::vec((0usize..11, 0usize..11, -1.0f64..1.0), 4..30),
+    ) {
+        let a = wdd_matrix(11, entries);
+        let p = async_jacobi_repro::partition::reverse_cuthill_mckee(&a);
+        let mut seen = [false; 11];
+        for &old in p.as_slice() {
+            prop_assert!(!seen[old]);
+            seen[old] = true;
+        }
+        let reordered = a.permute_symmetric(p.as_slice());
+        let back = reordered.permute_symmetric(p.inverse().as_slice());
+        prop_assert_eq!(back, a);
+    }
+
+    /// Every storage format computes the same block residuals as the CSR
+    /// reference on arbitrary W.D.D. systems and arbitrary row blocks —
+    /// bit-for-bit for the bit-compatible formats, to roundoff for the
+    /// column-resorting RCM layout.
+    #[test]
+    fn sweep_kernel_formats_agree(
+        entries in proptest::collection::vec((0usize..14, 0usize..14, -1.0f64..1.0), 5..50),
+        xs in proptest::collection::vec(-1.0f64..1.0, 14),
+        bs in proptest::collection::vec(-1.0f64..1.0, 14),
+        lo in 0usize..14,
+        len in 0usize..14,
+        ci in 0usize..4,
+    ) {
+        use async_jacobi_repro::linalg::{StorageFormat, SweepKernel};
+        let c = [2usize, 4, 8, 16][ci];
+        let a = wdd_matrix(14, entries);
+        let rows = lo..(lo + len).min(14);
+        let mut reference = vec![0.0; rows.len()];
+        let b_blk = &bs[rows.clone()];
+        SweepKernel::build(&a, rows.clone(), StorageFormat::Csr)
+            .unwrap()
+            .residuals_into(&a, &xs, b_blk, &mut reference);
+        for format in [StorageFormat::SellC { c }, StorageFormat::RcmBlocked] {
+            let mut out = vec![0.0; rows.len()];
+            SweepKernel::build(&a, rows.clone(), format)
+                .unwrap()
+                .residuals_into(&a, &xs, b_blk, &mut out);
+            if format.is_bit_compatible() {
+                prop_assert!(out == reference, "{format}: {out:?} vs {reference:?}");
+            } else {
+                prop_assert!(vecops::rel_diff(&out, &reference) < 1e-12, "{format}");
+            }
+        }
+    }
 }
