@@ -156,6 +156,13 @@ pub fn solve(args: &Args) -> Result<i32, String> {
                     .map_err(|_| format!("invalid value for --staleness: {v}"))
             })
             .transpose()?,
+        pace_us: args
+            .get("pace")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("invalid value for --pace: {v}"))
+            })
+            .transpose()?,
         obs: {
             let obs = parse_obs(args)?;
             if args.get("metrics-out").is_some() && !obs.is_on() {
@@ -287,6 +294,25 @@ pub fn solve(args: &Args) -> Result<i32, String> {
         println!("history:   written to {path}");
     }
     Ok(code)
+}
+
+/// `aj _rank` — hidden child entrypoint for the net backend.
+///
+/// The parent solve spawns `aj _rank --parent ADDR --rank R` once per
+/// rank; everything else (the local system, method, format, pacing)
+/// arrives over the socket after the hello/welcome handshake, so the
+/// child needs no matrix selector and no access to the problem files.
+pub fn rank_child(args: &Args) -> Result<i32, String> {
+    let parent = args
+        .get("parent")
+        .ok_or("missing --parent (internal entrypoint; use `aj solve --backend net`)")?;
+    let rank: usize = args
+        .get("rank")
+        .ok_or("missing --rank (internal entrypoint; use `aj solve --backend net`)")?
+        .parse()
+        .map_err(|e| format!("invalid --rank: {e}"))?;
+    aj_core::net::child::run(parent, rank)?;
+    Ok(EXIT_OK)
 }
 
 /// `aj obs` — inspect a metrics snapshot written by `aj solve --metrics-out`.

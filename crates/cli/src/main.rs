@@ -45,9 +45,13 @@ MATRIX SELECTORS (--matrix):
 
 SOLVE OPTIONS:
   --backend  sync | gs | cg | async-threads | sim-async | sim-sync |
-             dist-sync | dist-async            (default sync)
+             dist-sync | dist-async | net[:ranks=N]    (default sync)
+             (net runs one OS process per rank exchanging ghost puts
+              over loopback TCP; always asynchronous, always stops via
+              the termination-detection protocol)
   --threads N        workers for thread/sim backends   (default 4)
-  --ranks N          ranks for distributed backends    (default 16)
+  --ranks N          ranks for distributed backends    (default 16;
+                     net:ranks=N inline form overrides)
   --tol T            relative residual tolerance       (default 1e-6)
   --max-iters N      iteration cap                     (default 100000)
   --omega W          relaxation weight                 (default 1.0)
@@ -63,8 +67,12 @@ SOLVE OPTIONS:
                       engines: async-threads, sim-async, dist-async)
   --seed S           workload seed                     (default 2018)
   --detect           use the distributed termination-detection protocol
-  --staleness T      with --detect: presume a rank dead after T simulated
-                     time units without a report (default: never)
+  --staleness T      presume a rank dead after T without a report
+                     (default: never). T is simulated time units with
+                     dist-async --detect, wall-clock SECONDS with net
+  --pace U           net only: per-sweep pacing in microseconds
+                     (default 150; keeps put latency under the sweep
+                     period, the regime the paper's model covers)
   --history PATH     write the residual history CSV
   --obs MODE         record metrics: off | sampled[:N] | full (default off;
                      sampled records every Nth observation, default N=16)
@@ -81,8 +89,12 @@ SERVE OPTIONS:
   --metrics-out PATH write the final service snapshot as JSON on shutdown
                      (implies --obs sampled:16 unless --obs is given)
 
-FAULT INJECTION (dist-async only; deterministic, seeded):
-  --crash R@T[+REC]  crash rank R at time T; +REC recovers it REC later
+FAULT INJECTION (dist-async; net supports --crash only):
+  --crash R@T[+REC]  crash rank R at time T; +REC recovers it REC later.
+                     With net: T is milliseconds after the solve starts,
+                     the process is killed, and no +REC is possible —
+                     pair with --staleness so detection excludes the
+                     dead rank (exit code 3, rank listed as excluded)
   --stall R@T+D      stall rank R's sweeps at time T for duration D
                      (both accept comma-separated lists)
   --drop P           drop each put with probability P on every link
@@ -122,6 +134,10 @@ fn main() {
         "trace" => commands::trace(&args),
         "obs" => commands::obs(&args),
         "serve" => commands::serve(&args),
+        // Hidden: the net backend's child entrypoint. The parent process
+        // spawns `aj _rank --parent ADDR --rank R`; not user-facing, so
+        // not in HELP.
+        "_rank" => commands::rank_child(&args),
         other => {
             eprintln!("error: unknown command: {other}\n\n{HELP}");
             std::process::exit(commands::EXIT_USAGE);

@@ -14,6 +14,7 @@ use aj_dmsim::{
 use aj_linalg::method::{method_solve, Method, ResolvedMethod};
 use aj_linalg::vecops::Norm;
 use aj_linalg::{krylov, sweeps, StorageFormat};
+use aj_net::{run_net, NetConfig};
 use aj_obs::{ObsConfig, Snapshot};
 use aj_partition::{block_partition, CommPlan};
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,14 @@ pub enum Backend {
         /// omniscient monitor (asynchronous only).
         detect: bool,
     },
+    /// Real distributed ranks: one OS process per rank exchanging
+    /// element-atomic ghost puts over loopback TCP (`aj-net`). Always
+    /// asynchronous and always stops through the termination-detection
+    /// protocol (there is no omniscient monitor across processes).
+    Net {
+        /// Rank (child process) count.
+        ranks: usize,
+    },
 }
 
 /// Common solve options.
@@ -81,22 +90,33 @@ pub struct SolveOptions {
     /// Seed for simulated-backend jitter.
     pub seed: u64,
     /// Fault injection for the asynchronous simulated distributed backend
-    /// (crashes, stalls, lossy links). Any other backend rejects a
-    /// non-empty plan rather than silently ignoring it.
+    /// (crashes, stalls, lossy links) and — crashes only, no recovery —
+    /// the real-process [`Backend::Net`], where a crash at time `at`
+    /// kills the child process `at` milliseconds after the solve starts.
+    /// Any other backend rejects a non-empty plan rather than silently
+    /// ignoring it.
     pub faults: Option<FaultPlan>,
     /// Override for the termination protocol's report staleness timeout
-    /// (simulated time units; `None` keeps the protocol default of
-    /// "never presume a rank dead"). Only meaningful with
-    /// [`Backend::SimDistributed`] and `detect`.
+    /// (`None` keeps the protocol default of "never presume a rank
+    /// dead"). Units follow the backend's clock: simulated time units for
+    /// [`Backend::SimDistributed`] with `detect`, wall-clock **seconds**
+    /// for [`Backend::Net`].
     pub staleness_timeout: Option<f64>,
+    /// Per-sweep pacing for [`Backend::Net`] in microseconds (`None`
+    /// keeps the crate default). Pacing keeps put latency under the
+    /// sweep period — the staleness regime the paper's model (and the
+    /// termination protocol's inconsistent-read safety factor) covers.
+    /// Any other backend rejects an explicit value rather than silently
+    /// ignoring it.
+    pub pace_us: Option<u64>,
     /// Observability recording (off by default; zero overhead when off).
     /// Honoured by the parallel backends — real threads and both simulators;
     /// the sequential reference sweeps have nothing useful to record and
     /// leave [`SolveReport::metrics`] as `None`.
     pub obs: ObsConfig,
-    /// Prebuilt communication plan for [`Backend::SimDistributed`]: the
-    /// block partition and ghost/send lists derived from the problem's
-    /// matrix. Must have been built for *this* problem's matrix with
+    /// Prebuilt communication plan for [`Backend::SimDistributed`] and
+    /// [`Backend::Net`]: the block partition and ghost/send lists derived
+    /// from the problem's matrix. Must have been built for *this* problem's matrix with
     /// [`prepare_dist_plan`] (or equivalent) and a part count equal to the
     /// backend's `ranks` — mismatched part counts are rejected. `None`
     /// (the default) builds the plan per call; the `aj-serve` plan cache
@@ -116,6 +136,7 @@ impl Default for SolveOptions {
             seed: 2018,
             faults: None,
             staleness_timeout: None,
+            pace_us: None,
             obs: ObsConfig::off(),
             plan: None,
         }
@@ -123,8 +144,8 @@ impl Default for SolveOptions {
 }
 
 /// Builds the communication plan [`solve`] would build internally for
-/// `Backend::SimDistributed { ranks, .. }` on this problem: the block
-/// partition plus per-rank ghost/send lists. Callers that solve the same
+/// `Backend::SimDistributed { ranks, .. }` or `Backend::Net { ranks }` on
+/// this problem: the block partition plus per-rank ghost/send lists. Callers that solve the same
 /// problem repeatedly cache the result and pass it via
 /// [`SolveOptions::plan`].
 pub fn prepare_dist_plan(p: &Problem, ranks: usize) -> CommPlan {
@@ -170,12 +191,17 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             Backend::SimDistributed {
                 asynchronous: true,
                 ..
-            }
+            } | Backend::Net { .. }
         )
     {
         return Err(
-            "fault injection requires the asynchronous simulated distributed backend".into(),
+            "fault injection requires the asynchronous simulated distributed backend \
+             or the real-process net backend"
+                .into(),
         );
+    }
+    if opts.pace_us.is_some() && !matches!(backend, Backend::Net { .. }) {
+        return Err("sweep pacing (--pace) applies to the net backend only".into());
     }
     // Resolve the method once against this problem's matrix (free for the
     // default; `omega=auto` runs the Lanczos spectrum estimate here).
@@ -214,6 +240,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
                     asynchronous: true,
                     ..
                 }
+                | Backend::Net { .. }
         );
         if !supported {
             return Err(format!(
@@ -441,6 +468,65 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             rep.metrics = out.obs;
             Ok(rep)
         }
+        Backend::Net { ranks } => {
+            let plan = match &opts.plan {
+                Some(plan) if plan.nparts() == ranks => Arc::clone(plan),
+                Some(plan) => {
+                    return Err(format!(
+                        "precomputed plan has {} parts but the backend wants {ranks} ranks",
+                        plan.nparts()
+                    ));
+                }
+                None => Arc::new(prepare_dist_plan(p, ranks)),
+            };
+            let mut cfg = NetConfig::new(ranks);
+            cfg.tol = opts.tol;
+            cfg.max_iterations = opts.max_iterations;
+            cfg.omega = opts.omega;
+            cfg.method = method;
+            cfg.format = opts.format;
+            cfg.seed = opts.seed;
+            cfg.obs = opts.obs;
+            if let Some(timeout) = opts.staleness_timeout {
+                // Wall-clock seconds for real processes (the simulator's
+                // timeout is in simulated ticks).
+                cfg.staleness_timeout = timeout;
+            }
+            if let Some(pace) = opts.pace_us {
+                cfg.pace_us = pace;
+            }
+            if let Some(faults) = &opts.faults {
+                // Real processes can only die: a crash kills the child
+                // `at` milliseconds after the solve starts. Recovery,
+                // stalls, and link rules are simulator-only affordances.
+                if !faults.stalls.is_empty() || !faults.links.is_empty() {
+                    return Err(
+                        "the net backend supports crash faults only (no stalls or link rules)"
+                            .into(),
+                    );
+                }
+                for crash in &faults.crashes {
+                    if crash.recover_after.is_some() {
+                        return Err(format!(
+                            "the net backend cannot recover a killed process \
+                             (crash of rank {} specifies a recovery)",
+                            crash.rank
+                        ));
+                    }
+                    cfg.hooks.kills.push((crash.rank, crash.at as u64));
+                }
+            }
+            let out = run_net(&p.a, &p.b, &p.x0, &plan, &cfg)?;
+            let mut rep = report(
+                format!("net processes ×{ranks}{method_tag}{format_tag}"),
+                out.x,
+                out.history,
+            );
+            rep.comm = Some(out.comm);
+            rep.termination = Some(out.termination);
+            rep.metrics = out.obs;
+            Ok(rep)
+        }
     }
 }
 
@@ -533,6 +619,47 @@ mod tests {
             detect: false,
         };
         assert!(solve(&p, sync_dist, &opts).is_err());
+    }
+
+    #[test]
+    fn net_backend_rejects_simulator_only_faults() {
+        // These rejections fire before any process is spawned, so the test
+        // is hermetic. (End-to-end net solves live in the aj-cli and
+        // aj-net test suites, which can point AJ_NET_CHILD at a binary
+        // with the `_rank` entrypoint.)
+        let p = problem();
+        let net = Backend::Net { ranks: 4 };
+        let with_faults = |f: FaultPlan| SolveOptions {
+            faults: Some(f),
+            ..Default::default()
+        };
+        let err = solve(
+            &p,
+            net,
+            &with_faults(FaultPlan::new(1).with_stall(1, 100.0, 50.0)),
+        )
+        .unwrap_err();
+        assert!(err.contains("crash faults only"), "{err}");
+        let err = solve(
+            &p,
+            net,
+            &with_faults(FaultPlan::new(1).with_link(aj_dmsim::LinkFault::everywhere())),
+        )
+        .unwrap_err();
+        assert!(err.contains("crash faults only"), "{err}");
+        let err = solve(
+            &p,
+            net,
+            &with_faults(FaultPlan::new(1).with_crash(2, 100.0, Some(50.0))),
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot recover"), "{err}");
+        // A mismatched precomputed plan is caught before spawning too.
+        let opts = SolveOptions {
+            plan: Some(Arc::new(prepare_dist_plan(&p, 5))),
+            ..Default::default()
+        };
+        assert!(solve(&p, net, &opts).is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub use aj_dmsim as dmsim;
 pub use aj_linalg as linalg;
 pub use aj_matrices as matrices;
 pub use aj_model as model;
+pub use aj_net as net;
 pub use aj_obs as obs;
 pub use aj_partition as partition;
 pub use aj_shmem as shmem;

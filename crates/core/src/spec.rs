@@ -263,15 +263,64 @@ pub fn parse_format(selector: &str) -> Result<StorageFormat, String> {
     }
 }
 
+/// The accepted backend grammar, quoted in full by every rejection (same
+/// contract as [`METHOD_GRAMMAR`]).
+pub const BACKEND_GRAMMAR: &str = "sync | gs | cg | async-threads | sim-async \
+     | sim-sync | dist-async | dist-sync | net[:ranks=<N>]";
+
+fn backend_err(selector: &str, what: &str) -> String {
+    format!("bad backend selector '{selector}': {what} (grammar: {BACKEND_GRAMMAR})")
+}
+
 /// Parses a backend name (`sync`, `gs`, `cg`, `async-threads`, `sim-async`,
-/// `sim-sync`, `dist-async`, `dist-sync`) into a [`Backend`], filling in the
-/// worker/rank counts the parallel backends need.
+/// `sim-sync`, `dist-async`, `dist-sync`, `net[:ranks=N]`) into a
+/// [`Backend`], filling in the worker/rank counts the parallel backends
+/// need. Only `net` takes `key=value` parameters; its `ranks=` overrides
+/// the ambient `ranks` argument.
 pub fn parse_backend(
     name: &str,
     threads: usize,
     ranks: usize,
     detect: bool,
 ) -> Result<Backend, String> {
+    // Parameterized form: net[:ranks=<N>] — the only backend with a kv
+    // suffix (the others take counts from --threads/--ranks).
+    if let Some((base, rest)) = name.split_once(':') {
+        if base != "net" {
+            return Err(backend_err(
+                name,
+                &format!("backend '{base}' takes no ':key=value' parameters"),
+            ));
+        }
+        let mut net_ranks = ranks;
+        let mut seen: Vec<&str> = Vec::new();
+        for part in rest.split(':') {
+            let Some((k, v)) = part.split_once('=') else {
+                return Err(backend_err(
+                    name,
+                    &format!("expected key=value, got '{part}'"),
+                ));
+            };
+            if seen.contains(&k) {
+                return Err(backend_err(name, &format!("duplicate key '{k}'")));
+            }
+            seen.push(k);
+            match k {
+                "ranks" => {
+                    net_ranks = v.parse::<usize>().map_err(|_| {
+                        backend_err(name, &format!("invalid value '{v}' for key 'ranks'"))
+                    })?;
+                }
+                other => {
+                    return Err(backend_err(
+                        name,
+                        &format!("unknown key '{other}' for backend 'net' (allowed: ranks)"),
+                    ))
+                }
+            }
+        }
+        return Ok(Backend::Net { ranks: net_ranks });
+    }
     Ok(match name {
         "sync" => Backend::Jacobi,
         "gs" => Backend::GaussSeidel,
@@ -295,7 +344,8 @@ pub fn parse_backend(
             asynchronous: false,
             detect: false,
         },
-        other => return Err(format!("unknown backend: {other} (try --help)")),
+        "net" => Backend::Net { ranks },
+        other => return Err(backend_err(name, &format!("unknown backend '{other}'"))),
     })
 }
 
@@ -316,7 +366,7 @@ pub fn validate_backend(backend: &Backend, n: usize) -> Result<(), String> {
         Backend::AsyncThreads { workers } | Backend::SimShared { workers, .. } => {
             check("workers", workers)
         }
-        Backend::SimDistributed { ranks, .. } => check("ranks", ranks),
+        Backend::SimDistributed { ranks, .. } | Backend::Net { ranks } => check("ranks", ranks),
         _ => Ok(()),
     }
 }
@@ -519,5 +569,42 @@ mod tests {
         assert!(validate_backend(&b, 68).is_ok());
         assert!(validate_backend(&b, 8).is_err());
         assert!(validate_backend(&Backend::Jacobi, 1).is_ok());
+    }
+
+    #[test]
+    fn net_backend_parses_with_and_without_ranks() {
+        assert_eq!(
+            parse_backend("net", 4, 16, false).unwrap(),
+            Backend::Net { ranks: 16 }
+        );
+        assert_eq!(
+            parse_backend("net:ranks=4", 4, 16, false).unwrap(),
+            Backend::Net { ranks: 4 }
+        );
+        let b = parse_backend("net:ranks=4", 4, 16, false).unwrap();
+        assert!(validate_backend(&b, 68).is_ok());
+        assert!(validate_backend(&b, 2).is_err());
+    }
+
+    #[test]
+    fn backend_rejections_quote_selector_and_grammar() {
+        // One case per rejection path: unknown backend, kv suffix on a
+        // non-net backend, bare key without '=', duplicate key, unknown
+        // key, and a bad numeric value.
+        for bad in [
+            "warp-drive",
+            "dist-async:ranks=4",
+            "net:ranks",
+            "net:ranks=4:ranks=8",
+            "net:workers=4",
+            "net:ranks=many",
+        ] {
+            let err = parse_backend(bad, 4, 16, false).unwrap_err();
+            assert!(err.contains(bad), "error '{err}' must quote '{bad}'");
+            assert!(
+                err.contains(BACKEND_GRAMMAR),
+                "error '{err}' must state the grammar"
+            );
+        }
     }
 }

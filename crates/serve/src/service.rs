@@ -341,6 +341,18 @@ fn execute(inner: &ServiceInner, spec: &JobSpec) -> Result<(JobResult, Option<Sn
         panic!("injected panic ({PANIC_SELECTOR})");
     }
     let backend = spec::parse_backend(&spec.backend, spec.threads, spec.ranks, spec.detect)?;
+    // The net backend spawns one OS process per rank and owns a TCP
+    // listener of its own — not something a shared multi-tenant service
+    // should fork per request. Reject up front, before any assembly work.
+    if matches!(backend, aj_core::Backend::Net { .. }) {
+        return Err(format!(
+            "backend '{}' is not served: net spawns one OS process per rank and is \
+             only available from the command line (`aj solve --backend net[:ranks=<N>]`); \
+             served backends: sync | gs | cg | async-threads | sim-async | sim-sync | \
+             dist-async | dist-sync",
+            spec.backend
+        ));
+    }
     let (plan, cache_hit) = inner.cache.get_or_build(&spec.matrix, spec.seed)?;
     spec::validate_backend(&backend, plan.problem.n())?;
     let dist_plan = match backend {

@@ -1,0 +1,117 @@
+//! Connection-level stress: pipelined solves racing a draining shutdown
+//! on one socket. Every response line must stay intact (the per-line
+//! writer mutex is the only framing guarantee), every accepted job must
+//! get exactly one outcome, and the drained responses must still arrive
+//! after the server's accept loop has exited.
+
+use aj_serve::proto::{self, Request, Response};
+use aj_serve::{JobSpec, Server, ServiceConfig, SolveService};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn tiny(id: u64) -> Request {
+    Request::Solve {
+        id,
+        spec: JobSpec {
+            matrix: "fd40".into(),
+            backend: "sync".into(),
+            tol: 1e-4,
+            ..Default::default()
+        },
+    }
+}
+
+#[test]
+fn pipelined_solves_race_a_draining_shutdown_with_clean_framing() {
+    const JOBS: u64 = 40;
+    let service = SolveService::start(ServiceConfig {
+        workers: 4,
+        queue_cap: JOBS as usize + 1,
+        cache_cap: 2,
+        ..Default::default()
+    });
+    let server = Server::bind("127.0.0.1:0", service).unwrap();
+    let addr = server.addr();
+    let server = std::sync::Arc::new(server);
+    let srv = std::sync::Arc::clone(&server);
+    let loop_thread = std::thread::spawn(move || srv.run().unwrap());
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Fire the whole pipeline without reading anything back, then the
+    // shutdown immediately behind it: completions from four workers and
+    // the ShuttingDown reply all contend for the same socket.
+    let mut batch = String::new();
+    for id in 0..JOBS {
+        batch.push_str(&proto::render_request(&tiny(id)));
+        batch.push('\n');
+    }
+    batch.push_str(&proto::render_request(&Request::Shutdown { drain: true }));
+    batch.push('\n');
+    writer.write_all(batch.as_bytes()).unwrap();
+
+    // Read to EOF. Every line must parse — a torn line (interleaved
+    // writes) or a lost drained response fails here.
+    let mut outcomes: HashMap<u64, &str> = HashMap::new();
+    let mut shutting_down = 0;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        match proto::parse_response(line.trim())
+            .unwrap_or_else(|e| panic!("unparseable response line {line:?}: {e:?}"))
+        {
+            Response::Done { id, result } => {
+                assert!(result.converged, "job {id} did not converge");
+                assert!(outcomes.insert(id, "done").is_none(), "duplicate id {id}");
+            }
+            Response::Shed { id, .. } => {
+                assert!(outcomes.insert(id, "shed").is_none(), "duplicate id {id}");
+            }
+            Response::Failed { id, error } => panic!("job {id} failed: {error}"),
+            Response::ShuttingDown => shutting_down += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(shutting_down, 1);
+    // Draining shutdown: every job admitted before it completes; jobs
+    // that raced the admission gate are shed — but each exactly once.
+    assert_eq!(
+        outcomes.len() as u64,
+        JOBS,
+        "missing outcomes: {outcomes:?}"
+    );
+    loop_thread.join().unwrap();
+    let done = outcomes.values().filter(|v| **v == "done").count();
+    assert!(done > 0, "draining shutdown completed nothing");
+}
+
+#[test]
+fn net_backend_is_rejected_by_the_service_with_guidance() {
+    let service = SolveService::start(ServiceConfig {
+        workers: 1,
+        queue_cap: 4,
+        cache_cap: 2,
+        ..Default::default()
+    });
+    let h = service
+        .submit(JobSpec {
+            matrix: "fd40".into(),
+            backend: "net:ranks=4".into(),
+            ..Default::default()
+        })
+        .unwrap();
+    let aj_serve::JobOutcome::Failed(msg) = h.wait() else {
+        panic!("net backend must fail the job");
+    };
+    assert!(
+        msg.contains("net:ranks=4") && msg.contains("aj solve --backend net"),
+        "unhelpful message: {msg}"
+    );
+    service.shutdown(true);
+}
