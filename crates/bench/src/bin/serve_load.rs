@@ -28,7 +28,17 @@
 //! ```text
 //! serve_load --quick --addr 127.0.0.1:4100 --shutdown   # against aj serve
 //! serve_load --quick --embed                            # self-contained
+//! serve_load --quick --chaos kill-restart --guard       # durability proof
 //! ```
+//!
+//! **Chaos mode** (`--chaos kill-restart`) is the durability acceptance
+//! harness: it spawns `aj serve --store <dir>` as a real OS process,
+//! drives keyed (idempotent) jobs at it, `SIGKILL`s the server with a
+//! batch in flight, restarts it against the same store on a fresh port,
+//! resubmits every key, and asserts the no-lost-jobs identity — every
+//! key reaches exactly one consistent terminal outcome, with replays
+//! deduplicated server-side. The recovery accounting lands in a CSV
+//! (`--chaos-csv`) that CI uploads as an artifact.
 
 use aj_core::obs::{Histogram, Snapshot};
 use aj_serve::proto::{self, Request, Response};
@@ -38,6 +48,8 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -58,6 +70,10 @@ struct Cli {
     out: String,
     workload: Workload,
     method: String,
+    chaos: Option<String>,
+    server_bin: Option<String>,
+    store: Option<String>,
+    chaos_csv: String,
 }
 
 /// Which request mix to generate.
@@ -85,6 +101,10 @@ fn parse_cli() -> Result<Cli, String> {
         out: "BENCH_serve.json".into(),
         workload: Workload::Mixed,
         method: "jacobi".into(),
+        chaos: None,
+        server_bin: None,
+        store: None,
+        chaos_csv: "serve_chaos.csv".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -120,6 +140,16 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--out" => cli.out = value("--out")?,
             "--method" => cli.method = value("--method")?,
+            "--chaos" => {
+                let mode = value("--chaos")?;
+                if mode != "kill-restart" {
+                    return Err(format!("unknown chaos mode {mode} (kill-restart)"));
+                }
+                cli.chaos = Some(mode);
+            }
+            "--server-bin" => cli.server_bin = Some(value("--server-bin")?),
+            "--store" => cli.store = Some(value("--store")?),
+            "--chaos-csv" => cli.chaos_csv = value("--chaos-csv")?,
             "--workload" => {
                 cli.workload = match value("--workload")?.as_str() {
                     "mixed" => Workload::Mixed,
@@ -425,8 +455,422 @@ fn mode_json(name: &str, t: &Tally, extra: &str) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Chaos mode: kill-restart durability harness
+// ---------------------------------------------------------------------------
+
+/// The terminal outcome a key reached, as the client saw it. Used to check
+/// that replays agree with originals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosKind {
+    Done { converged: bool },
+    Shed,
+    Failed,
+}
+
+#[derive(Debug, Default)]
+struct ChaosLedger {
+    /// key index → outcome (first answer wins; later answers must agree).
+    outcomes: HashMap<usize, ChaosKind>,
+    /// Responses that arrived with `replayed: true` (served from the log
+    /// or the idempotency index, not a fresh solve).
+    replays_confirmed: u64,
+    /// Duplicate answers whose outcome disagreed with the original.
+    conflicts: u64,
+}
+
+impl ChaosLedger {
+    fn record(&mut self, key: usize, resp: &Response) -> Result<(), String> {
+        let kind = match resp {
+            Response::Done { result, .. } => {
+                if result.replayed {
+                    self.replays_confirmed += 1;
+                }
+                ChaosKind::Done {
+                    converged: result.converged,
+                }
+            }
+            Response::Shed { .. } => ChaosKind::Shed,
+            Response::Failed { id, error } => {
+                eprintln!("chaos: job {id} failed: {error}");
+                ChaosKind::Failed
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        };
+        match self.outcomes.get(&key) {
+            None => {
+                self.outcomes.insert(key, kind);
+            }
+            Some(prev) if *prev == kind => {}
+            Some(prev) => {
+                eprintln!("chaos: key {key} answered {prev:?} then {kind:?}");
+                self.conflicts += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Finds the `aj` binary next to this one (both live in the same cargo
+/// target directory) unless `--server-bin` named it.
+fn server_bin(cli: &Cli) -> Result<PathBuf, String> {
+    if let Some(bin) = &cli.server_bin {
+        return Ok(PathBuf::from(bin));
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let cand = exe
+        .parent()
+        .ok_or("current_exe has no parent dir")?
+        .join("aj");
+    if cand.exists() {
+        Ok(cand)
+    } else {
+        Err(format!(
+            "cannot find the aj binary at {} — pass --server-bin",
+            cand.display()
+        ))
+    }
+}
+
+/// Spawns `aj serve --store <dir>` on an ephemeral port and returns the
+/// child plus the address it reported. A fresh port per (re)start avoids
+/// colliding with the kernel-side teardown of a SIGKILLed predecessor's
+/// listener.
+fn spawn_server(bin: &Path, store: &Path) -> Result<(Child, String), String> {
+    let mut child = Command::new(bin)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-cap",
+            "256",
+        ])
+        .arg("--store")
+        .arg(store)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut addr = None;
+    for _ in 0..32 {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if let Some(rest) = line.split("listening on ").nth(1) {
+                    addr = rest.split_whitespace().next().map(str::to_string);
+                    break;
+                }
+            }
+            Err(e) => return Err(format!("read server stdout: {e}")),
+        }
+    }
+    let Some(addr) = addr else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err("server never reported its listen address".into());
+    };
+    // Keep draining stdout so the server can never block on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    Ok((child, addr))
+}
+
+/// One keyed chaos job. Same request mix as the load modes, plus the
+/// idempotency key that makes crash-time resubmission safe.
+fn chaos_spec(workload: Workload, k: usize, method: &str) -> JobSpec {
+    JobSpec {
+        idempotency_key: Some(format!("chaos-{k}")),
+        ..job_spec(workload, k, method)
+    }
+}
+
+/// A deliberately slow keyed job for the killed batch: tight tolerance on a
+/// larger grid keeps it running (or queued) for the hundreds of
+/// milliseconds between "durably logged" and the SIGKILL, so the restart
+/// actually exercises in-flight recovery instead of replaying a log whose
+/// every job already finished.
+fn chaos_spec_slow(k: usize) -> JobSpec {
+    JobSpec {
+        matrix: "grid:64x64".into(),
+        backend: "sync".into(),
+        tol: 1e-12,
+        max_iterations: 200_000,
+        idempotency_key: Some(format!("chaos-{k}")),
+        ..Default::default()
+    }
+}
+
+/// The kill/restart acceptance run. Phases:
+///
+/// 1. closed-loop the first half of the jobs (all answered and logged);
+/// 2. fire a batch of slow jobs without waiting, poll the server's
+///    `jobs_accepted` counter until every one has crossed the durability
+///    barrier, read **one** response, then `SIGKILL` the server — the rest
+///    of the batch is durably logged but queued or running, and the client
+///    does not know which;
+/// 3. restart against the same store (recovery re-enqueues in-flight
+///    jobs), resubmit *every* key from phases 1–2, and submit the
+///    remaining fresh jobs;
+/// 4. assert the identity: every key has exactly one consistent outcome,
+///    phase-1 resubmits all came back `replayed`, and the server's own
+///    `submitted = completed + failed + shed` holds.
+fn chaos_kill_restart(cli: &Cli) -> Result<i32, String> {
+    let bin = server_bin(cli)?;
+    let store = match &cli.store {
+        Some(dir) => PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("aj-serve-chaos-{}", std::process::id())),
+    };
+    let _ = std::fs::remove_dir_all(&store);
+    let jobs = cli.jobs.max(12);
+    let phase1 = jobs / 2;
+    let batch = (jobs / 4).max(4);
+    let fresh = jobs - phase1 - batch;
+    let recv_timeout = Duration::from_secs(120);
+    let mut ledger = ChaosLedger::default();
+
+    eprintln!(
+        "chaos kill-restart: {jobs} keyed jobs (closed {phase1} + killed batch {batch} + \
+         post-restart {fresh}), store {}",
+        store.display()
+    );
+
+    // Phase 1+2 against the first server incarnation.
+    let (mut child, addr) = spawn_server(&bin, &store)?;
+    let mut run_phase12 = || -> Result<u64, String> {
+        let mut conn = Conn::connect(&addr)?;
+        conn.reader
+            .get_ref()
+            .set_read_timeout(Some(recv_timeout))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        for k in 0..phase1 {
+            conn.send(&Request::Solve {
+                id: k as u64,
+                spec: chaos_spec(cli.workload, k, &cli.method),
+            })?;
+            ledger.record(k, &conn.recv()?)?;
+        }
+        // Fire the slow batch without waiting. Responses are correlated by
+        // id = key.
+        for k in phase1..phase1 + batch {
+            conn.send(&Request::Solve {
+                id: k as u64,
+                spec: chaos_spec_slow(k),
+            })?;
+        }
+        // Wait for every batch job to cross the durability barrier —
+        // `jobs_accepted` only moves after the fsynced `submitted` append —
+        // so the kill provably lands with logged-but-unfinished jobs.
+        let target = (phase1 + batch) as u64;
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let accepted = fetch_stats(&addr)?
+                .counters
+                .get("jobs_accepted")
+                .copied()
+                .unwrap_or(0);
+            if accepted >= target {
+                break;
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(format!(
+                    "chaos: server accepted only {accepted} of {target} jobs within 30s"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Collect exactly one response, then die.
+        let resp = conn.recv()?;
+        let id = match &resp {
+            Response::Done { id, .. } | Response::Shed { id, .. } | Response::Failed { id, .. } => {
+                *id as usize
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        };
+        ledger.record(id, &resp)?;
+        Ok(1)
+    };
+    let batch_answered_pre_kill = run_phase12()?;
+    child.kill().map_err(|e| format!("SIGKILL server: {e}"))?;
+    let _ = child.wait();
+    eprintln!(
+        "chaos: SIGKILLed server with {} of {batch} batch jobs unanswered",
+        batch as u64 - batch_answered_pre_kill
+    );
+
+    // Phase 3: restart on the same store; recovery happens before the
+    // listen line is printed, so connecting means replay already ran.
+    let (mut child2, addr2) = spawn_server(&bin, &store)?;
+    let mut conn = Conn::connect(&addr2)?;
+    conn.reader
+        .get_ref()
+        .set_read_timeout(Some(recv_timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let mut resubmitted = 0u64;
+    let phase1_replays_before = ledger.replays_confirmed;
+    for k in 0..phase1 + batch {
+        let spec = if k >= phase1 {
+            chaos_spec_slow(k)
+        } else {
+            chaos_spec(cli.workload, k, &cli.method)
+        };
+        conn.send(&Request::Solve {
+            id: 10_000 + k as u64,
+            spec,
+        })?;
+        resubmitted += 1;
+        ledger.record(k, &conn.recv()?)?;
+    }
+    let phase1_replays = ledger.replays_confirmed - phase1_replays_before;
+    for k in phase1 + batch..jobs {
+        conn.send(&Request::Solve {
+            id: 10_000 + k as u64,
+            spec: chaos_spec(cli.workload, k, &cli.method),
+        })?;
+        ledger.record(k, &conn.recv()?)?;
+    }
+    let stats = fetch_stats(&addr2)?;
+    {
+        let mut conn = Conn::connect(&addr2)?;
+        conn.send(&Request::Shutdown { drain: true })?;
+        match conn.recv()? {
+            Response::ShuttingDown => {}
+            other => return Err(format!("expected shutdown ack, got {other:?}")),
+        }
+    }
+    let status = child2.wait().map_err(|e| format!("wait server: {e}"))?;
+
+    // Phase 4: the accounting identity, client side and server side.
+    let counter = |k: &str| stats.counters.get(k).copied().unwrap_or(0);
+    let server_submitted = counter("jobs_submitted");
+    let server_resolved = counter("jobs_completed")
+        + counter("jobs_failed")
+        + counter("jobs_shed_queue_full")
+        + counter("jobs_shed_deadline")
+        + counter("jobs_shed_cancelled")
+        + counter("jobs_shed_shutdown");
+    let done = ledger
+        .outcomes
+        .values()
+        .filter(|k| matches!(k, ChaosKind::Done { .. }))
+        .count() as u64;
+    let mut ok = true;
+    if ledger.outcomes.len() != jobs {
+        eprintln!(
+            "CHAOS ACCOUNTING FAILED: {jobs} keys submitted, {} reached an outcome",
+            ledger.outcomes.len()
+        );
+        ok = false;
+    }
+    if ledger.conflicts > 0 {
+        eprintln!(
+            "CHAOS ACCOUNTING FAILED: {} keys answered inconsistently across the restart",
+            ledger.conflicts
+        );
+        ok = false;
+    }
+    // Every phase-1 key was answered and durably logged before the kill:
+    // its resubmit must be a replay, never a second solve.
+    if phase1_replays < phase1 as u64 {
+        eprintln!(
+            "CHAOS ACCOUNTING FAILED: only {phase1_replays} of {phase1} pre-kill keys \
+             came back replayed"
+        );
+        ok = false;
+    }
+    // The gate in phase 2 guarantees the log held unfinished jobs at the
+    // kill; recovery must have re-enqueued at least one of them, or the
+    // run never exercised the code path this harness exists for.
+    if counter("jobs_recovered_inflight") == 0 {
+        eprintln!("CHAOS ACCOUNTING FAILED: restart recovered zero in-flight jobs");
+        ok = false;
+    }
+    if server_submitted != server_resolved {
+        eprintln!(
+            "CHAOS ACCOUNTING FAILED (server): {server_submitted} submitted, \
+             {server_resolved} resolved"
+        );
+        ok = false;
+    }
+    if !status.success() {
+        eprintln!("CHAOS FAILED: restarted server exited with {status}");
+        ok = false;
+    }
+
+    let csv = format!(
+        "metric,value\n\
+         jobs_total,{jobs}\n\
+         phase1_closed,{phase1}\n\
+         batch_sent,{batch}\n\
+         batch_answered_pre_kill,{batch_answered_pre_kill}\n\
+         resubmitted,{resubmitted}\n\
+         replays_confirmed,{}\n\
+         phase1_replays,{phase1_replays}\n\
+         outcomes_done,{done}\n\
+         outcomes_total,{}\n\
+         conflicts,{}\n\
+         recovered_inflight,{}\n\
+         idempotent_replays,{}\n\
+         replayed_events,{}\n\
+         replayed_jobs,{}\n\
+         wal_appends,{}\n\
+         wal_fsyncs,{}\n\
+         wal_errors,{}\n\
+         server_submitted,{server_submitted}\n\
+         server_resolved,{server_resolved}\n\
+         identity_ok,{}\n",
+        ledger.replays_confirmed,
+        ledger.outcomes.len(),
+        ledger.conflicts,
+        counter("jobs_recovered_inflight"),
+        counter("jobs_idempotent_replays"),
+        counter("replayed_events"),
+        counter("replayed_jobs"),
+        counter("wal_appends"),
+        counter("wal_fsyncs"),
+        counter("wal_errors"),
+        ok as u8,
+    );
+    if let Some(dir) = Path::new(&cli.chaos_csv).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    std::fs::write(&cli.chaos_csv, &csv).map_err(|e| format!("write {}: {e}", cli.chaos_csv))?;
+    print!("{csv}");
+    eprintln!(
+        "chaos: {} outcomes / {jobs} keys, {} replays confirmed, {} recovered in-flight; \
+         wrote {}",
+        ledger.outcomes.len(),
+        ledger.replays_confirmed,
+        counter("jobs_recovered_inflight"),
+        cli.chaos_csv
+    );
+    let _ = std::fs::remove_dir_all(&store);
+
+    if !ok {
+        return Ok(EXIT_RUNTIME);
+    }
+    if cli.guard && done == 0 {
+        eprintln!("guard FAILED: no job completed across the kill/restart");
+        return Ok(EXIT_RUNTIME);
+    }
+    Ok(0)
+}
+
 fn run() -> Result<i32, String> {
     let cli = parse_cli()?;
+    if cli.chaos.is_some() {
+        return chaos_kill_restart(&cli);
+    }
 
     // --embed: self-contained run against an in-process server on an
     // ephemeral port (same TCP path, no second process to manage).

@@ -402,8 +402,23 @@ pub fn serve(args: &Args) -> Result<i32, String> {
                 obs
             }
         },
+        store: args.get("store").map(aj_serve::StoreConfig::new),
     };
-    let service = aj_serve::SolveService::start(cfg.clone());
+    let service = aj_serve::SolveService::try_start(cfg.clone())?;
+    if let Some(rec) = service.recovery() {
+        println!(
+            "recovered: {} events, {} jobs ({} re-enqueued{}) in {:.1} ms",
+            rec.events,
+            rec.jobs,
+            rec.reenqueued,
+            if rec.torn_tail_dropped {
+                ", torn tail dropped"
+            } else {
+                ""
+            },
+            rec.replay.as_secs_f64() * 1000.0
+        );
+    }
     let server = aj_serve::Server::bind(addr, service)?;
     println!(
         "aj-serve listening on {} ({} workers, queue {}, cache {})",

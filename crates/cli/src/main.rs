@@ -84,6 +84,12 @@ SERVE OPTIONS:
   --workers N        solver worker threads     (default: CPU count)
   --queue-cap N      admission queue capacity  (default 64)
   --cache-cap N      plan cache capacity       (default 8)
+  --store DIR        durable job log: every lifecycle transition is
+                     appended (checksummed, fsynced) to DIR before it is
+                     acknowledged; on startup the log is replayed and
+                     unfinished jobs re-run. Enables idempotent
+                     resubmission via \"idempotency_key\" in solve
+                     requests. (default: in-memory only)
   --obs MODE         per-solve engine metrics, merged into the service
                      snapshot (off | sampled[:N] | full, default off)
   --metrics-out PATH write the final service snapshot as JSON on shutdown

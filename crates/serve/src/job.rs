@@ -45,6 +45,12 @@ pub struct JobSpec {
     /// Shed the job if it has not *started* within this long of being
     /// submitted. `None` = wait as long as it takes.
     pub deadline: Option<Duration>,
+    /// Client-supplied idempotency key. Two submits with the same key are
+    /// the *same logical job*: the second returns the first's outcome (or
+    /// attaches to it while it is still in flight) instead of solving
+    /// again. With a durable store this survives server restarts, which
+    /// is what makes crash-time retries safe — see `crate::store`.
+    pub idempotency_key: Option<String>,
 }
 
 impl Default for JobSpec {
@@ -62,6 +68,7 @@ impl Default for JobSpec {
             method: "jacobi".into(),
             format: "csr".into(),
             deadline: None,
+            idempotency_key: None,
         }
     }
 }
@@ -120,6 +127,9 @@ pub struct JobResult {
     pub queued: Duration,
     /// Time spent inside the solver.
     pub solved: Duration,
+    /// Whether this result was replayed from a previous solve of the same
+    /// idempotency key (the solver did not run again for this submit).
+    pub replayed: bool,
 }
 
 /// The one answer every submitted job receives.

@@ -34,6 +34,14 @@
 //! Over TCP, `aj serve --addr 127.0.0.1:4100` speaks the newline-delimited
 //! JSON protocol in [`proto`]; `serve_load` (in `crates/bench`) is the
 //! load-generation harness against it.
+//!
+//! With [`ServiceConfig::store`] set (`aj serve --store <dir>`), every job
+//! lifecycle transition is appended to a segmented, checksummed
+//! write-ahead log *before* it becomes externally visible, and startup
+//! replays the log — re-enqueueing in-flight jobs and rebuilding the
+//! idempotency index — so a `SIGKILL` loses no acknowledged job. See
+//! [`store`] and [`wal`], and the kill/restart chaos mode in `serve_load`
+//! (`--chaos kill-restart`).
 
 pub mod cache;
 pub mod job;
@@ -41,9 +49,15 @@ pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod store;
+pub mod wal;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use job::{JobOutcome, JobResult, JobSpec, ShedReason};
 pub use metrics::ServeMetrics;
 pub use server::Server;
-pub use service::{CancelToken, JobHandle, ServiceConfig, SolveService, PANIC_SELECTOR};
+pub use service::{
+    CancelToken, JobHandle, RecoverySummary, ServiceConfig, SolveService, PANIC_SELECTOR,
+};
+pub use store::{JobStore, RecoveredJob, Recovery, StoreConfig};
+pub use wal::{CrashPlan, CrashSite, Wal, WalConfig, WalError, WalStats};

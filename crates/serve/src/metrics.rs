@@ -8,6 +8,7 @@
 //! the same snapshot so `aj obs summary` shows the whole story.
 
 use crate::job::ShedReason;
+use crate::wal::WalStats;
 use aj_obs::{Counter, Gauge, Histogram, Snapshot};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -35,6 +36,19 @@ pub struct ServeMetrics {
     pub shed_shutdown: Counter,
     /// Jobs currently buffered in the admission queue.
     pub queue_depth: Gauge,
+    /// Submits answered from a previous solve of the same idempotency key
+    /// (no fresh job was created; not counted in `submitted`).
+    pub idempotent_replays: Counter,
+    /// Submitted-but-not-terminal jobs re-enqueued from the store at
+    /// startup.
+    pub recovered_inflight: Counter,
+    /// WAL appends that failed after the job was already admitted (the job
+    /// still completes; durability for it is lost and this says so).
+    pub wal_errors: Counter,
+    /// Events replayed from the store at startup.
+    pub replayed_events: Counter,
+    /// Jobs replayed from the store at startup.
+    pub replayed_jobs: Counter,
     hists: Mutex<LatencyHists>,
     solve_obs: Mutex<Snapshot>,
 }
@@ -44,6 +58,7 @@ struct LatencyHists {
     queue_us: Histogram,
     solve_us: Histogram,
     total_us: Histogram,
+    replay_us: Histogram,
 }
 
 impl ServeMetrics {
@@ -78,6 +93,13 @@ impl ServeMetrics {
         h.total_us.record((queued + solved).as_micros() as u64);
     }
 
+    /// Records one store-replay latency (once per process with `--store`,
+    /// but the histogram merges across restarts in long-lived harnesses).
+    pub fn record_replay(&self, took: Duration) {
+        let mut h = self.hists.lock().unwrap();
+        h.replay_us.record(took.as_micros() as u64);
+    }
+
     /// Merges one solve's engine snapshot (produced under
     /// [`crate::ServiceConfig::solve_obs`]) into the service aggregate.
     pub fn absorb_solve(&self, snap: &Snapshot) {
@@ -94,8 +116,9 @@ impl ServeMetrics {
 
     /// The merged service snapshot: job counters, queue-depth gauge,
     /// latency histograms, plan-cache stats (passed in by the service,
-    /// which owns the cache), plus any absorbed per-solve engine metrics.
-    pub fn snapshot(&self, cache: &crate::cache::PlanCache) -> Snapshot {
+    /// which owns the cache), durability counters when a store is attached
+    /// (`wal`), plus any absorbed per-solve engine metrics.
+    pub fn snapshot(&self, cache: &crate::cache::PlanCache, wal: Option<&WalStats>) -> Snapshot {
         let mut snap = self.solve_obs.lock().unwrap().clone();
         snap.set_counter("jobs_submitted", self.submitted.get());
         snap.set_counter("jobs_accepted", self.accepted.get());
@@ -112,10 +135,24 @@ impl ServeMetrics {
         snap.set_gauge("queue_depth", self.queue_depth.get());
         snap.set_gauge("plan_cache_entries", cache.len() as f64);
         snap.set_gauge("plan_cache_hit_ratio", cache.hit_ratio());
+        if let Some(wal) = wal {
+            snap.set_counter("jobs_idempotent_replays", self.idempotent_replays.get());
+            snap.set_counter("jobs_recovered_inflight", self.recovered_inflight.get());
+            snap.set_counter("wal_appends", wal.appends.get());
+            snap.set_counter("wal_fsyncs", wal.fsyncs.get());
+            snap.set_counter("wal_rolls", wal.rolls.get());
+            snap.set_counter("wal_torn_tails_dropped", wal.torn_tails_dropped.get());
+            snap.set_counter("wal_errors", self.wal_errors.get());
+            snap.set_counter("replayed_events", self.replayed_events.get());
+            snap.set_counter("replayed_jobs", self.replayed_jobs.get());
+        }
         let h = self.hists.lock().unwrap();
         snap.merge_histogram("serve/queue_us", &h.queue_us);
         snap.merge_histogram("serve/solve_us", &h.solve_us);
         snap.merge_histogram("serve/total_us", &h.total_us);
+        if h.replay_us.count() > 0 {
+            snap.merge_histogram("serve/replay_us", &h.replay_us);
+        }
         snap
     }
 }
@@ -136,15 +173,40 @@ mod tests {
         m.record_shed(ShedReason::QueueFull);
         m.record_latency(Duration::from_micros(50), Duration::from_micros(900));
         m.queue_depth.set(1.0);
-        let snap = m.snapshot(&cache);
+        let snap = m.snapshot(&cache, None);
         assert_eq!(snap.counters["jobs_submitted"], 3);
         assert_eq!(snap.counters["jobs_shed_queue_full"], 1);
         assert_eq!(snap.counters["plan_cache_hits"], 1);
         assert_eq!(snap.gauges["plan_cache_hit_ratio"], 0.5);
         assert_eq!(snap.histograms["serve/total_us"].count(), 1);
+        // Without a store there is no durability section at all.
+        assert!(!snap.counters.contains_key("wal_appends"));
+        assert!(!snap.histograms.contains_key("serve/replay_us"));
         // Deterministic, parseable JSON like every other snapshot.
         let back = Snapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_with_a_store_carries_durability_counters() {
+        let m = ServeMetrics::new();
+        let cache = PlanCache::new(2);
+        let wal = WalStats::default();
+        wal.appends.add(5);
+        wal.fsyncs.add(3);
+        m.idempotent_replays.inc();
+        m.recovered_inflight.add(2);
+        m.replayed_events.add(9);
+        m.replayed_jobs.add(4);
+        m.record_replay(Duration::from_micros(730));
+        let snap = m.snapshot(&cache, Some(&wal));
+        assert_eq!(snap.counters["wal_appends"], 5);
+        assert_eq!(snap.counters["wal_fsyncs"], 3);
+        assert_eq!(snap.counters["jobs_idempotent_replays"], 1);
+        assert_eq!(snap.counters["jobs_recovered_inflight"], 2);
+        assert_eq!(snap.counters["replayed_events"], 9);
+        assert_eq!(snap.counters["replayed_jobs"], 4);
+        assert_eq!(snap.histograms["serve/replay_us"].count(), 1);
     }
 
     #[test]
@@ -158,7 +220,7 @@ mod tests {
         engine.merge_histogram("staleness/rank0", &h);
         m.absorb_solve(&engine);
         m.absorb_solve(&engine);
-        let snap = m.snapshot(&cache);
+        let snap = m.snapshot(&cache, None);
         assert_eq!(snap.counters["relaxations"], 20);
         assert_eq!(snap.histograms["staleness/rank0"].count(), 2);
     }

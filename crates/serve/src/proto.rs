@@ -19,11 +19,23 @@
 //! Responses (`"status"` discriminates): `done`, `shed` (with `reason`),
 //! `failed` (with `error`), `stats` (snapshot under `"snapshot"`),
 //! `shutting_down`, and protocol-level `error`.
+//!
+//! ## Versioning
+//!
+//! Requests carry `"v"` (see [`PROTO_VERSION`]); a missing `"v"` means
+//! version 1 (the PR 4 wire format), which remains fully accepted — the
+//! version-2 additions (`idempotency_key` on solve requests, `replayed` on
+//! done responses) are additive fields that v1 parsers simply never emit
+//! and v1 readers ignore. Versions *newer* than the server are rejected
+//! with a correlated error rather than half-parsed.
 
 use crate::job::{JobResult, JobSpec, ShedReason};
 use aj_obs::json::{self, Value};
 use aj_obs::Snapshot;
 use std::time::Duration;
+
+/// Highest protocol version this build speaks (and the one it emits).
+pub const PROTO_VERSION: u64 = 2;
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +111,19 @@ pub enum Response {
 pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
     let v = json::parse(line).map_err(|e| (None, format!("bad JSON: {e}")))?;
     let id = v.get("id").and_then(Value::as_u64);
+    // Absent "v" is version 1; anything ≤ our version is additive-compatible.
+    let version = match v.get("v") {
+        None => 1,
+        Some(x) => x
+            .as_u64()
+            .ok_or((id, "\"v\" must be a non-negative integer".to_string()))?,
+    };
+    if version > PROTO_VERSION {
+        return Err((
+            id,
+            format!("protocol version {version} is newer than this server's {PROTO_VERSION}"),
+        ));
+    }
     let op = v
         .get("op")
         .and_then(Value::as_str)
@@ -123,7 +148,9 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, String)> {
 
 /// Fills a [`JobSpec`] from a solve request object: `matrix` and `backend`
 /// are required, everything else defaults as in [`JobSpec::default`].
-fn spec_from(v: &Value) -> Result<JobSpec, String> {
+/// Also reads the nested `"spec"` objects in WAL `submitted` events, which
+/// use the same field vocabulary (see `crate::store`).
+pub(crate) fn spec_from(v: &Value) -> Result<JobSpec, String> {
     let mut spec = JobSpec {
         matrix: v
             .get("matrix")
@@ -183,7 +210,41 @@ fn spec_from(v: &Value) -> Result<JobSpec, String> {
         }
         spec.deadline = Some(Duration::from_secs_f64(ms / 1000.0));
     }
+    if let Some(x) = v.get("idempotency_key") {
+        spec.idempotency_key = Some(
+            x.as_str()
+                .ok_or("\"idempotency_key\" must be a string")?
+                .to_string(),
+        );
+    }
     Ok(spec)
+}
+
+/// Writes a [`JobSpec`]'s fields into an already-open JSON object. Shared
+/// between solve-request rendering and the WAL's `submitted` events so the
+/// two never drift.
+pub(crate) fn push_spec_fields(s: &mut String, spec: &JobSpec) {
+    push_kv(s, "matrix", |o| json::write_escaped(o, &spec.matrix));
+    push_kv(s, "backend", |o| json::write_escaped(o, &spec.backend));
+    push_kv(s, "seed", |o| push_u64(o, spec.seed));
+    push_kv(s, "threads", |o| push_u64(o, spec.threads as u64));
+    push_kv(s, "ranks", |o| push_u64(o, spec.ranks as u64));
+    push_kv(s, "detect", |o| {
+        o.push_str(if spec.detect { "true" } else { "false" })
+    });
+    push_kv(s, "tol", |o| json::write_f64(o, spec.tol));
+    push_kv(s, "max_iterations", |o| push_u64(o, spec.max_iterations));
+    push_kv(s, "omega", |o| json::write_f64(o, spec.omega));
+    push_kv(s, "method", |o| json::write_escaped(o, &spec.method));
+    push_kv(s, "format", |o| json::write_escaped(o, &spec.format));
+    if let Some(d) = spec.deadline {
+        push_kv(s, "deadline_ms", |o| {
+            json::write_f64(o, d.as_secs_f64() * 1000.0)
+        });
+    }
+    if let Some(key) = &spec.idempotency_key {
+        push_kv(s, "idempotency_key", |o| json::write_escaped(o, key));
+    }
 }
 
 /// Renders a solve request line (used by the load generator and tests).
@@ -192,35 +253,22 @@ pub fn render_request(req: &Request) -> String {
     match req {
         Request::Solve { id, spec } => {
             push_kv(&mut s, "op", |o| json::write_escaped(o, "solve"));
+            push_kv(&mut s, "v", |o| push_u64(o, PROTO_VERSION));
             push_kv(&mut s, "id", |o| push_u64(o, *id));
-            push_kv(&mut s, "matrix", |o| json::write_escaped(o, &spec.matrix));
-            push_kv(&mut s, "backend", |o| json::write_escaped(o, &spec.backend));
-            push_kv(&mut s, "seed", |o| push_u64(o, spec.seed));
-            push_kv(&mut s, "threads", |o| push_u64(o, spec.threads as u64));
-            push_kv(&mut s, "ranks", |o| push_u64(o, spec.ranks as u64));
-            push_kv(&mut s, "detect", |o| {
-                o.push_str(if spec.detect { "true" } else { "false" })
-            });
-            push_kv(&mut s, "tol", |o| json::write_f64(o, spec.tol));
-            push_kv(&mut s, "max_iterations", |o| {
-                push_u64(o, spec.max_iterations)
-            });
-            push_kv(&mut s, "omega", |o| json::write_f64(o, spec.omega));
-            push_kv(&mut s, "method", |o| json::write_escaped(o, &spec.method));
-            push_kv(&mut s, "format", |o| json::write_escaped(o, &spec.format));
-            if let Some(d) = spec.deadline {
-                push_kv(&mut s, "deadline_ms", |o| {
-                    json::write_f64(o, d.as_secs_f64() * 1000.0)
-                });
-            }
+            push_spec_fields(&mut s, spec);
         }
         Request::Cancel { id } => {
             push_kv(&mut s, "op", |o| json::write_escaped(o, "cancel"));
+            push_kv(&mut s, "v", |o| push_u64(o, PROTO_VERSION));
             push_kv(&mut s, "id", |o| push_u64(o, *id));
         }
-        Request::Stats => push_kv(&mut s, "op", |o| json::write_escaped(o, "stats")),
+        Request::Stats => {
+            push_kv(&mut s, "op", |o| json::write_escaped(o, "stats"));
+            push_kv(&mut s, "v", |o| push_u64(o, PROTO_VERSION));
+        }
         Request::Shutdown { drain } => {
             push_kv(&mut s, "op", |o| json::write_escaped(o, "shutdown"));
+            push_kv(&mut s, "v", |o| push_u64(o, PROTO_VERSION));
             push_kv(&mut s, "drain", |o| {
                 o.push_str(if *drain { "true" } else { "false" })
             });
@@ -256,6 +304,11 @@ pub fn render_response(resp: &Response) -> String {
             push_kv(&mut s, "solved_us", |o| {
                 push_u64(o, result.solved.as_micros() as u64)
             });
+            // Additive v2 field: only emitted when set, so v1 readers (and
+            // the pinned v1 compat lines) never see it.
+            if result.replayed {
+                push_kv(&mut s, "replayed", |o| o.push_str("true"));
+            }
         }
         Response::Shed { id, reason } => {
             push_kv(&mut s, "status", |o| json::write_escaped(o, "shed"));
@@ -332,6 +385,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 solved: Duration::from_micros(
                     v.get("solved_us").and_then(Value::as_u64).unwrap_or(0),
                 ),
+                replayed: matches!(v.get("replayed"), Some(Value::Bool(true))),
             },
         }),
         "shed" => {
@@ -372,7 +426,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
     }
 }
 
-fn push_kv(out: &mut String, key: &str, write: impl FnOnce(&mut String)) {
+pub(crate) fn push_kv(out: &mut String, key: &str, write: impl FnOnce(&mut String)) {
     if !out.ends_with('{') {
         out.push(',');
     }
@@ -381,7 +435,7 @@ fn push_kv(out: &mut String, key: &str, write: impl FnOnce(&mut String)) {
     write(out);
 }
 
-fn push_u64(out: &mut String, v: u64) {
+pub(crate) fn push_u64(out: &mut String, v: u64) {
     out.push_str(&v.to_string());
 }
 
@@ -398,6 +452,7 @@ mod tests {
             method: "richardson2:omega=auto:beta=0.25".into(),
             format: "sellc:c=8".into(),
             deadline: Some(Duration::from_millis(250)),
+            idempotency_key: Some("client-7/req-42".into()),
             ..Default::default()
         };
         let req = Request::Solve { id: 42, spec };
@@ -442,6 +497,20 @@ mod tests {
                     cache_hit: true,
                     queued: Duration::from_micros(35),
                     solved: Duration::from_micros(990),
+                    replayed: false,
+                },
+            },
+            Response::Done {
+                id: 11,
+                result: JobResult {
+                    backend: "Jacobi".into(),
+                    converged: true,
+                    final_residual: 4.2e-7,
+                    samples: 120,
+                    cache_hit: true,
+                    queued: Duration::from_micros(35),
+                    solved: Duration::from_micros(990),
+                    replayed: true,
                 },
             },
             Response::Shed {
@@ -475,6 +544,47 @@ mod tests {
             panic!("wrong variant");
         };
         assert_eq!(snapshot, snap);
+    }
+
+    #[test]
+    fn version_negotiation_accepts_old_and_rejects_future() {
+        // v1 line (no "v", no idempotency_key) — the PR 4 wire format.
+        let req =
+            parse_request(r#"{"op":"solve","id":1,"matrix":"fd68","backend":"sync"}"#).unwrap();
+        let Request::Solve { spec, .. } = req else {
+            panic!("wrong variant");
+        };
+        assert_eq!(spec.idempotency_key, None);
+        // Explicit current version.
+        assert!(parse_request(
+            r#"{"op":"solve","v":2,"id":1,"matrix":"fd68","backend":"sync","idempotency_key":"k"}"#
+        )
+        .is_ok());
+        // A future version is refused, with the id recovered.
+        let (id, err) =
+            parse_request(r#"{"op":"solve","v":3,"id":5,"matrix":"fd68","backend":"sync"}"#)
+                .unwrap_err();
+        assert_eq!(id, Some(5));
+        assert!(err.contains("newer"), "{err}");
+        assert!(parse_request(r#"{"op":"stats","v":"two"}"#).is_err());
+    }
+
+    #[test]
+    fn rendered_requests_carry_the_current_version() {
+        for req in [
+            Request::Solve {
+                id: 1,
+                spec: JobSpec::default(),
+            },
+            Request::Cancel { id: 1 },
+            Request::Stats,
+            Request::Shutdown { drain: true },
+        ] {
+            assert!(
+                render_request(&req).contains(&format!("\"v\":{PROTO_VERSION}")),
+                "{req:?}"
+            );
+        }
     }
 
     #[test]

@@ -25,12 +25,14 @@
 use crate::cache::PlanCache;
 use crate::job::{JobOutcome, JobResult, JobSpec, ShedReason};
 use crate::metrics::ServeMetrics;
+use crate::store::{JobStore, StoreConfig};
 use aj_core::spec;
 use aj_obs::{ObsConfig, Snapshot};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -51,6 +53,9 @@ pub struct ServiceConfig {
     /// Engine-level observability for each solve (merged into the service
     /// snapshot). Off by default — request-level metrics are always on.
     pub solve_obs: ObsConfig,
+    /// Durable job log (see `crate::store`). `None` keeps the PR 4
+    /// behaviour: in-memory only, nothing survives a restart.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -62,8 +67,25 @@ impl Default for ServiceConfig {
             queue_cap: 64,
             cache_cap: 8,
             solve_obs: ObsConfig::off(),
+            store: None,
         }
     }
+}
+
+/// What startup recovery found (surfaced by [`SolveService::recovery`] so
+/// the CLI can report it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoverySummary {
+    /// Valid log records replayed.
+    pub events: u64,
+    /// Distinct jobs replayed.
+    pub jobs: u64,
+    /// Submitted-but-not-terminal jobs re-enqueued.
+    pub reenqueued: u64,
+    /// Whether a torn tail line was dropped (crash evidence).
+    pub torn_tail_dropped: bool,
+    /// Wall-clock replay time.
+    pub replay: Duration,
 }
 
 /// Cancels a queued job (no effect once a worker has started it).
@@ -116,11 +138,51 @@ impl JobHandle {
 type Completion = Box<dyn FnOnce(JobOutcome) + Send + 'static>;
 
 struct Job {
+    /// Durable id (preserved across restarts for recovered jobs).
+    id: u64,
+    /// Idempotency key, when the spec carried one.
+    key: Option<String>,
     spec: JobSpec,
     submitted: Instant,
     deadline: Option<Instant>,
     cancelled: Arc<AtomicBool>,
     complete: Completion,
+}
+
+/// Per-idempotency-key state. `InFlight` holds the original job's cancel
+/// token (so an attached client's cancel reaches the real job) and the
+/// completions of every later same-key submit, fired when the job
+/// finishes; `Done` answers all future submits without solving.
+enum IdemState {
+    InFlight {
+        token: CancelToken,
+        waiters: Vec<Completion>,
+    },
+    Done(JobOutcome),
+}
+
+/// Fires a completion on a detached thread. The service promises callers
+/// that completions never run on the submitting thread — the TCP front end
+/// holds its per-connection token lock across `submit_with` and takes that
+/// same lock inside the callback, so invoking it inline would self-deadlock.
+/// Paths that resolve a job without a worker (idempotent replay of a
+/// finished key, a failed durability append) must go through here.
+fn complete_detached(complete: impl FnOnce(JobOutcome) + Send + 'static, outcome: JobOutcome) {
+    std::thread::Builder::new()
+        .name("aj-serve-complete".into())
+        .spawn(move || complete(outcome))
+        .expect("cannot spawn completion thread");
+}
+
+/// Marks a replayed outcome as such (only `Done` carries the flag).
+fn replay_of(outcome: &JobOutcome) -> JobOutcome {
+    match outcome {
+        JobOutcome::Done(r) => JobOutcome::Done(JobResult {
+            replayed: true,
+            ..r.clone()
+        }),
+        other => other.clone(),
+    }
 }
 
 struct ServiceInner {
@@ -131,6 +193,16 @@ struct ServiceInner {
     accepting: AtomicBool,
     /// Non-draining shutdown: workers shed instead of solving.
     shedding: AtomicBool,
+    /// Durable job log, when configured.
+    store: Option<JobStore>,
+    /// Idempotency index. In-memory always (same-process dedup); with a
+    /// store it is rebuilt from the log on startup, so it also survives
+    /// restarts. Lock order: `idempo` before the store's WAL lock — the
+    /// worker path releases the WAL lock inside `JobStore` methods before
+    /// touching `idempo`, so there is no inversion.
+    idempo: Mutex<HashMap<String, IdemState>>,
+    /// Next job id (starts past everything in the log).
+    next_id: AtomicU64,
 }
 
 /// A running solve service. Dropping it performs a draining shutdown.
@@ -139,18 +211,64 @@ pub struct SolveService {
     tx: Mutex<Option<Sender<Job>>>,
     rx: Receiver<Job>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    recovery: Option<RecoverySummary>,
 }
 
 impl SolveService {
     /// Starts the worker pool and returns the running service.
+    ///
+    /// # Panics
+    /// When `cfg.store` is set and the log cannot be opened/replayed; use
+    /// [`SolveService::try_start`] to handle that as an error (the CLI
+    /// does).
     pub fn start(cfg: ServiceConfig) -> SolveService {
+        match SolveService::try_start(cfg) {
+            Ok(svc) => svc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Starts the worker pool; with `cfg.store` set, first replays the job
+    /// log, seeds the idempotency index from it, and re-enqueues every
+    /// job that was submitted but never reached a terminal outcome.
+    ///
+    /// # Errors
+    /// A message when the store cannot be opened (I/O failure or a log
+    /// corrupted somewhere other than its tail).
+    pub fn try_start(cfg: ServiceConfig) -> Result<SolveService, String> {
         let workers = cfg.workers.max(1);
         let (tx, rx) = channel::bounded::<Job>(cfg.queue_cap.max(1));
+        let (store, recovered) = match &cfg.store {
+            Some(sc) => {
+                let (store, rec) = JobStore::open(sc)
+                    .map_err(|e| format!("job store at {}: {e}", sc.dir.display()))?;
+                (Some(store), Some(rec))
+            }
+            None => (None, None),
+        };
+        let metrics = ServeMetrics::new();
+        let mut idempo = HashMap::new();
+        let mut next_id = 0;
+        if let Some(rec) = &recovered {
+            metrics.replayed_events.add(rec.events);
+            metrics.replayed_jobs.add(rec.jobs);
+            metrics.record_replay(rec.replay);
+            next_id = rec.next_id;
+            // Finished keyed jobs answer future same-key submits directly.
+            for (key, id) in &rec.by_key {
+                if let Some(outcome) = rec.outcomes.get(id) {
+                    idempo.insert(key.clone(), IdemState::Done(outcome.clone()));
+                }
+            }
+        }
         let inner = Arc::new(ServiceInner {
             cache: PlanCache::new(cfg.cache_cap),
-            metrics: ServeMetrics::new(),
+            metrics,
             accepting: AtomicBool::new(true),
             shedding: AtomicBool::new(false),
+            store,
+            idempo: Mutex::new(idempo),
+            next_id: AtomicU64::new(next_id),
             cfg,
         });
         let handles = (0..workers)
@@ -163,12 +281,64 @@ impl SolveService {
                     .expect("spawn worker thread")
             })
             .collect();
-        SolveService {
+        let recovery = recovered.map(|rec| {
+            // Re-enqueue in-flight jobs now that workers are draining the
+            // queue: a blocking send tolerates more recovered jobs than
+            // the queue holds. Their `submitted` events are already in the
+            // log (no re-append); their completions are no-ops until a
+            // client resubmits the same key and attaches as a waiter.
+            let m = &inner.metrics;
+            let mut reenqueued = 0;
+            for rj in &rec.inflight {
+                let cancelled = Arc::new(AtomicBool::new(false));
+                if let Some(key) = &rj.key {
+                    inner.idempo.lock().unwrap().insert(
+                        key.clone(),
+                        IdemState::InFlight {
+                            token: CancelToken(Arc::clone(&cancelled)),
+                            waiters: Vec::new(),
+                        },
+                    );
+                }
+                let job = Job {
+                    id: rj.id,
+                    key: rj.key.clone(),
+                    spec: rj.spec.clone(),
+                    submitted: Instant::now(),
+                    // The original deadline clock died with the previous
+                    // process; recovered jobs run unconditionally.
+                    deadline: None,
+                    cancelled,
+                    complete: Box::new(|_| {}),
+                };
+                m.submitted.inc();
+                m.accepted.inc();
+                m.recovered_inflight.inc();
+                reenqueued += 1;
+                if tx.send(job).is_err() {
+                    unreachable!("workers alive during recovery");
+                }
+            }
+            RecoverySummary {
+                events: rec.events,
+                jobs: rec.jobs,
+                reenqueued,
+                torn_tail_dropped: rec.torn_tail_dropped,
+                replay: rec.replay,
+            }
+        });
+        Ok(SolveService {
             inner,
             tx: Mutex::new(Some(tx)),
             rx,
             workers: Mutex::new(handles),
-        }
+            recovery,
+        })
+    }
+
+    /// The startup recovery summary (`Some` iff a store is configured).
+    pub fn recovery(&self) -> Option<&RecoverySummary> {
+        self.recovery.as_ref()
     }
 
     /// Submits a job, delivering its outcome through the returned handle.
@@ -191,7 +361,11 @@ impl SolveService {
 
     /// Submits a job with an explicit completion callback (the TCP front
     /// end writes the response from it, so out-of-order completions go out
-    /// as they happen). The callback runs on a worker thread, exactly once.
+    /// as they happen). The callback runs exactly once, on a worker thread
+    /// — or, for outcomes resolved without a worker (idempotent replays,
+    /// durability failures), on a short-lived detached thread. It never
+    /// runs on the submitting thread, so callers may hold their own locks
+    /// across this call.
     ///
     /// # Errors
     /// Returns the shed reason when admission control rejects the job.
@@ -200,6 +374,45 @@ impl SolveService {
         spec: JobSpec,
         complete: impl FnOnce(JobOutcome) + Send + 'static,
     ) -> Result<CancelToken, ShedReason> {
+        if spec.idempotency_key.is_some() {
+            // Hold the idempotency lock across the whole admission so two
+            // concurrent same-key submits can never both become real jobs.
+            let mut idempo = self.inner.idempo.lock().unwrap();
+            let key = spec.idempotency_key.clone().unwrap();
+            match idempo.get_mut(&key) {
+                Some(IdemState::Done(outcome)) => {
+                    let outcome = replay_of(outcome);
+                    drop(idempo);
+                    self.inner.metrics.idempotent_replays.inc();
+                    complete_detached(complete, outcome);
+                    // Nothing left to cancel; hand back an inert token.
+                    Ok(CancelToken(Arc::new(AtomicBool::new(false))))
+                }
+                Some(IdemState::InFlight { token, waiters }) => {
+                    waiters.push(Box::new(complete));
+                    let token = token.clone();
+                    drop(idempo);
+                    self.inner.metrics.idempotent_replays.inc();
+                    Ok(token)
+                }
+                None => self.admit(Some((key, idempo)), spec, Box::new(complete)),
+            }
+        } else {
+            self.admit(None, spec, Box::new(complete))
+        }
+    }
+
+    /// Admission control for a job that is not an idempotent replay: count
+    /// it, make it durable, then enqueue it. `keyed` carries the held
+    /// idempotency-lock guard so the `InFlight` placeholder appears
+    /// atomically with a successful enqueue (and never for a shed one —
+    /// a retried shed key must be allowed to try again).
+    fn admit(
+        &self,
+        keyed: Option<(String, MutexGuard<'_, HashMap<String, IdemState>>)>,
+        spec: JobSpec,
+        complete: Completion,
+    ) -> Result<CancelToken, ShedReason> {
         let m = &self.inner.metrics;
         m.submitted.inc();
         if !self.inner.accepting.load(Ordering::SeqCst) {
@@ -207,32 +420,69 @@ impl SolveService {
             return Err(ShedReason::ShuttingDown);
         }
         let submitted = Instant::now();
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Job {
+            id,
+            key: keyed.as_ref().map(|(k, _)| k.clone()),
             deadline: spec.deadline.map(|d| submitted + d),
             spec,
             submitted,
             cancelled: Arc::new(AtomicBool::new(false)),
-            complete: Box::new(complete),
+            complete,
         };
         let token = CancelToken(Arc::clone(&job.cancelled));
+        // Durability barrier: the job is in the log (fsynced) before any
+        // worker, response, or handle can see it. A job we cannot make
+        // durable is failed visibly rather than run as a ghost.
+        if let Some(store) = &self.inner.store {
+            if let Err(e) = store.submitted(id, job.key.as_deref(), &job.spec) {
+                m.wal_errors.inc();
+                m.failed.inc();
+                drop(keyed); // no placeholder: a retry may try again
+                complete_detached(
+                    job.complete,
+                    JobOutcome::Failed(format!("job log append failed: {e}")),
+                );
+                return Ok(token);
+            }
+        }
         let tx = self.tx.lock().unwrap();
-        let Some(tx) = tx.as_ref() else {
-            m.record_shed(ShedReason::ShuttingDown);
-            return Err(ShedReason::ShuttingDown);
+        let enqueued = match tx.as_ref() {
+            None => Err(ShedReason::ShuttingDown),
+            Some(tx) => match tx.try_send(job) {
+                Ok(()) => {
+                    m.accepted.inc();
+                    m.queue_depth.set(tx.len() as f64);
+                    Ok(())
+                }
+                Err(TrySendError::Full(_)) => Err(ShedReason::QueueFull),
+                Err(TrySendError::Disconnected(_)) => Err(ShedReason::ShuttingDown),
+            },
         };
-        match tx.try_send(job) {
+        match enqueued {
             Ok(()) => {
-                m.accepted.inc();
-                m.queue_depth.set(tx.len() as f64);
+                if let Some((key, mut idempo)) = keyed {
+                    idempo.insert(
+                        key,
+                        IdemState::InFlight {
+                            token: token.clone(),
+                            waiters: Vec::new(),
+                        },
+                    );
+                }
                 Ok(token)
             }
-            Err(TrySendError::Full(_)) => {
-                m.record_shed(ShedReason::QueueFull);
-                Err(ShedReason::QueueFull)
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                m.record_shed(ShedReason::ShuttingDown);
-                Err(ShedReason::ShuttingDown)
+            Err(reason) => {
+                // The `submitted` event is already logged; close the
+                // job's story with a terminal shed so replay never
+                // resurrects it.
+                if let Some(store) = &self.inner.store {
+                    if store.outcome(id, &JobOutcome::Shed(reason)).is_err() {
+                        m.wal_errors.inc();
+                    }
+                }
+                m.record_shed(reason);
+                Err(reason)
             }
         }
     }
@@ -245,7 +495,10 @@ impl SolveService {
     /// The merged service metrics snapshot (see [`ServeMetrics::snapshot`]).
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.inner.metrics.queue_depth.set(self.rx.len() as f64);
-        self.inner.metrics.snapshot(&self.inner.cache)
+        self.inner.metrics.snapshot(
+            &self.inner.cache,
+            self.inner.store.as_ref().map(|s| s.stats()),
+        )
     }
 
     /// Raw metric counters (test/bench hook).
@@ -271,10 +524,22 @@ impl SolveService {
         // finish the buffered jobs and exit on Disconnected.
         drop(self.tx.lock().unwrap().take());
         let mut workers = self.workers.lock().unwrap();
+        let first_shutdown = !workers.is_empty();
         for h in workers.drain(..) {
             let _ = h.join();
         }
         self.inner.metrics.queue_depth.set(0.0);
+        // Durability barrier at exit: every outcome the workers just wrote
+        // is fsynced and the segment closed before the process can claim a
+        // clean shutdown. Only on the first shutdown — the log is poisoned
+        // (by design) afterwards.
+        if first_shutdown {
+            if let Some(store) = &self.inner.store {
+                if let Err(e) = store.close() {
+                    eprintln!("aj-serve: closing job log: {e}");
+                }
+            }
+        }
     }
 }
 
@@ -287,7 +552,21 @@ impl Drop for SolveService {
 fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
     while let Ok(job) = rx.recv() {
         inner.metrics.queue_depth.set(rx.len() as f64);
+        if let Some(store) = &inner.store {
+            // Unsynced by design; a lost `picked` only re-enqueues.
+            if store.picked(job.id).is_err() {
+                inner.metrics.wal_errors.inc();
+            }
+        }
         let outcome = run_job(inner, &job);
+        // Log the terminal event (fsynced) before anything observable —
+        // the completion callback, the idempotency index, the counters.
+        if let Some(store) = &inner.store {
+            if let Err(e) = store.outcome(job.id, &outcome) {
+                inner.metrics.wal_errors.inc();
+                eprintln!("aj-serve: job {} outcome not durable: {e}", job.id);
+            }
+        }
         match &outcome {
             JobOutcome::Done(r) => {
                 inner.metrics.completed.inc();
@@ -296,7 +575,23 @@ fn worker_loop(inner: &ServiceInner, rx: &Receiver<Job>) {
             JobOutcome::Shed(reason) => inner.metrics.record_shed(*reason),
             JobOutcome::Failed(_) => inner.metrics.failed.inc(),
         }
-        (job.complete)(outcome);
+        // Settle the idempotency entry first so a submit racing the
+        // completion either attaches as a waiter (drained right below) or
+        // sees `Done` — never creates a second real job.
+        let waiters = match &job.key {
+            Some(key) => {
+                let mut idempo = inner.idempo.lock().unwrap();
+                match idempo.insert(key.clone(), IdemState::Done(outcome.clone())) {
+                    Some(IdemState::InFlight { waiters, .. }) => waiters,
+                    _ => Vec::new(),
+                }
+            }
+            None => Vec::new(),
+        };
+        (job.complete)(outcome.clone());
+        for waiter in waiters {
+            waiter(replay_of(&outcome));
+        }
     }
 }
 
@@ -386,6 +681,7 @@ fn execute(inner: &ServiceInner, spec: &JobSpec) -> Result<(JobResult, Option<Sn
             cache_hit,
             queued: Duration::ZERO,
             solved: Duration::ZERO,
+            replayed: false,
         },
         report.metrics,
     ))

@@ -1,0 +1,192 @@
+//! End-to-end durability behaviour of the service over its event-sourced
+//! job log:
+//!
+//! * a **drain** shutdown fsyncs and closes the log with every accepted
+//!   job terminal, so a restart replays zero in-flight jobs;
+//! * a job the log says was accepted but never finished is re-enqueued on
+//!   startup and runs to completion;
+//! * a cancelled idempotency key answers `Shed(Cancelled)` forever — in
+//!   the same process and across a restart — and never re-solves;
+//! * two live submits with the same key are one logical job.
+
+use aj_serve::{
+    JobOutcome, JobSpec, JobStore, ServiceConfig, ShedReason, SolveService, StoreConfig,
+};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aj-durable-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn service(dir: &PathBuf, workers: usize) -> SolveService {
+    SolveService::try_start(ServiceConfig {
+        workers,
+        queue_cap: 32,
+        cache_cap: 4,
+        store: Some(StoreConfig::new(dir)),
+        ..Default::default()
+    })
+    .expect("service with store")
+}
+
+fn quick(key: Option<&str>) -> JobSpec {
+    JobSpec {
+        matrix: "fd40".into(),
+        backend: "sync".into(),
+        tol: 1e-4,
+        idempotency_key: key.map(str::to_string),
+        ..Default::default()
+    }
+}
+
+/// A job slow enough to pin the only worker while the test arranges
+/// queued victims behind it.
+fn blocker() -> JobSpec {
+    JobSpec {
+        matrix: "grid:40x40".into(),
+        backend: "sync".into(),
+        tol: 1e-14,
+        max_iterations: 500_000,
+        ..Default::default()
+    }
+}
+
+/// Satellite: the drain-shutdown path must leave a cleanly closed log in
+/// which every accepted job reached a terminal event — so the restart
+/// re-enqueues exactly nothing and replays every outcome.
+#[test]
+fn drain_shutdown_then_restart_replays_zero_inflight() {
+    let dir = tmp("drain");
+    {
+        let svc = service(&dir, 2);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let key = format!("drain-{i}");
+                svc.submit(quick(Some(&key))).expect("admit")
+            })
+            .collect();
+        for h in &handles {
+            assert!(matches!(h.wait(), JobOutcome::Done(_)));
+        }
+        svc.shutdown(true);
+    }
+    let svc = service(&dir, 2);
+    let rec = svc.recovery().expect("store-backed service has a summary");
+    assert_eq!(rec.jobs, 4, "restart lost jobs from the log");
+    assert_eq!(
+        rec.reenqueued, 0,
+        "drain shutdown left in-flight jobs behind"
+    );
+    assert_eq!(svc.metrics().recovered_inflight.get(), 0);
+    // Every drained outcome is servable from the log without re-solving.
+    let before = svc.metrics().completed.get();
+    match svc.submit(quick(Some("drain-2"))).expect("replay").wait() {
+        JobOutcome::Done(r) => assert!(r.replayed, "replay not marked as such"),
+        other => panic!("drained key re-answered as {other:?}"),
+    }
+    assert_eq!(svc.metrics().completed.get(), before, "replay re-solved");
+    svc.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A `submitted`-but-never-terminal job in the log (a crash mid-run) is
+/// re-enqueued on startup, runs to completion, and a resubmission of its
+/// key attaches to — or replays — that recovered execution.
+#[test]
+fn recovered_inflight_job_completes_and_answers_its_key() {
+    let dir = tmp("recover");
+    {
+        // Simulate the dead process: accepted and picked, never finished.
+        let (store, _) = JobStore::open(&StoreConfig::new(&dir)).unwrap();
+        store
+            .submitted(0, Some("lost"), &quick(Some("lost")))
+            .unwrap();
+        store.picked(0).unwrap();
+        // No close(): the process "died" here.
+    }
+    let svc = service(&dir, 2);
+    let rec = svc.recovery().expect("summary");
+    assert_eq!(rec.reenqueued, 1, "in-flight job not re-enqueued");
+    assert_eq!(svc.metrics().recovered_inflight.get(), 1);
+    match svc.submit(quick(Some("lost"))).expect("attach").wait() {
+        JobOutcome::Done(r) => assert!(r.replayed, "recovered outcome not marked replayed"),
+        other => panic!("recovered job answered {other:?}"),
+    }
+    svc.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: cancelling a keyed job is terminal for the *key*, not just
+/// the attempt. A resubmission — live or after a restart — gets the
+/// logged `Shed(Cancelled)` and never triggers a fresh solve.
+#[test]
+fn cancelled_key_resubmission_replays_cancelled_never_resolves() {
+    let dir = tmp("cancel");
+    {
+        let svc = service(&dir, 1);
+        let block = svc.submit(blocker()).expect("blocker");
+        let victim = svc.submit(quick(Some("victim"))).expect("victim");
+        victim.cancel();
+        assert_eq!(victim.wait(), JobOutcome::Shed(ShedReason::Cancelled));
+        let solves_before = svc.metrics().completed.get();
+        // Same process: the key answers from the idempotency index.
+        assert_eq!(
+            svc.submit(quick(Some("victim"))).expect("resubmit").wait(),
+            JobOutcome::Shed(ShedReason::Cancelled)
+        );
+        assert_eq!(
+            svc.metrics().completed.get(),
+            solves_before,
+            "resubmitting a cancelled key started a solve"
+        );
+        assert!(svc.metrics().idempotent_replays.get() >= 1);
+        assert!(matches!(block.wait(), JobOutcome::Done(_)));
+        svc.shutdown(true);
+    }
+    // Across a restart: the answer comes from the replayed log.
+    let svc = service(&dir, 1);
+    assert_eq!(svc.recovery().expect("summary").reenqueued, 0);
+    let completed_before = svc.metrics().completed.get();
+    assert_eq!(
+        svc.submit(quick(Some("victim"))).expect("resubmit").wait(),
+        JobOutcome::Shed(ShedReason::Cancelled)
+    );
+    assert_eq!(
+        svc.metrics().completed.get(),
+        completed_before,
+        "restart forgot the cancel and re-solved the key"
+    );
+    svc.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two concurrent submits with one key are one logical job: one solve,
+/// two answers, the second marked as a replay.
+#[test]
+fn inflight_same_key_submits_deduplicate() {
+    let dir = tmp("dedup");
+    let svc = service(&dir, 1);
+    let block = svc.submit(blocker()).expect("blocker");
+    let first = svc.submit(quick(Some("dup"))).expect("first");
+    let accepted_before = svc.metrics().accepted.get();
+    let second = svc.submit(quick(Some("dup"))).expect("second attaches");
+    assert_eq!(
+        svc.metrics().accepted.get(),
+        accepted_before,
+        "second same-key submit was admitted as a fresh job"
+    );
+    assert_eq!(svc.metrics().idempotent_replays.get(), 1);
+    match first.wait() {
+        JobOutcome::Done(r) => assert!(!r.replayed, "the real execution marked replayed"),
+        other => panic!("first submit answered {other:?}"),
+    }
+    match second.wait() {
+        JobOutcome::Done(r) => assert!(r.replayed, "attached submit not marked replayed"),
+        other => panic!("second submit answered {other:?}"),
+    }
+    assert!(matches!(block.wait(), JobOutcome::Done(_)));
+    svc.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}

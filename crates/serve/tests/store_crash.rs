@@ -1,0 +1,180 @@
+//! Crash-point matrix for the durable job store: for **every** site in
+//! [`CrashSite::ALL`] — none skipped — inject a deterministic crash into
+//! an append, verify the store dies loudly (poisoned, not half-alive),
+//! reopen the directory, and check the replayed aggregate is exactly what
+//! the site's durability semantics promise:
+//!
+//! * the interrupted record survives iff the crash fired *after* the
+//!   fsync ([`CrashSite::record_survives`]);
+//! * everything appended before the crash point is always intact;
+//! * a torn or corrupt tail is dropped (and flagged), never mistaken for
+//!   mid-log damage;
+//! * the accounting identity `jobs = outcomes + inflight` holds over the
+//!   recovered aggregate in every case.
+
+use aj_serve::{
+    CrashPlan, CrashSite, JobOutcome, JobResult, JobSpec, JobStore, StoreConfig, WalError,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aj-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(key: Option<&str>) -> JobSpec {
+    JobSpec {
+        matrix: "fd40".into(),
+        idempotency_key: key.map(str::to_string),
+        ..Default::default()
+    }
+}
+
+fn done() -> JobOutcome {
+    JobOutcome::Done(JobResult {
+        backend: "Jacobi".into(),
+        converged: true,
+        final_residual: 1e-7,
+        samples: 5,
+        cache_hit: false,
+        queued: Duration::from_micros(10),
+        solved: Duration::from_micros(400),
+        replayed: false,
+    })
+}
+
+/// The matrix itself. The scripted history is: job 0 submitted and
+/// finished (appends 0–1), then job 1 submitted (append 2) — and the
+/// injected crash fires on append 2, at a different site per row.
+#[test]
+fn every_crash_site_recovers_to_a_consistent_aggregate() {
+    let mut exercised = Vec::new();
+    for site in CrashSite::ALL {
+        let dir = tmp(site.as_str());
+        let cfg = StoreConfig {
+            crash: Some(CrashPlan::new(site, 2)),
+            ..StoreConfig::new(&dir)
+        };
+        let (store, rec) = JobStore::open(&cfg).expect("fresh store");
+        assert_eq!(rec.events, 0, "{site:?}: fresh dir replayed events");
+
+        store.submitted(0, Some("k0"), &spec(Some("k0"))).unwrap();
+        store.outcome(0, &done()).unwrap();
+        let err = store
+            .submitted(1, Some("k1"), &spec(Some("k1")))
+            .expect_err("armed append survived");
+        assert_eq!(err, WalError::Crashed(site), "wrong crash surfaced");
+
+        // The store is poisoned: nothing else may reach the log, so a
+        // half-dead process cannot keep acknowledging jobs.
+        assert_eq!(
+            store.outcome(1, &done()).expect_err("poisoned store wrote"),
+            WalError::Poisoned,
+            "{site:?}: store kept accepting appends after the crash"
+        );
+        drop(store);
+
+        // "Restart": reopen the same directory with no injection.
+        let (_store, rec) = JobStore::open(&StoreConfig::new(&dir))
+            .unwrap_or_else(|e| panic!("{site:?}: replay refused after crash: {e}"));
+
+        // Pre-crash history is always intact.
+        assert!(
+            matches!(rec.outcomes.get(&0), Some(JobOutcome::Done(_))),
+            "{site:?}: lost the fsynced pre-crash job"
+        );
+        assert_eq!(rec.by_key.get("k0"), Some(&0), "{site:?}: lost key k0");
+
+        // The interrupted record survives exactly when the site says so.
+        if site.record_survives() {
+            assert_eq!(rec.jobs, 2, "{site:?}: durable record lost");
+            assert_eq!(rec.inflight.len(), 1, "{site:?}: survivor not inflight");
+            assert_eq!(rec.inflight[0].id, 1);
+            assert_eq!(rec.inflight[0].key.as_deref(), Some("k1"));
+            assert_eq!(rec.next_id, 2);
+        } else {
+            assert_eq!(rec.jobs, 1, "{site:?}: unfsynced record resurrected");
+            assert!(rec.inflight.is_empty(), "{site:?}: ghost inflight job");
+            assert!(!rec.by_key.contains_key("k1"), "{site:?}: ghost key");
+            assert_eq!(rec.next_id, 1);
+        }
+
+        // Only the sites that leave damaged bytes behind report a dropped
+        // tail; the clean-cut sites must not cry wolf.
+        let expect_torn = matches!(site, CrashSite::TornTail | CrashSite::CorruptTail);
+        assert_eq!(
+            rec.torn_tail_dropped, expect_torn,
+            "{site:?}: torn-tail flag wrong"
+        );
+
+        // Accounting identity over the recovered aggregate.
+        assert_eq!(
+            rec.jobs,
+            rec.outcomes.len() as u64 + rec.inflight.len() as u64,
+            "{site:?}: jobs != outcomes + inflight"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        exercised.push(site.as_str());
+    }
+    // The matrix is exhaustive by construction; pin it so a future site
+    // added to the enum cannot be silently skipped here.
+    assert_eq!(exercised.len(), CrashSite::ALL.len());
+    assert_eq!(
+        exercised,
+        vec![
+            "pre-append",
+            "post-append-pre-fsync",
+            "post-fsync-pre-visible",
+            "mid-segment-roll",
+            "torn-tail",
+            "corrupt-tail",
+        ],
+        "crash matrix skipped a site"
+    );
+}
+
+/// A crash *between* two append-side fsyncs (armed on the unsynced
+/// `picked` event) loses at most that unsynced record: replay re-enqueues
+/// the job as if it had never been picked, which re-execution absorbs.
+#[test]
+fn losing_an_unsynced_picked_event_only_requeues_the_job() {
+    let dir = tmp("picked");
+    let cfg = StoreConfig {
+        crash: Some(CrashPlan::new(CrashSite::PostAppendPreFsync, 1)),
+        ..StoreConfig::new(&dir)
+    };
+    let (store, _) = JobStore::open(&cfg).unwrap();
+    store.submitted(0, Some("k"), &spec(Some("k"))).unwrap();
+    assert_eq!(
+        store.picked(0).expect_err("armed pick survived"),
+        WalError::Crashed(CrashSite::PostAppendPreFsync)
+    );
+    drop(store);
+    let (_store, rec) = JobStore::open(&StoreConfig::new(&dir)).unwrap();
+    assert_eq!(rec.jobs, 1);
+    assert_eq!(rec.inflight.len(), 1, "submitted job must be re-enqueued");
+    assert_eq!(rec.inflight[0].id, 0);
+    assert!(!rec.torn_tail_dropped, "clean truncation flagged as torn");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The seeded constructor is deterministic (same seed, same plan) and
+/// always lands on a real site — the randomized-sweep entry point can
+/// never silently degrade to "no crash".
+#[test]
+fn seeded_plans_are_deterministic_and_cover_sites() {
+    let mut sites = std::collections::BTreeSet::new();
+    for seed in 0..64u64 {
+        let plan = CrashPlan::seeded(seed);
+        assert_eq!(plan, CrashPlan::seeded(seed), "seed {seed} not stable");
+        assert!(plan.at_append < 8);
+        sites.insert(plan.site.as_str());
+    }
+    assert!(
+        sites.len() >= 4,
+        "64 seeds hit only {} distinct sites: {sites:?}",
+        sites.len()
+    );
+}
