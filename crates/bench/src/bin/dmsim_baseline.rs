@@ -129,8 +129,36 @@ fn main() {
     let sellc_speedup = k_csr / k_sellc;
     let rcm_speedup = k_csr / k_rcm;
 
+    // Outer-solver baselines: a V-cycle and an FCG solve wrapping the async
+    // shmem simulator as smoother/preconditioner on grid:31x31 to 1e-8
+    // (DESIGN.md §17). The timings are host-bound like everything above,
+    // but the outer iteration counts are seeded-deterministic, so --guard
+    // pins them as host-independent regression tripwires.
+    let outer_run = |selector: &str| {
+        let gp = aj_core::spec::load_problem("grid:31x31", opts.seed).expect("grid problem");
+        let o = aj_core::SolveOptions {
+            tol: 1e-8,
+            seed: opts.seed,
+            outer: Some(aj_core::spec::parse_outer(selector).expect("outer selector")),
+            ..Default::default()
+        };
+        let backend = aj_core::Backend::SimShared {
+            workers: 8,
+            asynchronous: true,
+        };
+        let mut iters = 0;
+        let secs = median_secs(|| {
+            let rep = aj_core::solve(&gp, backend, &o).expect("outer solve");
+            assert!(rep.converged, "{selector} failed to converge on grid:31x31");
+            iters = rep.outer.as_ref().map_or(0, |orep| orep.iterations);
+        });
+        (secs, iters)
+    };
+    let (vcycle_secs, vcycle_cycles) = outer_run("vcycle:smooth=richardson1:omega=auto");
+    let (fcg_secs, fcg_iters) = outer_run("fcg:prec=richardson1:omega=auto");
+
     let json = format!(
-        "{{\n  \"description\": \"dmsim wall-clock baselines (fig5: median of {REPS} runs; dist: min of 11 interleaved runs, seconds; overhead: median of 9 paired obs/off ratios at 240 iterations; sweep_kernel: min-of-9 µs per whole-matrix block sweep on thermomech_dm:tiny)\",\n  \"fig5_quick_seconds\": {fig5:.4},\n  \"dist_async_256r_60it_seconds\": {fig7:.4},\n  \"dist_async_256r_60it_obs_sampled16_seconds\": {fig7_obs:.4},\n  \"obs_overhead_frac\": {overhead:.4},\n  \"sweep_kernel_csr_us\": {k_csr:.2},\n  \"sweep_kernel_sellc8_us\": {k_sellc:.2},\n  \"sweep_kernel_rcm_blocked_us\": {k_rcm:.2},\n  \"sweep_kernel_sellc8_speedup\": {sellc_speedup:.3},\n  \"sweep_kernel_rcm_blocked_speedup\": {rcm_speedup:.3}\n}}\n"
+        "{{\n  \"description\": \"dmsim wall-clock baselines (fig5: median of {REPS} runs; dist: min of 11 interleaved runs, seconds; overhead: median of 9 paired obs/off ratios at 240 iterations; sweep_kernel: min-of-9 µs per whole-matrix block sweep on thermomech_dm:tiny; outer: median of {REPS} vcycle/fcg solves wrapping the async shmem sim on grid:31x31 to 1e-8)\",\n  \"fig5_quick_seconds\": {fig5:.4},\n  \"dist_async_256r_60it_seconds\": {fig7:.4},\n  \"dist_async_256r_60it_obs_sampled16_seconds\": {fig7_obs:.4},\n  \"obs_overhead_frac\": {overhead:.4},\n  \"sweep_kernel_csr_us\": {k_csr:.2},\n  \"sweep_kernel_sellc8_us\": {k_sellc:.2},\n  \"sweep_kernel_rcm_blocked_us\": {k_rcm:.2},\n  \"sweep_kernel_sellc8_speedup\": {sellc_speedup:.3},\n  \"sweep_kernel_rcm_blocked_speedup\": {rcm_speedup:.3},\n  \"outer_vcycle_grid31_seconds\": {vcycle_secs:.4},\n  \"outer_vcycle_grid31_cycles\": {vcycle_cycles},\n  \"outer_fcg_grid31_seconds\": {fcg_secs:.4},\n  \"outer_fcg_grid31_iters\": {fcg_iters}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write baseline JSON");
     print!("{json}");
@@ -152,6 +180,24 @@ fn main() {
             eprintln!(
                 "sweep-kernel guard FAILED: best SIMD format runs at {best_speedup:.2}x \
                  the CSR sweep (< 0.95x floor)"
+            );
+            failed = true;
+        }
+        // Outer convergence is seeded-deterministic on this workload; the
+        // caps are ~2x the observed counts, so they trip on algorithmic
+        // regressions (smoother mistuning, broken coarse transfer), not on
+        // host speed.
+        if vcycle_cycles > 25 {
+            eprintln!(
+                "outer guard FAILED: vcycle took {vcycle_cycles} cycles on grid:31x31 \
+                 (> 25 cap)"
+            );
+            failed = true;
+        }
+        if fcg_iters > 300 {
+            eprintln!(
+                "outer guard FAILED: fcg took {fcg_iters} iterations on grid:31x31 \
+                 (> 300 cap)"
             );
             failed = true;
         }

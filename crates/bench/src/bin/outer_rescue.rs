@@ -1,0 +1,91 @@
+//! The divergence-rescue experiment behind DESIGN.md §17 and the
+//! `outer-matrix` CI smoke: on the Dubcova2 tiny analogue (`ρ(G) > 1`,
+//! standalone asynchronous Jacobi diverges), the *same* asynchronous
+//! relaxation engine converges when demoted from solver to component —
+//! as the smoother inside `outer=vcycle` and as the preconditioner
+//! inside `outer=fcg`.
+//!
+//! Emits three residual curves (standalone / vcycle / fcg; x = outer
+//! iteration for the outer runs, sweep index for standalone) to
+//! `results/outer_rescue.csv` and prints them as a table. Exits non-zero
+//! if the rescue fails: the standalone run must *not* converge while both
+//! outer runs must reach the tolerance — this is the paper-level claim the
+//! CSV documents, so a silent regression here must fail CI.
+
+use aj_bench::RunOptions;
+use aj_core::report::{print_table, results_path, write_csv, Series};
+use aj_core::{solve, Backend, Problem, SolveOptions};
+
+const TOL: f64 = 1e-6;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let p = Problem::suite("Dubcova2", aj_core::matrices::suite::Scale::Tiny, opts.seed)
+        .expect("Dubcova2");
+    let backend = Backend::SimShared {
+        workers: 8,
+        asynchronous: true,
+    };
+    let run = |outer: Option<&str>, max_iterations: u64| {
+        let o = SolveOptions {
+            tol: TOL,
+            max_iterations,
+            seed: opts.seed,
+            outer: outer.map(|s| aj_core::spec::parse_outer(s).expect("outer selector")),
+            ..Default::default()
+        };
+        solve(&p, backend, &o).expect("solve")
+    };
+
+    let standalone = run(None, if opts.quick { 300 } else { 1000 });
+    let vcycle = run(Some("vcycle:smooth=richardson1:omega=auto"), 200);
+    let fcg = run(Some("fcg:prec=richardson1:omega=auto"), 400);
+
+    let series = vec![
+        Series::new("standalone async (sweeps)", standalone.history.clone()),
+        Series::new("outer=vcycle (cycles)", vcycle.history.clone()),
+        Series::new("outer=fcg (iterations)", fcg.history.clone()),
+    ];
+    print_table(
+        &format!("Divergence rescue: Dubcova2 tiny (n = {})", p.n()),
+        "iteration",
+        &series,
+    );
+    write_csv(&results_path("outer_rescue"), &series).expect("write results/outer_rescue.csv");
+    println!(
+        "\nstandalone: converged={} final={:.3e} | vcycle: converged={} final={:.3e} \
+         | fcg: converged={} final={:.3e}",
+        standalone.converged,
+        standalone.final_residual,
+        vcycle.converged,
+        vcycle.final_residual,
+        fcg.converged,
+        fcg.final_residual,
+    );
+
+    // The claim itself, gated: the same async engine diverges standalone
+    // and converges inside either outer iteration.
+    let mut failed = false;
+    if standalone.converged || standalone.final_residual < 1.0 {
+        eprintln!(
+            "outer_rescue FAILED: standalone async Jacobi no longer diverges \
+             (final residual {:.3e}) — the rescue has nothing to rescue",
+            standalone.final_residual
+        );
+        failed = true;
+    }
+    for (name, rep) in [("vcycle", &vcycle), ("fcg", &fcg)] {
+        if !rep.converged {
+            eprintln!(
+                "outer_rescue FAILED: outer={name} did not converge \
+                 (final residual {:.3e})",
+                rep.final_residual
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("Paper: a divergent async iteration is rescued by outer acceleration.");
+}

@@ -4,7 +4,11 @@
 //! so the plan cache sees repeats; `--workload dist256` swaps in the dmsim
 //! baseline's 256-rank `suite:thermomech_dm:tiny` problem; `--method M`
 //! stamps a relaxation-method selector onto every request, which also
-//! exercises the server's per-problem method-resolution memoization)
+//! exercises the server's per-problem method-resolution memoization;
+//! `--outer O` stamps an outer-solver selector — `vcycle`, `fcg`, or
+//! `fgmres` — onto every request, swapping the mixed workload onto odd
+//! grids so multigrid coarsening applies, which exercises the server's
+//! per-problem hierarchy memoization)
 //! through the NDJSON-over-TCP protocol in two classic modes:
 //!
 //! * **closed loop** — `--conns` connections, each submit → wait → repeat;
@@ -70,6 +74,7 @@ struct Cli {
     out: String,
     workload: Workload,
     method: String,
+    outer: String,
     chaos: Option<String>,
     server_bin: Option<String>,
     store: Option<String>,
@@ -101,6 +106,7 @@ fn parse_cli() -> Result<Cli, String> {
         out: "BENCH_serve.json".into(),
         workload: Workload::Mixed,
         method: "jacobi".into(),
+        outer: String::new(),
         chaos: None,
         server_bin: None,
         store: None,
@@ -140,6 +146,7 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--out" => cli.out = value("--out")?,
             "--method" => cli.method = value("--method")?,
+            "--outer" => cli.outer = value("--outer")?,
             "--chaos" => {
                 let mode = value("--chaos")?;
                 if mode != "kill-restart" {
@@ -171,17 +178,31 @@ fn parse_cli() -> Result<Cli, String> {
 /// three backends × two seeds = 4 distinct plan-cache keys, every one of
 /// them revisited many times per run; dist256 replays the dmsim baseline's
 /// 256-rank problem through the service.
-fn job_spec(workload: Workload, k: usize, method: &str) -> JobSpec {
+fn job_spec(workload: Workload, k: usize, method: &str, outer: &str) -> JobSpec {
     let spec = match workload {
         Workload::Mixed => {
-            let mix = [
-                ("fd68", "sync"),
-                ("grid:16x16", "dist-async"),
-                ("fd68", "sim-async"),
-                ("grid:16x16", "sync"),
-                ("fd68", "dist-async"),
-                ("grid:16x16", "sim-async"),
-            ];
+            // The default matrices are too small (fd68) or even-sided
+            // (grid:16x16) to coarsen, so an outer run swaps in odd grids
+            // that every outer kind — including vcycle — accepts.
+            let mix = if outer.is_empty() {
+                [
+                    ("fd68", "sync"),
+                    ("grid:16x16", "dist-async"),
+                    ("fd68", "sim-async"),
+                    ("grid:16x16", "sync"),
+                    ("fd68", "dist-async"),
+                    ("grid:16x16", "sim-async"),
+                ]
+            } else {
+                [
+                    ("grid:15x15", "sync"),
+                    ("grid:21x21", "dist-async"),
+                    ("grid:15x15", "sim-async"),
+                    ("grid:21x21", "sync"),
+                    ("grid:15x15", "dist-async"),
+                    ("grid:21x21", "sim-async"),
+                ]
+            };
             let (matrix, backend) = mix[k % mix.len()];
             JobSpec {
                 matrix: matrix.into(),
@@ -209,6 +230,7 @@ fn job_spec(workload: Workload, k: usize, method: &str) -> JobSpec {
     };
     JobSpec {
         method: method.into(),
+        outer: outer.into(),
         ..spec
     }
 }
@@ -307,6 +329,7 @@ fn closed_loop(
     jobs: usize,
     conns: usize,
     method: &str,
+    outer: &str,
 ) -> Result<Tally, String> {
     let started = Instant::now();
     let tallies: Vec<Result<Tally, String>> = std::thread::scope(|scope| {
@@ -320,7 +343,7 @@ fn closed_loop(
                         let sent = Instant::now();
                         conn.send(&Request::Solve {
                             id: k as u64,
-                            spec: job_spec(workload, k, method),
+                            spec: job_spec(workload, k, method, outer),
                         })?;
                         t.sent += 1;
                         t.absorb(&conn.recv()?, sent.elapsed())?;
@@ -355,6 +378,7 @@ fn open_loop(
     rate: f64,
     seed: u64,
     method: &str,
+    outer: &str,
 ) -> Result<Tally, String> {
     let conn = Conn::connect(addr)?;
     let mut writer = conn.writer;
@@ -391,7 +415,7 @@ fn open_loop(
         sent_at.insert(k as u64, Instant::now());
         let mut line = proto::render_request(&Request::Solve {
             id: k as u64,
-            spec: job_spec(workload, k, method),
+            spec: job_spec(workload, k, method, outer),
         });
         line.push('\n');
         writer
@@ -586,10 +610,10 @@ fn spawn_server(bin: &Path, store: &Path) -> Result<(Child, String), String> {
 
 /// One keyed chaos job. Same request mix as the load modes, plus the
 /// idempotency key that makes crash-time resubmission safe.
-fn chaos_spec(workload: Workload, k: usize, method: &str) -> JobSpec {
+fn chaos_spec(workload: Workload, k: usize, method: &str, outer: &str) -> JobSpec {
     JobSpec {
         idempotency_key: Some(format!("chaos-{k}")),
-        ..job_spec(workload, k, method)
+        ..job_spec(workload, k, method, outer)
     }
 }
 
@@ -654,7 +678,7 @@ fn chaos_kill_restart(cli: &Cli) -> Result<i32, String> {
         for k in 0..phase1 {
             conn.send(&Request::Solve {
                 id: k as u64,
-                spec: chaos_spec(cli.workload, k, &cli.method),
+                spec: chaos_spec(cli.workload, k, &cli.method, &cli.outer),
             })?;
             ledger.record(k, &conn.recv()?)?;
         }
@@ -720,7 +744,7 @@ fn chaos_kill_restart(cli: &Cli) -> Result<i32, String> {
         let spec = if k >= phase1 {
             chaos_spec_slow(k)
         } else {
-            chaos_spec(cli.workload, k, &cli.method)
+            chaos_spec(cli.workload, k, &cli.method, &cli.outer)
         };
         conn.send(&Request::Solve {
             id: 10_000 + k as u64,
@@ -733,7 +757,7 @@ fn chaos_kill_restart(cli: &Cli) -> Result<i32, String> {
     for k in phase1 + batch..jobs {
         conn.send(&Request::Solve {
             id: 10_000 + k as u64,
-            spec: chaos_spec(cli.workload, k, &cli.method),
+            spec: chaos_spec(cli.workload, k, &cli.method, &cli.outer),
         })?;
         ledger.record(k, &conn.recv()?)?;
     }
@@ -898,7 +922,14 @@ fn run() -> Result<i32, String> {
         "serve_load: {} jobs/mode against {addr} (closed ×{} conns, open @{} jobs/s)",
         cli.jobs, cli.conns, cli.rate
     );
-    let closed = closed_loop(&addr, cli.workload, cli.jobs, cli.conns.max(1), &cli.method)?;
+    let closed = closed_loop(
+        &addr,
+        cli.workload,
+        cli.jobs,
+        cli.conns.max(1),
+        &cli.method,
+        &cli.outer,
+    )?;
     let open = open_loop(
         &addr,
         cli.workload,
@@ -906,6 +937,7 @@ fn run() -> Result<i32, String> {
         cli.rate.max(1.0),
         cli.seed,
         &cli.method,
+        &cli.outer,
     )?;
     let stats = fetch_stats(&addr)?;
 

@@ -174,6 +174,11 @@ pub fn solve(args: &Args) -> Result<i32, String> {
             }
         },
         plan: None,
+        outer: match args.get("outer") {
+            Some(selector) => Some(aj_core::spec::parse_outer(selector)?),
+            None => None,
+        },
+        outer_plan: None,
     };
     let threads: usize = args.get_or("threads", 4usize)?;
     let ranks: usize = args.get_or("ranks", 16usize)?;
@@ -215,6 +220,18 @@ pub fn solve(args: &Args) -> Result<i32, String> {
     );
     println!("samples:   {}", report.history.len());
     println!("wall time: {wall:?}");
+    if let Some(o) = &report.outer {
+        let levels = o
+            .levels
+            .iter()
+            .map(|(rows, nnz)| format!("{rows}({nnz})"))
+            .collect::<Vec<_>>()
+            .join(" → ");
+        println!(
+            "outer:     {} · levels {levels} · {} outer iterations · {} inner sweeps",
+            o.spec, o.iterations, o.inner_sweeps
+        );
+    }
     if let Some(c) = &report.comm {
         let mut line = format!("comm:      {} puts, {} values", c.puts, c.values);
         if c.drops + c.duplicates + c.reorders > 0 {

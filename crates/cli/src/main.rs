@@ -62,9 +62,23 @@ SOLVE OPTIONS:
                      (omega=auto estimates the preconditioned spectrum;
                       applies to Jacobi-family backends, not gs/cg)
   --format F         sweep storage format (default csr):
-                       csr | sellc[:c=<2|4|8|16>] | rcm-blocked
+                       csr | sellc[:c=<2|4|8|16>] | rcm-blocked | auto
                      (non-csr formats apply to the asynchronous block
-                      engines: async-threads, sim-async, dist-async)
+                      engines: async-threads, sim-async, dist-async;
+                      auto measures the row statistics at plan time and
+                      picks the cheapest bit-compatible layout)
+  --outer O          wrap the backend in an outer solver that uses it for
+                     inner smoothing sweeps (default: none — standalone):
+                       vcycle[:levels=<L>][:smooth=METHOD][:steps=<K>]
+                       fcg[:prec=METHOD][:inner=<K>]
+                       fgmres[:prec=METHOD][:inner=<K>][:restart=<M>]
+                     (vcycle = multigrid V-cycle, geometric on grid
+                      matrices, aggregation AMG otherwise; fcg/fgmres =
+                      flexible Krylov with K async sweeps as the
+                      preconditioner. Rescues the ρ(G) > 1 divergent
+                      cases: `--matrix suite:Dubcova2 --backend sim-async
+                      --outer vcycle` converges where standalone async
+                      Jacobi blows up)
   --seed S           workload seed                     (default 2018)
   --detect           use the distributed termination-detection protocol
   --staleness T      presume a rank dead after T without a report

@@ -4,6 +4,7 @@
 //! me the history" can use [`solve`] instead of learning each sub-crate's
 //! API. The figure benches drive the sub-crates directly for fine control.
 
+use crate::outer::{run_outer, Hierarchy, OuterReport, OuterSpec};
 use crate::problem::Problem;
 use aj_dmsim::monitor::CommVolume;
 use aj_dmsim::shmem_sim::{run_shmem_async, run_shmem_sync, ShmemSimConfig};
@@ -122,6 +123,18 @@ pub struct SolveOptions {
     /// (the default) builds the plan per call; the `aj-serve` plan cache
     /// passes a cached one to skip the O(nnz) assembly on repeat solves.
     pub plan: Option<Arc<CommPlan>>,
+    /// Outer solve (`None` = classic standalone run, bit-identical to the
+    /// pre-outer build). When set, the backend becomes the *inner* engine:
+    /// the outer V-cycle or flexible Krylov loop owns convergence and calls
+    /// it for fixed sweep counts (see [`crate::outer`] and
+    /// [`crate::spec::parse_outer`]).
+    pub outer: Option<OuterSpec>,
+    /// Prebuilt multigrid hierarchy for `outer=vcycle`, mirroring `plan`:
+    /// must have been built from *this* problem's matrix (row and nonzero
+    /// counts are checked). `None` builds it per call; the `aj-serve` plan
+    /// cache passes a cached one to skip the O(levels·nnz) coarsening on
+    /// repeat solves.
+    pub outer_plan: Option<Arc<Hierarchy>>,
 }
 
 impl Default for SolveOptions {
@@ -139,6 +152,8 @@ impl Default for SolveOptions {
             pace_us: None,
             obs: ObsConfig::off(),
             plan: None,
+            outer: None,
+            outer_plan: None,
         }
     }
 }
@@ -178,6 +193,10 @@ pub struct SolveReport {
     /// per-rank timelines) when [`SolveOptions::obs`] enabled recording and
     /// the backend supports it.
     pub metrics: Option<Snapshot>,
+    /// Outer-solve summary (hierarchy shape, outer iterations, inner sweep
+    /// total) when [`SolveOptions::outer`] was set; `None` on standalone
+    /// runs.
+    pub outer: Option<OuterReport>,
 }
 
 /// Solves `p` with the chosen backend.
@@ -202,6 +221,54 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
     }
     if opts.pace_us.is_some() && !matches!(backend, Backend::Net { .. }) {
         return Err("sweep pacing (--pace) applies to the net backend only".into());
+    }
+    // Plan-time storage-format auto-selection: `format=auto` measures the
+    // matrix's row-length statistics and picks the cheapest bit-compatible
+    // layout for the asynchronous block engines (SELL-8 when the padding it
+    // would add stays under [`aj_linalg::kernel::AUTO_PADDING_MAX`], CSR
+    // otherwise). Backends that only run CSR get CSR — auto adapts to the
+    // engine rather than erroring like an explicit selector would.
+    let format_engines = matches!(
+        backend,
+        Backend::AsyncThreads { .. }
+            | Backend::SimShared {
+                asynchronous: true,
+                ..
+            }
+            | Backend::SimDistributed {
+                asynchronous: true,
+                ..
+            }
+            | Backend::Net { .. }
+    );
+    let (format, auto_picked) = match opts.format {
+        StorageFormat::Auto => {
+            let picked = if format_engines {
+                aj_linalg::kernel::auto_select(&p.a)
+            } else {
+                StorageFormat::Csr
+            };
+            (picked, true)
+        }
+        f => (f, false),
+    };
+    // Record which concrete format auto picked so runs are auditable from
+    // their metrics alone (only when the backend produced a snapshot).
+    let stamp_auto = |mut rep: SolveReport| {
+        if auto_picked {
+            if let Some(snap) = &mut rep.metrics {
+                snap.set_counter(&format!("format_auto_{format}"), 1);
+            }
+        }
+        rep
+    };
+    // Outer solves invert control: the V-cycle / flexible Krylov loop owns
+    // convergence and uses the backend as its inner smoothing engine.
+    if let Some(spec) = &opts.outer {
+        return run_outer(p, backend, opts, spec, format).map(stamp_auto);
+    }
+    if opts.outer_plan.is_some() {
+        return Err("a precomputed hierarchy (outer_plan) requires outer=vcycle".into());
     }
     // Resolve the method once against this problem's matrix (free for the
     // default; `omega=auto` runs the Lanczos spectrum estimate here).
@@ -228,32 +295,16 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
     // lay out their sweep kernels; the sequential and synchronous reference
     // paths stay on the classic CSR loops, so reject rather than silently
     // ignore the selector there.
-    if opts.format != StorageFormat::Csr {
-        let supported = matches!(
-            backend,
-            Backend::AsyncThreads { .. }
-                | Backend::SimShared {
-                    asynchronous: true,
-                    ..
-                }
-                | Backend::SimDistributed {
-                    asynchronous: true,
-                    ..
-                }
-                | Backend::Net { .. }
-        );
-        if !supported {
-            return Err(format!(
-                "format {} applies to the asynchronous block engines only \
-                 (sequential and synchronous backends are csr-only)",
-                opts.format
-            ));
-        }
+    if format != StorageFormat::Csr && !format_engines {
+        return Err(format!(
+            "format {format} applies to the asynchronous block engines only \
+             (sequential and synchronous backends are csr-only)"
+        ));
     }
-    let format_tag = if opts.format == StorageFormat::Csr {
+    let format_tag = if format == StorageFormat::Csr {
         String::new()
     } else {
-        format!(" [{}]", opts.format)
+        format!(" [{format}]")
     };
     let report = |label: String, x: Vec<f64>, history: Vec<(f64, f64)>| {
         let final_residual = p.relative_residual(&x, opts.norm);
@@ -267,9 +318,10 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             termination: None,
             faults: None,
             metrics: None,
+            outer: None,
         }
     };
-    match backend {
+    let rep: Result<SolveReport, String> = match backend {
         Backend::Jacobi => {
             if !matches!(method, ResolvedMethod::Jacobi) {
                 let out = method_solve(
@@ -377,7 +429,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
                 mode: aj_shmem::Mode::Asynchronous,
                 omega: opts.omega,
                 method,
-                format: opts.format,
+                format,
                 obs: opts.obs,
                 ..Default::default()
             };
@@ -400,7 +452,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.norm = opts.norm;
             cfg.omega = opts.omega;
             cfg.method = method;
-            cfg.format = opts.format;
+            cfg.format = format;
             cfg.obs = opts.obs;
             let out = if asynchronous {
                 run_shmem_async(&p.a, &p.b, &p.x0, &cfg)
@@ -438,7 +490,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.norm = opts.norm;
             cfg.omega = opts.omega;
             cfg.method = method;
-            cfg.format = opts.format;
+            cfg.format = format;
             cfg.obs = opts.obs;
             if detect && asynchronous {
                 let mut proto = TerminationProtocol::default();
@@ -484,7 +536,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.max_iterations = opts.max_iterations;
             cfg.omega = opts.omega;
             cfg.method = method;
-            cfg.format = opts.format;
+            cfg.format = format;
             cfg.seed = opts.seed;
             cfg.obs = opts.obs;
             if let Some(timeout) = opts.staleness_timeout {
@@ -527,7 +579,8 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             rep.metrics = out.obs;
             Ok(rep)
         }
-    }
+    };
+    Ok(stamp_auto(rep?))
 }
 
 #[cfg(test)]

@@ -27,11 +27,13 @@
 
 pub mod driver;
 pub mod interp;
+pub mod outer;
 pub mod problem;
 pub mod report;
 pub mod spec;
 
 pub use driver::{prepare_dist_plan, solve, Backend, SolveOptions, SolveReport};
+pub use outer::{Hierarchy, OuterKind, OuterReport, OuterSpec};
 pub use problem::Problem;
 
 // Re-export the sub-crates under their natural names so a single dependency

@@ -13,6 +13,7 @@ use crate::problem::Problem;
 use aj_linalg::method::{Method, OmegaSpec};
 use aj_linalg::StorageFormat;
 use aj_matrices::suite::Scale;
+use aj_outer::{OuterKind, OuterSpec};
 
 /// Builds a [`Problem`] from a selector string.
 ///
@@ -183,7 +184,7 @@ pub fn parse_method(selector: &str) -> Result<Method, String> {
 
 /// The accepted storage-format grammar, quoted in full by every rejection
 /// (same contract as [`METHOD_GRAMMAR`]).
-pub const FORMAT_GRAMMAR: &str = "csr | sellc[:c=<2|4|8|16>] | rcm-blocked";
+pub const FORMAT_GRAMMAR: &str = "csr | sellc[:c=<2|4|8|16>] | rcm-blocked | auto";
 
 fn format_err(selector: &str, what: &str) -> String {
     format!("bad format selector '{selector}': {what} (grammar: {FORMAT_GRAMMAR})")
@@ -259,8 +260,174 @@ pub fn parse_format(selector: &str) -> Result<StorageFormat, String> {
             reject_unknown(&[])?;
             Ok(StorageFormat::RcmBlocked)
         }
+        "auto" => {
+            reject_unknown(&[])?;
+            Ok(StorageFormat::Auto)
+        }
         other => Err(format_err(selector, &format!("unknown format '{other}'"))),
     }
+}
+
+/// The accepted outer-solver grammar, quoted in full by every rejection
+/// (same contract as [`METHOD_GRAMMAR`]). The `smooth=`/`prec=` value is a
+/// full [`METHOD_GRAMMAR`] selector; its `omega`/`beta`/`fraction` keys
+/// nest after it (e.g. `vcycle:smooth=richardson2:omega=auto:steps=2`).
+pub const OUTER_GRAMMAR: &str = "vcycle[:levels=<L>][:smooth=METHOD][:steps=<K>] \
+     | fcg[:prec=METHOD][:inner=<K>] | fgmres[:prec=METHOD][:inner=<K>][:restart=<M>]";
+
+fn outer_err(selector: &str, what: &str) -> String {
+    format!("bad outer selector '{selector}': {what} (grammar: {OUTER_GRAMMAR})")
+}
+
+/// Parses an outer-solver selector (`vcycle`, `vcycle:levels=4:steps=2`,
+/// `fcg:prec=jacobi:inner=4`,
+/// `fgmres:prec=richardson2:omega=auto:inner=3:restart=20`, …) into an
+/// [`OuterSpec`]. A leading `outer=` is accepted so full spec fragments
+/// can be passed through verbatim.
+///
+/// The `smooth=` (vcycle) / `prec=` (Krylov) key starts a nested method
+/// selector: subsequent `omega=`/`beta=`/`fraction=` parts belong to the
+/// method, everything else stays at the outer level. Absent, the smoother
+/// defaults to `richardson1:omega=auto` — in smoothing position the auto
+/// weight targets the oscillatory half-band, see
+/// `aj_outer::smoothing_method`.
+///
+/// Every rejection reports the *full* selector string and the accepted
+/// grammar, not just the offending key.
+pub fn parse_outer(selector: &str) -> Result<OuterSpec, String> {
+    let spec = selector.strip_prefix("outer=").unwrap_or(selector);
+    if spec.is_empty() {
+        return Err(outer_err(selector, "empty outer solver name"));
+    }
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default();
+    // Keys whose values belong to the nested method selector once a
+    // smooth=/prec= part has opened it.
+    const METHOD_KEYS: [&str; 3] = ["omega", "beta", "fraction"];
+    let mut kv: Vec<(&str, &str)> = Vec::new();
+    let mut method_key: Option<&str> = None;
+    let mut method_sel: Option<String> = None;
+    for part in parts {
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(outer_err(
+                selector,
+                &format!("expected key=value, got '{part}'"),
+            ));
+        };
+        if k == "smooth" || k == "prec" {
+            if method_sel.is_some() {
+                return Err(outer_err(selector, &format!("duplicate key '{k}'")));
+            }
+            method_key = Some(k);
+            method_sel = Some(v.to_string());
+            continue;
+        }
+        if METHOD_KEYS.contains(&k) {
+            let Some(sel) = method_sel.as_mut() else {
+                return Err(outer_err(
+                    selector,
+                    &format!("method key '{k}' before any smooth=/prec= part"),
+                ));
+            };
+            sel.push(':');
+            sel.push_str(part);
+            continue;
+        }
+        if kv.iter().any(|&(seen, _)| seen == k) {
+            return Err(outer_err(selector, &format!("duplicate key '{k}'")));
+        }
+        kv.push((k, v));
+    }
+    let reject_unknown = |allowed: &[&str], method: &str| -> Result<(), String> {
+        for &(k, _) in &kv {
+            if !allowed.contains(&k) {
+                return Err(outer_err(
+                    selector,
+                    &format!(
+                        "unknown key '{k}' for outer solver '{name}' (allowed: {}, {method}=METHOD)",
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    };
+    let lookup = |key: &str| kv.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+    let parse_count = |key: &str, v: &str, min: usize| -> Result<usize, String> {
+        let n = v
+            .parse::<usize>()
+            .map_err(|_| outer_err(selector, &format!("invalid value '{v}' for key '{key}'")))?;
+        if n < min {
+            return Err(outer_err(
+                selector,
+                &format!("{key} must be ≥ {min}, got {n}"),
+            ));
+        }
+        Ok(n)
+    };
+    let expect_method_key = |want: &str| -> Result<(), String> {
+        match method_key {
+            Some(k) if k != want => Err(outer_err(
+                selector,
+                &format!("outer solver '{name}' takes {want}=METHOD, not {k}="),
+            )),
+            _ => Ok(()),
+        }
+    };
+    let smooth = match &method_sel {
+        Some(sel) => {
+            parse_method(sel).map_err(|e| outer_err(selector, &format!("nested method: {e}")))?
+        }
+        None => OuterSpec::default_smooth(),
+    };
+    let kind = match name {
+        "vcycle" => {
+            expect_method_key("smooth")?;
+            reject_unknown(&["levels", "steps"], "smooth")?;
+            let levels = match lookup("levels") {
+                Some(v) => Some(parse_count("levels", v, 2)?),
+                None => None,
+            };
+            let steps = match lookup("steps") {
+                Some(v) => parse_count("steps", v, 1)?,
+                None => OuterSpec::DEFAULT_STEPS,
+            };
+            OuterKind::VCycle { levels, steps }
+        }
+        "fcg" => {
+            expect_method_key("prec")?;
+            reject_unknown(&["inner"], "prec")?;
+            let inner = match lookup("inner") {
+                Some(v) => parse_count("inner", v, 1)?,
+                None => OuterSpec::DEFAULT_INNER,
+            };
+            OuterKind::Fcg { inner }
+        }
+        "fgmres" => {
+            expect_method_key("prec")?;
+            reject_unknown(&["inner", "restart"], "prec")?;
+            let inner = match lookup("inner") {
+                Some(v) => parse_count("inner", v, 1)?,
+                None => OuterSpec::DEFAULT_INNER,
+            };
+            let restart = match lookup("restart") {
+                Some(v) => parse_count("restart", v, 1)?,
+                None => OuterSpec::DEFAULT_RESTART,
+            };
+            OuterKind::Fgmres { inner, restart }
+        }
+        other => {
+            return Err(outer_err(
+                selector,
+                &format!("unknown outer solver '{other}'"),
+            ))
+        }
+    };
+    Ok(OuterSpec { kind, smooth })
 }
 
 /// The accepted backend grammar, quoted in full by every rejection (same
@@ -512,13 +679,120 @@ mod tests {
             parse_format("format=rcm-blocked").unwrap(),
             StorageFormat::RcmBlocked
         );
+        assert_eq!(parse_format("auto").unwrap(), StorageFormat::Auto);
+        assert_eq!(parse_format("format=auto").unwrap(), StorageFormat::Auto);
+        assert!(parse_format("auto:c=8").is_err());
         // Canonical spec strings re-parse to the same format.
         for f in [
             StorageFormat::Csr,
             StorageFormat::SellC { c: 4 },
             StorageFormat::RcmBlocked,
+            StorageFormat::Auto,
         ] {
             assert_eq!(parse_format(&f.to_spec()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn outers_parse() {
+        assert_eq!(
+            parse_outer("vcycle").unwrap(),
+            OuterSpec {
+                kind: OuterKind::VCycle {
+                    levels: None,
+                    steps: OuterSpec::DEFAULT_STEPS
+                },
+                smooth: OuterSpec::default_smooth(),
+            }
+        );
+        assert_eq!(
+            parse_outer("outer=vcycle:levels=4:smooth=jacobi:steps=3").unwrap(),
+            OuterSpec {
+                kind: OuterKind::VCycle {
+                    levels: Some(4),
+                    steps: 3
+                },
+                smooth: Method::Jacobi,
+            }
+        );
+        // Nested method keys attach to the preceding smooth=/prec= part,
+        // in any interleaving with outer keys.
+        assert_eq!(
+            parse_outer("vcycle:smooth=richardson2:omega=auto:beta=0.3:steps=1").unwrap(),
+            OuterSpec {
+                kind: OuterKind::VCycle {
+                    levels: None,
+                    steps: 1
+                },
+                smooth: Method::Richardson2 {
+                    omega: OmegaSpec::Auto,
+                    beta: Some(0.3)
+                },
+            }
+        );
+        assert_eq!(
+            parse_outer("fcg:prec=rwr:fraction=0.25:inner=6").unwrap(),
+            OuterSpec {
+                kind: OuterKind::Fcg { inner: 6 },
+                smooth: Method::RandomizedResidual { fraction: 0.25 },
+            }
+        );
+        assert_eq!(
+            parse_outer("fgmres").unwrap(),
+            OuterSpec {
+                kind: OuterKind::Fgmres {
+                    inner: OuterSpec::DEFAULT_INNER,
+                    restart: OuterSpec::DEFAULT_RESTART
+                },
+                smooth: OuterSpec::default_smooth(),
+            }
+        );
+        // Canonical spec strings re-parse to the same value.
+        for sel in [
+            "vcycle",
+            "vcycle:levels=3:smooth=richardson1:omega=0.7:steps=2",
+            "fcg:prec=jacobi:inner=2",
+            "fgmres:prec=richardson2:omega=auto:inner=3:restart=10",
+        ] {
+            let spec = parse_outer(sel).unwrap();
+            assert_eq!(parse_outer(&spec.to_spec()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn outer_rejections_quote_selector_and_grammar() {
+        // One case per rejection path: empty name, unknown solver, bare key
+        // without '=', duplicate keys (outer and nested-method starters),
+        // method keys with no method, wrong method key for the family,
+        // keys of the other family, bad numeric values, and a broken
+        // nested method selector.
+        for bad in [
+            "",
+            "outer=",
+            "wcycle",
+            "vcycle:steps",
+            "vcycle:steps=2:steps=3",
+            "vcycle:smooth=jacobi:smooth=jacobi",
+            "vcycle:omega=0.5",
+            "vcycle:prec=jacobi",
+            "fcg:smooth=jacobi",
+            "vcycle:inner=4",
+            "fcg:steps=2",
+            "fcg:levels=3",
+            "fgmres:restart=0",
+            "vcycle:levels=1",
+            "vcycle:steps=0",
+            "fcg:inner=0",
+            "vcycle:levels=two",
+            "vcycle:smooth=sor",
+            "fcg:prec=rwr:fraction=1.5",
+        ] {
+            let err = parse_outer(bad).unwrap_err();
+            assert!(err.contains(bad), "error '{err}' must quote '{bad}'");
+            assert!(
+                err.contains(OUTER_GRAMMAR),
+                "error '{err}' must state the grammar"
+            );
         }
     }
 

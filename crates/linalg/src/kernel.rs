@@ -61,15 +61,20 @@ pub enum StorageFormat {
     },
     /// RCM-reordered, ghost-packed cache blocking.
     RcmBlocked,
+    /// Placeholder resolved at plan time by [`auto_select`] from measured
+    /// row statistics; never reaches [`SweepKernel::build`].
+    Auto,
 }
 
 impl StorageFormat {
-    /// Short name without parameters (`csr`, `sellc`, `rcm-blocked`).
+    /// Short name without parameters (`csr`, `sellc`, `rcm-blocked`,
+    /// `auto`).
     pub fn name(&self) -> &'static str {
         match self {
             StorageFormat::Csr => "csr",
             StorageFormat::SellC { .. } => "sellc",
             StorageFormat::RcmBlocked => "rcm-blocked",
+            StorageFormat::Auto => "auto",
         }
     }
 
@@ -83,9 +88,51 @@ impl StorageFormat {
     }
 
     /// Whether sweeps in this format reproduce the CSR sweep bit-for-bit
-    /// (modulo `-0.0` vs `+0.0`).
+    /// (modulo `-0.0` vs `+0.0`). `Auto` is bit-compatible because
+    /// [`auto_select`] only ever picks bit-compatible formats.
     pub fn is_bit_compatible(&self) -> bool {
         !matches!(self, StorageFormat::RcmBlocked)
+    }
+}
+
+/// Padding-ratio threshold for [`auto_select`]: SELL is chosen when the
+/// padded work `work_nnz` exceeds the true nnz by at most this fraction.
+/// Past it, the SIMD win is eaten by padded lanes (the measured 1.61×
+/// SELL speedup on thermomech_dm:tiny had ratio ≈ 0.02).
+pub const AUTO_PADDING_MAX: f64 = 0.25;
+
+/// Picks a concrete storage format for `a` from measured row statistics —
+/// the plan-time resolution of `format=auto`.
+///
+/// The decision rule replicates the SELL-8 chunk arithmetic without
+/// building a kernel: rows sorted by descending nnz are grouped into
+/// chunks of [`DEFAULT_SELL_LANES`], each chunk padded to its widest row;
+/// when the resulting padding ratio `(work_nnz − nnz) / nnz` stays at or
+/// under [`AUTO_PADDING_MAX`] the row lengths are regular enough for the
+/// SIMD-friendly layout to pay, otherwise scalar CSR wins. Only
+/// bit-compatible formats are ever chosen, so `auto` never changes
+/// results, only speed.
+pub fn auto_select(a: &CsrMatrix) -> StorageFormat {
+    let n = a.nrows();
+    let nnz = a.nnz();
+    if n < DEFAULT_SELL_LANES || nnz == 0 {
+        return StorageFormat::Csr;
+    }
+    let mut row_nnz: Vec<usize> = (0..n).map(|i| a.row_nnz(i)).collect();
+    row_nnz.sort_unstable_by(|x, y| y.cmp(x));
+    // Matches `work_nnz` of a built SELL kernel: every chunk — including a
+    // partial trailing one — is padded to the full lane count.
+    let work: usize = row_nnz
+        .chunks(DEFAULT_SELL_LANES)
+        .map(|chunk| chunk[0] * DEFAULT_SELL_LANES)
+        .sum();
+    let padding = (work - nnz) as f64 / nnz as f64;
+    if padding <= AUTO_PADDING_MAX {
+        StorageFormat::SellC {
+            c: DEFAULT_SELL_LANES,
+        }
+    } else {
+        StorageFormat::Csr
     }
 }
 
@@ -179,6 +226,13 @@ impl SweepKernel {
                 KernelData::Sell(build_sell(a, rows.clone(), c)?)
             }
             StorageFormat::RcmBlocked => KernelData::Rcm(build_rcm(a, rows.clone())?),
+            StorageFormat::Auto => {
+                // `auto` is a plan-time placeholder; drivers must resolve
+                // it (via `auto_select`) before kernels are built.
+                return Err(LinalgError::InvalidStructure(
+                    "format=auto must be resolved to a concrete format before kernel build".into(),
+                ));
+            }
         };
         Ok(SweepKernel { rows, format, data })
     }
@@ -602,5 +656,58 @@ mod tests {
         for i in 0..3 {
             assert!((out[i] - (b[i] - a.row_dot(i, &x))).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn auto_select_prefers_sell_on_regular_rows() {
+        // Stencil rows are near-uniform width: padding stays tiny.
+        let a = laplacian_2d(16, 16);
+        let picked = auto_select(&a);
+        assert_eq!(
+            picked,
+            StorageFormat::SellC {
+                c: DEFAULT_SELL_LANES
+            }
+        );
+        // The predicted work matches a really-built kernel's work_nnz.
+        let k = SweepKernel::build(&a, 0..a.nrows(), picked).unwrap();
+        let mut row_nnz: Vec<usize> = (0..a.nrows()).map(|i| a.row_nnz(i)).collect();
+        row_nnz.sort_unstable_by(|x, y| y.cmp(x));
+        let predicted: usize = row_nnz
+            .chunks(DEFAULT_SELL_LANES)
+            .map(|c| c[0] * DEFAULT_SELL_LANES)
+            .sum();
+        assert_eq!(k.work_nnz(&a), predicted);
+    }
+
+    #[test]
+    fn auto_select_falls_back_to_csr_on_irregular_rows() {
+        // An arrow matrix: one dense row/column, the rest diagonal. Every
+        // SELL chunk containing the dense row pads massively.
+        let n = 64;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+        }
+        for j in 1..n {
+            coo.push_sym(0, j, -0.01);
+        }
+        let a = coo.to_csr();
+        assert_eq!(auto_select(&a), StorageFormat::Csr);
+    }
+
+    #[test]
+    fn auto_select_tiny_matrix_is_csr() {
+        let a = CsrMatrix::identity(4);
+        assert_eq!(auto_select(&a), StorageFormat::Csr);
+    }
+
+    #[test]
+    fn auto_format_rejected_by_kernel_build() {
+        let a = laplacian_2d(4, 4);
+        let r = SweepKernel::build(&a, 0..a.nrows(), StorageFormat::Auto);
+        assert!(matches!(r, Err(LinalgError::InvalidStructure(_))));
+        assert_eq!(StorageFormat::Auto.name(), "auto");
+        assert_eq!(StorageFormat::Auto.to_spec(), "auto");
     }
 }

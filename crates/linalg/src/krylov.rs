@@ -86,8 +86,11 @@ pub fn conjugate_gradient(
 /// convergence check, making it the natural synchronous competitor to
 /// asynchronous Jacobi.
 ///
-/// # Panics
-/// Panics if `lambda_min >= lambda_max` or `lambda_min <= 0`.
+/// # Errors
+/// [`LinalgError::InvalidStructure`] unless `0 < λ_min < λ_max` with both
+/// bounds finite — the SPD spectrum-bound contract. Swapped, nonpositive,
+/// NaN, or infinite bounds would otherwise drive θ/δ into NaN and the
+/// iteration would silently produce NaN iterates rather than fail.
 #[allow(clippy::too_many_arguments)] // spectrum bounds are inherent inputs
 pub fn chebyshev_jacobi(
     a: &CsrMatrix,
@@ -98,11 +101,19 @@ pub fn chebyshev_jacobi(
     tol: f64,
     max_iter: usize,
     norm: Norm,
-) -> IterativeResult {
-    assert!(
-        lambda_min > 0.0 && lambda_min < lambda_max,
-        "need 0 < λ_min < λ_max"
-    );
+) -> Result<IterativeResult, LinalgError> {
+    if !lambda_min.is_finite() || !lambda_max.is_finite() || lambda_min <= 0.0 {
+        return Err(LinalgError::InvalidStructure(format!(
+            "chebyshev spectrum bounds must be finite and positive for an SPD \
+             operator (got λ_min = {lambda_min}, λ_max = {lambda_max})"
+        )));
+    }
+    if lambda_min >= lambda_max {
+        return Err(LinalgError::InvalidStructure(format!(
+            "chebyshev spectrum bounds out of order: need λ_min < λ_max \
+             (got λ_min = {lambda_min} ≥ λ_max = {lambda_max})"
+        )));
+    }
     let n = a.nrows();
     let diag_inv: Vec<f64> = a.diagonal().iter().map(|d| 1.0 / d).collect();
     let theta = 0.5 * (lambda_max + lambda_min);
@@ -130,11 +141,11 @@ pub fn chebyshev_jacobi(
         rho_old = rho;
     }
     let converged = *history.last().unwrap() < tol;
-    IterativeResult {
+    Ok(IterativeResult {
         x,
         history,
         converged,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -200,7 +211,8 @@ mod tests {
             1e-8,
             10_000,
             Norm::L2,
-        );
+        )
+        .unwrap();
         assert!(ch.converged, "final {}", ch.history.last().unwrap());
         let (_, jh) = sweeps::jacobi_solve(&a, &b, &x0, 1e-8, 100_000, Norm::L2).unwrap();
         assert!(
@@ -222,9 +234,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "need 0 < λ_min < λ_max")]
-    fn chebyshev_rejects_bad_bounds() {
+    fn chebyshev_rejects_bad_bounds_with_error() {
         let a = laplacian2d(3, 3);
-        chebyshev_jacobi(&a, &[1.0; 9], &[0.0; 9], 2.0, 1.0, 1e-8, 10, Norm::L2);
+        let b = [1.0; 9];
+        let x0 = [0.0; 9];
+        // Swapped ordering, nonpositive λ_min, and non-finite bounds each
+        // fail with a descriptive error instead of NaN iterates.
+        for (lo, hi) in [
+            (2.0, 1.0),
+            (1.0, 1.0),
+            (0.0, 2.0),
+            (-1.0, 2.0),
+            (f64::NAN, 2.0),
+            (1.0, f64::INFINITY),
+        ] {
+            let r = chebyshev_jacobi(&a, &b, &x0, lo, hi, 1e-8, 10, Norm::L2);
+            match r {
+                Err(LinalgError::InvalidStructure(msg)) => {
+                    assert!(msg.contains("chebyshev"), "unhelpful message: {msg}")
+                }
+                other => panic!("bounds ({lo}, {hi}) accepted: {other:?}"),
+            }
+        }
     }
 }

@@ -205,7 +205,17 @@ impl LinearOperator for JacobiScaledOp<'_> {
 
 /// Extreme eigenvalues of the Jacobi-preconditioned operator, validated
 /// positive.
-fn preconditioned_extremes(a: &CsrMatrix) -> Result<(f64, f64), LinalgError> {
+/// Estimated extreme eigenvalues `(λ_min, λ_max)` of the Jacobi-
+/// preconditioned operator `D⁻¹A` (via Lanczos on the similar symmetric
+/// `D^{-1/2} A D^{-1/2}`). This is the spectrum every `omega=auto` rule is
+/// derived from; public so outer solvers can derive *smoothing*-targeted
+/// weights (which damp the oscillatory half-band rather than minimize over
+/// the whole spectrum) from the same estimate.
+///
+/// # Errors
+/// Fails on nonpositive diagonals or when the estimate says the operator
+/// is not positive definite.
+pub fn preconditioned_extremes(a: &CsrMatrix) -> Result<(f64, f64), LinalgError> {
     let diag = a.diagonal();
     let mut dinv_sqrt = Vec::with_capacity(diag.len());
     for (row, &d) in diag.iter().enumerate() {

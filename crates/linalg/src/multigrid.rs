@@ -139,8 +139,10 @@ impl TwoGrid {
 }
 
 /// Rediscretized coarse operator with the same stencil scaling as the fine
-/// one (reads the center/off weights from an interior fine row).
-fn coarse_five_point(
+/// one (reads the center/off weights from an interior fine row). Public so
+/// the L-level generalization in `aj-outer` can reuse the exact two-grid
+/// rediscretization per level.
+pub fn coarse_five_point(
     fine: &CsrMatrix,
     nx: usize,
     ny: usize,

@@ -12,8 +12,9 @@
 
 use aj_core::linalg::method::ResolvedMethod;
 use aj_core::linalg::StorageFormat;
+use aj_core::outer::OuterKind;
 use aj_core::partition::CommPlan;
-use aj_core::{prepare_dist_plan, spec, Problem};
+use aj_core::{prepare_dist_plan, spec, Hierarchy, OuterSpec, Problem};
 use aj_obs::Counter;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -42,7 +43,16 @@ pub struct CachedPlan {
     /// `(format selector, parsed)` pairs, memoized like the methods so a
     /// hot job spec never re-parses its storage-format string.
     formats: Mutex<Vec<(String, StorageFormat)>>,
+    /// `(outer selector, parsed spec, hierarchy)` triples. The hierarchy —
+    /// the O(levels·nnz) coarsening for `vcycle` — is the expensive part,
+    /// memoized exactly like the distributed plans; the Krylov kinds carry
+    /// `None`.
+    outers: Mutex<Vec<OuterResolution>>,
 }
+
+/// One memoized outer resolution: selector → parsed spec + optional
+/// hierarchy (`vcycle` only).
+type OuterResolution = (String, OuterSpec, Option<Arc<Hierarchy>>);
 
 impl CachedPlan {
     fn new(problem: Problem) -> Self {
@@ -51,6 +61,7 @@ impl CachedPlan {
             dist_plans: Mutex::new(Vec::new()),
             methods: Mutex::new(Vec::new()),
             formats: Mutex::new(Vec::new()),
+            outers: Mutex::new(Vec::new()),
         }
     }
 
@@ -137,6 +148,48 @@ impl CachedPlan {
     /// Number of memoized format resolutions (test hook).
     pub fn resolved_format_count(&self) -> usize {
         self.formats.lock().unwrap().len()
+    }
+
+    /// Parses an outer selector and, for `vcycle`, builds this problem's
+    /// multigrid hierarchy — memoized per selector string so repeat outer
+    /// solves skip the O(levels·nnz) coarsening (the outer analogue of
+    /// [`CachedPlan::dist_plan`]).
+    ///
+    /// # Errors
+    /// Propagates parse errors (full grammar in the message) and hierarchy
+    /// construction failures.
+    pub fn resolve_outer(
+        &self,
+        selector: &str,
+    ) -> Result<(OuterSpec, Option<Arc<Hierarchy>>), String> {
+        {
+            let outers = self.outers.lock().unwrap();
+            if let Some((_, spec, h)) = outers.iter().find(|(sel, _, _)| sel == selector) {
+                return Ok((*spec, h.clone()));
+            }
+        }
+        // Parse + coarsen outside the lock (the hierarchy build walks the
+        // matrix per level); racing misses build identical state and the
+        // loser adopts the winner's entry.
+        let parsed = spec::parse_outer(selector)?;
+        let hierarchy = match parsed.kind {
+            OuterKind::VCycle { levels, .. } => Some(Arc::new(
+                Hierarchy::build(&self.problem.a, levels)
+                    .map_err(|e| format!("outer '{selector}': hierarchy: {e}"))?,
+            )),
+            _ => None,
+        };
+        let mut outers = self.outers.lock().unwrap();
+        if let Some((_, spec, h)) = outers.iter().find(|(sel, _, _)| sel == selector) {
+            return Ok((*spec, h.clone()));
+        }
+        outers.push((selector.to_string(), parsed, hierarchy.clone()));
+        Ok((parsed, hierarchy))
+    }
+
+    /// Number of memoized outer resolutions (test hook).
+    pub fn resolved_outer_count(&self) -> usize {
+        self.outers.lock().unwrap().len()
     }
 }
 
@@ -320,6 +373,30 @@ mod tests {
         let err = e.resolve_format("ellpack").unwrap_err();
         assert!(err.contains("rcm-blocked"), "{err}");
         assert_eq!(e.resolved_format_count(), 3);
+    }
+
+    #[test]
+    fn outer_resolutions_memoize_and_share_hierarchies() {
+        let cache = PlanCache::new(2);
+        let (e, _) = cache.get_or_build("grid:15x15", 1).unwrap();
+        let (s1, h1) = e.resolve_outer("vcycle:steps=3").unwrap();
+        let (s2, h2) = e.resolve_outer("vcycle:steps=3").unwrap();
+        assert_eq!(s1.to_spec(), s2.to_spec());
+        // Repeat solves share one coarsening: the memo hands back the same
+        // hierarchy allocation, not a rebuild.
+        let (h1, h2) = (h1.expect("vcycle builds a hierarchy"), h2.unwrap());
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(h1.shape()[0].0, e.problem.n());
+        assert_eq!(e.resolved_outer_count(), 1);
+        // Krylov outers carry no hierarchy; they still memoize the parse.
+        let (fcg, none) = e.resolve_outer("fcg:inner=4").unwrap();
+        assert!(none.is_none(), "fcg must not coarsen");
+        assert!(fcg.to_spec().starts_with("fcg"));
+        assert_eq!(e.resolved_outer_count(), 2);
+        // Parse errors surface, not cache, and quote the grammar.
+        let err = e.resolve_outer("wcycle").unwrap_err();
+        assert!(err.contains("vcycle"), "{err}");
+        assert_eq!(e.resolved_outer_count(), 2);
     }
 
     #[test]

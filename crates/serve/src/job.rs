@@ -42,6 +42,14 @@ pub struct JobSpec {
     /// (`csr`, `sellc[:c=<2|4|8|16>]`, `rcm-blocked`). Resolutions are
     /// memoized per cached problem alongside method resolutions.
     pub format: String,
+    /// Outer-solver selector in the [`aj_core::spec`] grammar
+    /// (`vcycle[:levels=<L>][:smooth=METHOD][:steps=<K>]`,
+    /// `fcg[:prec=METHOD][:inner=<K>]`,
+    /// `fgmres[:prec=METHOD][:inner=<K>][:restart=<M>]`). Empty (the
+    /// default, and the only value protocol-v1 clients can express) means
+    /// a standalone solve. Parsed specs and `vcycle` hierarchies are
+    /// memoized per cached problem alongside method resolutions.
+    pub outer: String,
     /// Shed the job if it has not *started* within this long of being
     /// submitted. `None` = wait as long as it takes.
     pub deadline: Option<Duration>,
@@ -67,6 +75,7 @@ impl Default for JobSpec {
             omega: 1.0,
             method: "jacobi".into(),
             format: "csr".into(),
+            outer: String::new(),
             deadline: None,
             idempotency_key: None,
         }

@@ -38,6 +38,9 @@ use std::time::Duration;
 pub const PROTO_VERSION: u64 = 2;
 
 /// A parsed client request.
+// Solve dwarfs the control variants, but requests live one-at-a-time per
+// connection line, never in bulk — boxing the spec would buy nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run a solve; `id` correlates the eventual response.
@@ -203,6 +206,12 @@ pub(crate) fn spec_from(v: &Value) -> Result<JobSpec, String> {
             .ok_or("\"format\" must be a selector string")?
             .to_string();
     }
+    if let Some(x) = v.get("outer") {
+        spec.outer = x
+            .as_str()
+            .ok_or("\"outer\" must be a selector string")?
+            .to_string();
+    }
     if let Some(x) = v.get("deadline_ms") {
         let ms = x.as_f64().ok_or("\"deadline_ms\" must be a number")?;
         if ms < 0.0 {
@@ -237,6 +246,11 @@ pub(crate) fn push_spec_fields(s: &mut String, spec: &JobSpec) {
     push_kv(s, "omega", |o| json::write_f64(o, spec.omega));
     push_kv(s, "method", |o| json::write_escaped(o, &spec.method));
     push_kv(s, "format", |o| json::write_escaped(o, &spec.format));
+    // Additive v2 field: only written when set, so v1 golden lines (and
+    // v1 servers fed standalone jobs) never see it.
+    if !spec.outer.is_empty() {
+        push_kv(s, "outer", |o| json::write_escaped(o, &spec.outer));
+    }
     if let Some(d) = spec.deadline {
         push_kv(s, "deadline_ms", |o| {
             json::write_f64(o, d.as_secs_f64() * 1000.0)

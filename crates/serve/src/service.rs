@@ -660,6 +660,16 @@ fn execute(inner: &ServiceInner, spec: &JobSpec) -> Result<(JobResult, Option<Sn
     // cache hit.
     let method = spec::parse_method(&plan.resolve_method(&spec.method, spec.seed)?.to_spec())?;
     let format = plan.resolve_format(&spec.format)?;
+    // Outer solves memoize the parsed spec and (for vcycle) the hierarchy
+    // on the cached plan — repeat outer jobs skip the coarsening. The
+    // driver re-checks the hierarchy against the problem, which is free.
+    let (outer, outer_plan) = match spec.outer.as_str() {
+        "" => (None, None),
+        selector => {
+            let (ospec, hierarchy) = plan.resolve_outer(selector)?;
+            (Some(ospec), hierarchy)
+        }
+    };
     let opts = aj_core::SolveOptions {
         tol: spec.tol,
         max_iterations: spec.max_iterations,
@@ -669,6 +679,8 @@ fn execute(inner: &ServiceInner, spec: &JobSpec) -> Result<(JobResult, Option<Sn
         seed: spec.seed,
         obs: inner.cfg.solve_obs,
         plan: dist_plan,
+        outer,
+        outer_plan,
         ..Default::default()
     };
     let report = aj_core::solve(&plan.problem, backend, &opts)?;

@@ -37,6 +37,7 @@ proptest! {
         (max_iterations, omega_mant) in (1u64..10_000_000, 1u64..256),
         (deadline_some, deadline_ms) in (0u32..2, 0u64..100_000),
         (key_some, key) in (0u32..2, collection::vec(0u32..1 << 30, 0..24)),
+        (outer_some, outer) in (0u32..2, collection::vec(0u32..1 << 30, 1..24)),
     ) {
         let spec = JobSpec {
             matrix: text(&matrix),
@@ -52,6 +53,13 @@ proptest! {
             omega: omega_mant as f64 / 64.0,
             method: "jacobi".into(),
             format: "csr".into(),
+            // The outer selector is additive v2 wire state: empty means
+            // absent on the wire and must round-trip to empty.
+            outer: if outer_some == 1 {
+                text(&outer)
+            } else {
+                String::new()
+            },
             deadline: (deadline_some == 1).then(|| Duration::from_millis(deadline_ms)),
             idempotency_key: (key_some == 1).then(|| text(&key)),
         };

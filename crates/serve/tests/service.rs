@@ -142,6 +142,58 @@ fn method_selector_flows_through_and_memoizes_resolution() {
 }
 
 #[test]
+fn outer_selector_flows_through_and_memoizes_hierarchy() {
+    let service = SolveService::start(quiet_config(2, 16));
+    let spec = JobSpec {
+        outer: "vcycle:smooth=richardson1:omega=auto".into(),
+        ..small("grid:15x15", "sim-async")
+    };
+    let first = service.submit(spec.clone()).unwrap().wait();
+    let second = service
+        .submit(JobSpec {
+            backend: "dist-async".into(),
+            ..spec.clone()
+        })
+        .unwrap()
+        .wait();
+    for out in [&first, &second] {
+        let JobOutcome::Done(r) = out else {
+            panic!("expected Done, got {out:?}");
+        };
+        assert!(r.converged, "{} did not converge", r.backend);
+        assert!(
+            r.backend.starts_with("outer=vcycle"),
+            "label '{}' must name the outer solver",
+            r.backend
+        );
+    }
+    // Both solves share one memoized selector resolution: the multigrid
+    // coarsening ran once for the cached problem.
+    let (entry, hit) = service
+        .cache()
+        .get_or_build("grid:15x15", spec.seed)
+        .unwrap();
+    assert!(hit);
+    assert_eq!(entry.resolved_outer_count(), 1);
+    // A bad selector fails the job with the grammar in the message.
+    let bad = service
+        .submit(JobSpec {
+            outer: "wcycle".into(),
+            ..small("fd68", "sync")
+        })
+        .unwrap()
+        .wait();
+    let JobOutcome::Failed(msg) = bad else {
+        panic!("bad outer selector must fail the job, got {bad:?}");
+    };
+    assert!(
+        msg.contains("wcycle") && msg.contains("vcycle"),
+        "unhelpful message: {msg}"
+    );
+    service.shutdown(true);
+}
+
+#[test]
 fn queue_full_sheds_at_the_door() {
     // One worker, tiny queue, slow jobs: submissions past capacity must be
     // rejected synchronously with QueueFull.
