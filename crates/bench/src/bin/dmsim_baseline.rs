@@ -157,8 +157,46 @@ fn main() {
     let (vcycle_secs, vcycle_cycles) = outer_run("vcycle:smooth=richardson1:omega=auto");
     let (fcg_secs, fcg_iters) = outer_run("fcg:prec=richardson1:omega=auto");
 
+    // Closed-loop rescue scenario (DESIGN.md §18): richardson2 with the
+    // sync-optimal ω/β is unstable on the async dist engine once links
+    // degrade — the momentum term amplifies stale reads (the paper's
+    // surprising result for heavy-ball under delay). Uncontrolled, the
+    // residual diverges and the pinned 2000-iteration budget is blown;
+    // with the controller on, the stall detector catches the flat/growing
+    // residual window and switches to first-order relaxation mid-solve.
+    // Engine, seed, fault plan, and budget are identical across the pair —
+    // only `control` differs — and the outcome is seeded-deterministic, so
+    // --guard pins it as a host-independent tripwire.
+    let rescue_run = |control: &str| {
+        let gp = aj_core::spec::load_problem("grid:16x16", opts.seed).expect("grid problem");
+        let o = aj_core::SolveOptions {
+            tol: 1e-6,
+            max_iterations: 2000,
+            seed: opts.seed,
+            method: aj_core::spec::parse_method("richardson2:omega=auto").expect("method"),
+            faults: Some(aj_core::dmsim::fault::FaultPlan::new(opts.seed).with_link(
+                aj_core::dmsim::fault::LinkFault {
+                    latency_factor: 8.0,
+                    ..aj_core::dmsim::fault::LinkFault::everywhere()
+                },
+            )),
+            control: aj_core::spec::parse_control(control).expect("control selector"),
+            ..Default::default()
+        };
+        let backend = aj_core::Backend::SimDistributed {
+            ranks: 16,
+            asynchronous: true,
+            detect: false,
+        };
+        let rep = aj_core::solve(&gp, backend, &o).expect("rescue solve");
+        let decisions = rep.control.as_ref().map_or(0, |c| c.decisions.len());
+        (rep.converged, rep.final_residual, decisions)
+    };
+    let (off_converged, off_resid, _) = rescue_run("off");
+    let (on_converged, on_resid, on_decisions) = rescue_run("on");
+
     let json = format!(
-        "{{\n  \"description\": \"dmsim wall-clock baselines (fig5: median of {REPS} runs; dist: min of 11 interleaved runs, seconds; overhead: median of 9 paired obs/off ratios at 240 iterations; sweep_kernel: min-of-9 µs per whole-matrix block sweep on thermomech_dm:tiny; outer: median of {REPS} vcycle/fcg solves wrapping the async shmem sim on grid:31x31 to 1e-8)\",\n  \"fig5_quick_seconds\": {fig5:.4},\n  \"dist_async_256r_60it_seconds\": {fig7:.4},\n  \"dist_async_256r_60it_obs_sampled16_seconds\": {fig7_obs:.4},\n  \"obs_overhead_frac\": {overhead:.4},\n  \"sweep_kernel_csr_us\": {k_csr:.2},\n  \"sweep_kernel_sellc8_us\": {k_sellc:.2},\n  \"sweep_kernel_rcm_blocked_us\": {k_rcm:.2},\n  \"sweep_kernel_sellc8_speedup\": {sellc_speedup:.3},\n  \"sweep_kernel_rcm_blocked_speedup\": {rcm_speedup:.3},\n  \"outer_vcycle_grid31_seconds\": {vcycle_secs:.4},\n  \"outer_vcycle_grid31_cycles\": {vcycle_cycles},\n  \"outer_fcg_grid31_seconds\": {fcg_secs:.4},\n  \"outer_fcg_grid31_iters\": {fcg_iters}\n}}\n"
+        "{{\n  \"description\": \"dmsim wall-clock baselines (fig5: median of {REPS} runs; dist: min of 11 interleaved runs, seconds; overhead: median of 9 paired obs/off ratios at 240 iterations; sweep_kernel: min-of-9 µs per whole-matrix block sweep on thermomech_dm:tiny; outer: median of {REPS} vcycle/fcg solves wrapping the async shmem sim on grid:31x31 to 1e-8; rescue: seeded grid:16x16 dist-async x16 momentum divergence, controller off vs on)\",\n  \"fig5_quick_seconds\": {fig5:.4},\n  \"dist_async_256r_60it_seconds\": {fig7:.4},\n  \"dist_async_256r_60it_obs_sampled16_seconds\": {fig7_obs:.4},\n  \"obs_overhead_frac\": {overhead:.4},\n  \"sweep_kernel_csr_us\": {k_csr:.2},\n  \"sweep_kernel_sellc8_us\": {k_sellc:.2},\n  \"sweep_kernel_rcm_blocked_us\": {k_rcm:.2},\n  \"sweep_kernel_sellc8_speedup\": {sellc_speedup:.3},\n  \"sweep_kernel_rcm_blocked_speedup\": {rcm_speedup:.3},\n  \"outer_vcycle_grid31_seconds\": {vcycle_secs:.4},\n  \"outer_vcycle_grid31_cycles\": {vcycle_cycles},\n  \"outer_fcg_grid31_seconds\": {fcg_secs:.4},\n  \"outer_fcg_grid31_iters\": {fcg_iters},\n  \"rescue_off_converged\": {off_converged},\n  \"rescue_off_residual\": {off_resid:.3e},\n  \"rescue_on_converged\": {on_converged},\n  \"rescue_on_residual\": {on_resid:.3e},\n  \"rescue_on_decisions\": {on_decisions}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write baseline JSON");
     print!("{json}");
@@ -198,6 +236,25 @@ fn main() {
             eprintln!(
                 "outer guard FAILED: fcg took {fcg_iters} iterations on grid:31x31 \
                  (> 300 cap)"
+            );
+            failed = true;
+        }
+        // The rescue pair is seeded-deterministic: uncontrolled momentum
+        // must blow the budget, the controller must reach the tolerance.
+        // Either side flipping means the stall detector or the ω/β
+        // adaptation regressed.
+        if off_converged {
+            eprintln!(
+                "rescue guard FAILED: uncontrolled richardson2 converged under the \
+                 degraded-link fault (the scenario no longer stresses the controller)"
+            );
+            failed = true;
+        }
+        if !on_converged || on_decisions == 0 {
+            eprintln!(
+                "rescue guard FAILED: controlled run converged={on_converged} with \
+                 {on_decisions} decisions (residual {on_resid:.3e}); the controller \
+                 failed to rescue the stalled solve"
             );
             failed = true;
         }

@@ -18,6 +18,14 @@
 //!   saturating client can't apply; queueing (and shedding, once the
 //!   admission queue fills) shows up in the latency tail.
 //!
+//! `--workload streaming` replaces both modes with the streaming-session
+//! driver: long-lived sessions solve the same cached problem with a
+//! drifting right-hand side, warm-starting each solve from the previous
+//! fixed point. Latencies are split cold (first solve of a session) vs
+//! warm (every later solve, confirmed by the wire's `warm_started` flag),
+//! and `--guard` requires the warm-start speedup — cold p50 over warm p50
+//! — to be at least 1.3x, plus exactly one plan build across the stream.
+//!
 //! Latencies are recorded client-side into `aj-obs` histograms; p50/p99 are
 //! bucket-midpoint quantiles from them. The server's own snapshot is
 //! fetched at the end for the cache hit ratio and the server-side
@@ -90,6 +98,10 @@ enum Workload {
     /// `dist-async`/`dist-sync` ×256), 2 seeds — the dmsim baseline
     /// workload pushed through the service.
     Dist256,
+    /// Long-lived streaming sessions over one cached plan: each session
+    /// solves a drifting-`b` sequence, warm-starting from the previous
+    /// fixed point (protocol v3 `session`/`perturb_*` fields).
+    Streaming,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -161,7 +173,12 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.workload = match value("--workload")?.as_str() {
                     "mixed" => Workload::Mixed,
                     "dist256" => Workload::Dist256,
-                    other => return Err(format!("unknown workload {other} (mixed | dist256)")),
+                    "streaming" => Workload::Streaming,
+                    other => {
+                        return Err(format!(
+                            "unknown workload {other} (mixed | dist256 | streaming)"
+                        ))
+                    }
                 }
             }
             other => return Err(format!("unknown option {other}")),
@@ -170,6 +187,11 @@ fn parse_cli() -> Result<Cli, String> {
     if cli.quick {
         cli.jobs = cli.jobs.min(60);
         cli.conns = cli.conns.min(3);
+    }
+    if cli.chaos.is_some() && cli.workload == Workload::Streaming {
+        // Sessions are in-memory only; a kill/restart chaos run would just
+        // measure cold starts. Keep the two acceptance harnesses separate.
+        return Err("--chaos does not combine with --workload streaming".into());
     }
     Ok(cli)
 }
@@ -227,6 +249,10 @@ fn job_spec(workload: Workload, k: usize, method: &str, outer: &str) -> JobSpec 
             tol: 1e-4,
             ..Default::default()
         },
+        // Streaming never reaches the mixed request generator: `run`
+        // branches into `run_streaming` first, and parse_cli rejects the
+        // chaos combination.
+        Workload::Streaming => unreachable!("streaming workload has its own driver"),
     };
     JobSpec {
         method: method.into(),
@@ -477,6 +503,365 @@ fn mode_json(name: &str, t: &Tally, extra: &str) -> String {
         quantile_ms(&t.latency_us, 0.5),
         quantile_ms(&t.latency_us, 0.99),
     )
+}
+
+// ---------------------------------------------------------------------------
+// Streaming workload: warm-start sessions over one cached plan
+// ---------------------------------------------------------------------------
+
+/// One solve of a streaming session. Every request in the run shares one
+/// plan-cache key (same matrix/backend/method/seed), so the whole stream
+/// rebuilds the plan exactly once; each solve drifts `b` by 0.1%
+/// deterministically in the perturb seed, small enough that the previous
+/// fixed point lands several residual decades closer than the cold `x0`.
+/// The grid is big enough (1024 unknowns) that solve time dominates the
+/// round trip — on a tiny matrix the saved iterations vanish into
+/// constant wire/queue overhead and the measured speedup is noise.
+fn streaming_spec(session: &str, perturb_seed: u64, method: &str) -> JobSpec {
+    JobSpec {
+        matrix: "grid:32x32".into(),
+        backend: "sync".into(),
+        tol: 1e-8,
+        method: method.into(),
+        session: Some(session.into()),
+        perturb_seed,
+        perturb_scale: 1e-3,
+        ..Default::default()
+    }
+}
+
+/// Streaming accounting: the usual outcome tally, plus cold/warm latency
+/// split by the server-confirmed `warm_started` flag and a check that
+/// session ordinals arrive in exactly the order the client drove them.
+#[derive(Debug)]
+struct StreamTally {
+    sent: u64,
+    done: u64,
+    converged: u64,
+    failed: u64,
+    shed: u64,
+    warm: u64,
+    /// Responses whose `session_solve`/`warm_started` disagreed with the
+    /// client-side solve order — any nonzero count fails accounting.
+    ordinal_errors: u64,
+    cold_latency_us: Histogram,
+    warm_latency_us: Histogram,
+    /// Smallest initial residual any cold start saw, and the largest any
+    /// warm start saw: warm max below cold min is the warm-start claim.
+    cold_initial_residual_min: f64,
+    warm_initial_residual_max: f64,
+    wall: Duration,
+}
+
+impl StreamTally {
+    fn new() -> StreamTally {
+        StreamTally {
+            sent: 0,
+            done: 0,
+            converged: 0,
+            failed: 0,
+            shed: 0,
+            warm: 0,
+            ordinal_errors: 0,
+            cold_latency_us: Histogram::default(),
+            warm_latency_us: Histogram::default(),
+            cold_initial_residual_min: f64::INFINITY,
+            warm_initial_residual_max: 0.0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    fn absorb(&mut self, resp: &Response, latency: Duration, expect: u64) -> Result<(), String> {
+        match resp {
+            Response::Done { id, result } => {
+                self.done += 1;
+                self.converged += result.converged as u64;
+                if result.session_solve != Some(expect) || result.warm_started != (expect > 1) {
+                    eprintln!(
+                        "job {id}: expected session solve {expect} (warm {}), server says \
+                         {:?} (warm {})",
+                        expect > 1,
+                        result.session_solve,
+                        result.warm_started
+                    );
+                    self.ordinal_errors += 1;
+                }
+                if result.warm_started {
+                    self.warm += 1;
+                    self.warm_latency_us.record(latency.as_micros() as u64);
+                    self.warm_initial_residual_max =
+                        self.warm_initial_residual_max.max(result.initial_residual);
+                } else {
+                    self.cold_latency_us.record(latency.as_micros() as u64);
+                    self.cold_initial_residual_min =
+                        self.cold_initial_residual_min.min(result.initial_residual);
+                }
+            }
+            Response::Shed { .. } => self.shed += 1,
+            Response::Failed { id, error } => {
+                eprintln!("job {id} failed: {error}");
+                self.failed += 1;
+            }
+            other => return Err(format!("unexpected response {other:?}")),
+        }
+        Ok(())
+    }
+
+    fn answered(&self) -> u64 {
+        self.done + self.failed + self.shed
+    }
+
+    fn merge(&mut self, t: StreamTally) {
+        self.sent += t.sent;
+        self.done += t.done;
+        self.converged += t.converged;
+        self.failed += t.failed;
+        self.shed += t.shed;
+        self.warm += t.warm;
+        self.ordinal_errors += t.ordinal_errors;
+        self.cold_latency_us.merge(&t.cold_latency_us);
+        self.warm_latency_us.merge(&t.warm_latency_us);
+        self.cold_initial_residual_min = self
+            .cold_initial_residual_min
+            .min(t.cold_initial_residual_min);
+        self.warm_initial_residual_max = self
+            .warm_initial_residual_max
+            .max(t.warm_initial_residual_max);
+    }
+}
+
+/// Drives `sessions` streaming sessions of `solves_per_session` perturbed
+/// solves each across `conns` connections. A session lives entirely on one
+/// connection and its solves run strictly in order — warm starts only make
+/// sense sequentially — while distinct sessions interleave freely.
+fn streaming_loop(
+    addr: &str,
+    sessions: usize,
+    solves_per_session: usize,
+    conns: usize,
+    method: &str,
+    seed: u64,
+) -> Result<StreamTally, String> {
+    // Session names carry the pid so repeat runs against a long-lived
+    // server start fresh sessions instead of resuming an old ordinal.
+    let pid = std::process::id();
+    let started = Instant::now();
+    let tallies: Vec<Result<StreamTally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                scope.spawn(move || -> Result<StreamTally, String> {
+                    let mut conn = Conn::connect(addr)?;
+                    let mut t = StreamTally::new();
+                    for s in (c..sessions).step_by(conns) {
+                        let name = format!("bench-{pid}-{seed}-{s}");
+                        for k in 0..solves_per_session {
+                            let id = (s * solves_per_session + k) as u64;
+                            let sent = Instant::now();
+                            conn.send(&Request::Solve {
+                                id,
+                                spec: streaming_spec(&name, seed.wrapping_add(id), method),
+                            })?;
+                            t.sent += 1;
+                            t.absorb(&conn.recv()?, sent.elapsed(), (k + 1) as u64)?;
+                        }
+                    }
+                    Ok(t)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut total = StreamTally::new();
+    for t in tallies {
+        total.merge(t?);
+    }
+    total.wall = started.elapsed();
+    Ok(total)
+}
+
+/// The streaming acceptance run: drive the sessions, then check the
+/// accounting identity, the single-plan-build claim, and (under `--guard`)
+/// the warm-start speedup the workload is sold on.
+fn run_streaming(cli: &Cli) -> Result<i32, String> {
+    let embedded = if cli.embed {
+        let service = SolveService::start(ServiceConfig {
+            workers: 4,
+            queue_cap: 32,
+            cache_cap: 8,
+            ..Default::default()
+        });
+        Some(Arc::new(Server::bind("127.0.0.1:0", service)?))
+    } else {
+        None
+    };
+    let addr = match &embedded {
+        Some(server) => server.addr().to_string(),
+        None => cli.addr.clone(),
+    };
+    let server_thread = embedded.as_ref().map(|server| {
+        let server = Arc::clone(server);
+        std::thread::spawn(move || server.run())
+    });
+
+    let conns = cli.conns.max(1);
+    let sessions = (conns * 2).min(cli.jobs.max(1));
+    let solves_per_session = (cli.jobs / sessions).max(2);
+    eprintln!(
+        "serve_load streaming: {sessions} sessions x {solves_per_session} solves against \
+         {addr} ({conns} conns)"
+    );
+    let t = streaming_loop(
+        &addr,
+        sessions,
+        solves_per_session,
+        conns,
+        &cli.method,
+        cli.seed,
+    )?;
+    let stats = fetch_stats(&addr)?;
+
+    if cli.shutdown || cli.embed {
+        let mut conn = Conn::connect(&addr)?;
+        conn.send(&Request::Shutdown { drain: true })?;
+        match conn.recv()? {
+            Response::ShuttingDown => {}
+            other => return Err(format!("expected shutdown ack, got {other:?}")),
+        }
+    }
+    if let Some(h) = server_thread {
+        h.join().map_err(|_| "server thread panicked")??;
+    }
+
+    let mut ok = true;
+    if t.answered() != t.sent {
+        eprintln!(
+            "ACCOUNTING FAILED (streaming): {} submitted but only {} answered",
+            t.sent,
+            t.answered()
+        );
+        ok = false;
+    }
+    if t.ordinal_errors > 0 {
+        eprintln!(
+            "ACCOUNTING FAILED (streaming): {} responses broke session solve order",
+            t.ordinal_errors
+        );
+        ok = false;
+    }
+
+    let counter = |k: &str| stats.counters.get(k).copied().unwrap_or(0);
+    let plan_builds = counter("plan_cache_misses");
+    let cold_p50 = quantile_ms(&t.cold_latency_us, 0.5);
+    let warm_p50 = quantile_ms(&t.warm_latency_us, 0.5);
+    let warm_speedup = if warm_p50 > 0.0 {
+        cold_p50 / warm_p50
+    } else {
+        0.0
+    };
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\n  \"description\": \"serve_load streaming workload: {sessions} sessions x \
+         {solves_per_session} solves of grid:32x32/sync at tol 1e-8 over {conns} conns, b drifting \
+         0.1% per solve; warm starts resume from the previous fixed point over one cached \
+         plan; latencies are client-side aj-obs histogram midpoints\",\n  \"quick\": {},\n",
+        cli.quick
+    ));
+    json.push_str("  \"streaming\": {\n");
+    json.push_str(&format!("    \"sessions\": {sessions},\n"));
+    json.push_str(&format!(
+        "    \"solves_per_session\": {solves_per_session},\n"
+    ));
+    json.push_str(&format!("    \"jobs\": {},\n", t.sent));
+    json.push_str(&format!("    \"completed\": {},\n", t.done));
+    json.push_str(&format!("    \"converged\": {},\n", t.converged));
+    json.push_str(&format!("    \"failed\": {},\n", t.failed));
+    json.push_str(&format!("    \"shed\": {},\n", t.shed));
+    json.push_str(&format!("    \"warm_solves\": {},\n", t.warm));
+    json.push_str(&format!("    \"cold_solves\": {},\n", t.done - t.warm));
+    json.push_str(&format!(
+        "    \"wall_seconds\": {:.4},\n",
+        t.wall.as_secs_f64()
+    ));
+    json.push_str(&format!("    \"cold_p50_ms\": {cold_p50:.3},\n"));
+    json.push_str(&format!(
+        "    \"cold_p99_ms\": {:.3},\n",
+        quantile_ms(&t.cold_latency_us, 0.99)
+    ));
+    json.push_str(&format!("    \"warm_p50_ms\": {warm_p50:.3},\n"));
+    json.push_str(&format!(
+        "    \"warm_p99_ms\": {:.3},\n",
+        quantile_ms(&t.warm_latency_us, 0.99)
+    ));
+    json.push_str(&format!("    \"warm_speedup\": {warm_speedup:.3},\n"));
+    json.push_str(&format!(
+        "    \"cold_initial_residual_min\": {:.3e},\n",
+        if t.cold_initial_residual_min.is_finite() {
+            t.cold_initial_residual_min
+        } else {
+            0.0
+        }
+    ));
+    json.push_str(&format!(
+        "    \"warm_initial_residual_max\": {:.3e}\n",
+        t.warm_initial_residual_max
+    ));
+    json.push_str("  },\n  \"server\": {\n");
+    json.push_str(&format!("    \"plan_builds\": {plan_builds},\n"));
+    json.push_str(&format!(
+        "    \"cache_hit_ratio\": {:.4},\n",
+        stats
+            .gauges
+            .get("plan_cache_hit_ratio")
+            .copied()
+            .unwrap_or(0.0)
+    ));
+    json.push_str(&format!(
+        "    \"solve_p50_us\": {:.0}\n",
+        stats
+            .histograms
+            .get("serve/solve_us")
+            .map_or(0.0, |h| quantile_ms(h, 0.5) * 1000.0)
+    ));
+    json.push_str("  }\n}\n");
+    std::fs::write(&cli.out, &json).map_err(|e| format!("write {}: {e}", cli.out))?;
+    print!("{json}");
+    eprintln!("wrote {}", cli.out);
+
+    if !ok {
+        return Ok(EXIT_RUNTIME);
+    }
+    if t.done == 0 {
+        return Ok(if t.shed > 0 { EXIT_SHED } else { EXIT_RUNTIME });
+    }
+    if cli.guard {
+        if t.failed > 0 || t.converged != t.done {
+            eprintln!(
+                "guard FAILED: {} failed, {} of {} converged",
+                t.failed, t.converged, t.done
+            );
+            return Ok(EXIT_RUNTIME);
+        }
+        // Every request shares one plan-cache key, so builds are bounded
+        // by the startup race: the cache deliberately lets concurrent
+        // first-misses both build (the loser adopts the winner's entry),
+        // which caps builds at one per connection. Anything above that
+        // means the stream rebuilt a warm plan.
+        if plan_builds > conns as u64 {
+            eprintln!(
+                "guard FAILED: {plan_builds} plan builds on a single-plan stream \
+                 ({conns} conns)"
+            );
+            return Ok(EXIT_RUNTIME);
+        }
+        if warm_speedup < 1.3 {
+            eprintln!(
+                "guard FAILED: warm-start speedup {warm_speedup:.3} < 1.3 \
+                 (cold p50 {cold_p50:.3} ms, warm p50 {warm_p50:.3} ms)"
+            );
+            return Ok(EXIT_RUNTIME);
+        }
+    }
+    Ok(0)
 }
 
 // ---------------------------------------------------------------------------
@@ -895,6 +1280,9 @@ fn run() -> Result<i32, String> {
     if cli.chaos.is_some() {
         return chaos_kill_restart(&cli);
     }
+    if cli.workload == Workload::Streaming {
+        return run_streaming(&cli);
+    }
 
     // --embed: self-contained run against an in-process server on an
     // ephemeral port (same TCP path, no second process to manage).
@@ -998,6 +1386,7 @@ fn run() -> Result<i32, String> {
         Workload::Dist256 => {
             "suite:thermomech_dm:tiny at 256 ranks (dist-async/dist-sync, 2 seeds)"
         }
+        Workload::Streaming => unreachable!("streaming workload has its own driver"),
     };
     let json = format!(
         "{{\n  \"description\": \"serve_load against aj-serve: closed loop ({} conns) and open loop (seeded Poisson @{} jobs/s), {} jobs each over {}; latencies are client-side aj-obs histogram midpoints\",\n  \"quick\": {},\n{},\n{},\n  \"server\": {{\n    \"cache_hit_ratio\": {:.4},\n    \"cache_evictions\": {},\n    \"queue_p50_us\": {:.0},\n    \"solve_p50_us\": {:.0}\n  }}\n}}\n",

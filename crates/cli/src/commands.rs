@@ -179,6 +179,10 @@ pub fn solve(args: &Args) -> Result<i32, String> {
             None => None,
         },
         outer_plan: None,
+        control: match args.get("control") {
+            Some(selector) => aj_core::spec::parse_control(selector)?,
+            None => None,
+        },
     };
     let threads: usize = args.get_or("threads", 4usize)?;
     let ranks: usize = args.get_or("ranks", 16usize)?;
@@ -231,6 +235,9 @@ pub fn solve(args: &Args) -> Result<i32, String> {
             "outer:     {} · levels {levels} · {} outer iterations · {} inner sweeps",
             o.spec, o.iterations, o.inner_sweeps
         );
+    }
+    if let Some(c) = &report.control {
+        println!("control:   {}", c.summary());
     }
     if let Some(c) = &report.comm {
         let mut line = format!("comm:      {} puts, {} values", c.puts, c.values);

@@ -79,6 +79,17 @@ SOLVE OPTIONS:
                       cases: `--matrix suite:Dubcova2 --backend sim-async
                       --outer vcycle` converges where standalone async
                       Jacobi blows up)
+  --control C        online controller closing the loop from the monitor
+                     into the running solve (default off):
+                       off | on[:window=<W>][:low=<R>][:high=<R>]
+                            [:patience=<K>][:stall=<D>][:shed=<R>]
+                            [:rescue=<on|off>]
+                     (asynchronous engines only — async-threads,
+                      sim-async, dist-async; adapts ω/β from observed
+                      staleness-at-use, switches momentum off on stall,
+                      sheds persistently slow workers past shed=R, and
+                      escalates a stalled run to an outer V-cycle rescue.
+                      Conflicts with --outer)
   --seed S           workload seed                     (default 2018)
   --detect           use the distributed termination-detection protocol
   --staleness T      presume a rank dead after T without a report

@@ -4,15 +4,16 @@
 //! me the history" can use [`solve`] instead of learning each sub-crate's
 //! API. The figure benches drive the sub-crates directly for fine control.
 
-use crate::outer::{run_outer, Hierarchy, OuterReport, OuterSpec};
+use crate::outer::{run_outer, Hierarchy, OuterKind, OuterReport, OuterSpec};
 use crate::problem::Problem;
+use aj_control::{ControlConfig, ControlSpec, ControlStats};
 use aj_dmsim::monitor::CommVolume;
 use aj_dmsim::shmem_sim::{run_shmem_async, run_shmem_sync, ShmemSimConfig};
 use aj_dmsim::{
     run_dist_async_plan, run_dist_sync_plan, DistConfig, FaultPlan, FaultStats,
     TerminationProtocol, TerminationStats,
 };
-use aj_linalg::method::{method_solve, Method, ResolvedMethod};
+use aj_linalg::method::{method_solve, Method, ResolvedMethod, SafeInterval};
 use aj_linalg::vecops::Norm;
 use aj_linalg::{krylov, sweeps, StorageFormat};
 use aj_net::{run_net, NetConfig};
@@ -135,6 +136,16 @@ pub struct SolveOptions {
     /// cache passes a cached one to skip the O(levels·nnz) coarsening on
     /// repeat solves.
     pub outer_plan: Option<Arc<Hierarchy>>,
+    /// Closed-loop controller (see [`aj_control`] and
+    /// [`crate::spec::parse_control`]): adapts ω/β toward the delay-safe
+    /// window from observed staleness, switches a stalled momentum method
+    /// to first-order, sheds persistently stale workers, and can request an
+    /// outer rescue that [`solve`] honours by re-running under the default
+    /// V-cycle. Honoured by the asynchronous engines (real threads and both
+    /// simulators' async modes) and rejected elsewhere. `None` — the
+    /// default — keeps every backend bit-identical to its uncontrolled
+    /// form.
+    pub control: Option<ControlConfig>,
 }
 
 impl Default for SolveOptions {
@@ -154,6 +165,7 @@ impl Default for SolveOptions {
             plan: None,
             outer: None,
             outer_plan: None,
+            control: None,
         }
     }
 }
@@ -197,6 +209,10 @@ pub struct SolveReport {
     /// total) when [`SolveOptions::outer`] was set; `None` on standalone
     /// runs.
     pub outer: Option<OuterReport>,
+    /// Controller decision record (decisions, final parameters, shed
+    /// workers) when [`SolveOptions::control`] was set; `None` on
+    /// uncontrolled runs.
+    pub control: Option<ControlStats>,
 }
 
 /// Solves `p` with the chosen backend.
@@ -221,6 +237,34 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
     }
     if opts.pace_us.is_some() && !matches!(backend, Backend::Net { .. }) {
         return Err("sweep pacing (--pace) applies to the net backend only".into());
+    }
+    if opts.control.is_some() {
+        if opts.outer.is_some() {
+            return Err(
+                "--control conflicts with --outer: inner solves run fixed sweep counts, \
+                 so there is no convergence loop for the controller to observe \
+                 (a controller-requested rescue escalates to --outer by itself)"
+                    .into(),
+            );
+        }
+        if !matches!(
+            backend,
+            Backend::AsyncThreads { .. }
+                | Backend::SimShared {
+                    asynchronous: true,
+                    ..
+                }
+                | Backend::SimDistributed {
+                    asynchronous: true,
+                    ..
+                }
+        ) {
+            return Err(
+                "the controller (--control) applies to the asynchronous engines only \
+                 (real threads and the simulators' async modes)"
+                    .into(),
+            );
+        }
     }
     // Plan-time storage-format auto-selection: `format=auto` measures the
     // matrix's row-length statistics and picks the cheapest bit-compatible
@@ -271,11 +315,31 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
         return Err("a precomputed hierarchy (outer_plan) requires outer=vcycle".into());
     }
     // Resolve the method once against this problem's matrix (free for the
-    // default; `omega=auto` runs the Lanczos spectrum estimate here).
-    let method = opts
+    // default; `omega=auto` runs the Lanczos spectrum estimate here). The
+    // resolution also records the SPD-safe (ω, β) interval the estimate
+    // implies, which the controller clamps against.
+    let resolution = opts
         .method
-        .resolve(&p.a, opts.seed)
+        .resolve_full(&p.a, opts.seed)
         .map_err(|e| format!("method {}: {e}", opts.method.name()))?;
+    let method = resolution.method;
+    // The controller needs the safe interval even when the method resolved
+    // without a spectrum estimate (fixed parameters, plain Jacobi): run the
+    // estimate at plan time so the in-loop controller never does.
+    let control_spec = match &opts.control {
+        Some(cfg) => {
+            let interval = match resolution.interval {
+                Some(iv) => iv,
+                None => SafeInterval::estimate(&p.a)
+                    .map_err(|e| format!("control interval estimate: {e}"))?,
+            };
+            Some(ControlSpec {
+                cfg: *cfg,
+                interval,
+            })
+        }
+        None => None,
+    };
     if !matches!(method, ResolvedMethod::Jacobi)
         && matches!(backend, Backend::GaussSeidel | Backend::ConjugateGradient)
     {
@@ -319,6 +383,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             faults: None,
             metrics: None,
             outer: None,
+            control: None,
         }
     };
     let rep: Result<SolveReport, String> = match backend {
@@ -431,6 +496,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
                 method,
                 format,
                 obs: opts.obs,
+                control: control_spec,
                 ..Default::default()
             };
             let out = aj_shmem::solver::run(&p.a, &p.b, &p.x0, &cfg);
@@ -440,6 +506,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
                 out.residual_history,
             );
             rep.metrics = out.obs;
+            rep.control = out.control;
             Ok(rep)
         }
         Backend::SimShared {
@@ -454,6 +521,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             cfg.method = method;
             cfg.format = format;
             cfg.obs = opts.obs;
+            cfg.control = control_spec;
             let out = if asynchronous {
                 run_shmem_async(&p.a, &p.b, &p.x0, &cfg)
             } else {
@@ -467,6 +535,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
                 curve,
             );
             rep.metrics = out.obs;
+            rep.control = out.control;
             Ok(rep)
         }
         Backend::SimDistributed {
@@ -501,6 +570,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             }
             if asynchronous {
                 cfg.faults = opts.faults.clone();
+                cfg.control = control_spec;
             }
             let out = if asynchronous {
                 run_dist_async_plan(&p.a, &p.b, &p.x0, &plan, &cfg)
@@ -518,6 +588,7 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             rep.termination = out.termination;
             rep.faults = out.faults;
             rep.metrics = out.obs;
+            rep.control = out.control;
             Ok(rep)
         }
         Backend::Net { ranks } => {
@@ -580,7 +651,39 @@ pub fn solve(p: &Problem, backend: Backend, opts: &SolveOptions) -> Result<Solve
             Ok(rep)
         }
     };
-    Ok(stamp_auto(rep?))
+    let rep = stamp_auto(rep?);
+    // Controller-requested rescue: the stalled standalone run is abandoned
+    // and the solve escalates to the default V-cycle outer around the same
+    // backend (control off — the outer loop owns convergence from here).
+    // The stalled run's decision record is kept on the rescued report so
+    // callers see why the escalation happened.
+    if let Some(stats) = &rep.control {
+        if stats.rescue_requested && !rep.converged {
+            if opts.faults.as_ref().is_some_and(|f| !f.is_empty()) {
+                // Outer solves reject fault plans; surface the stalled run
+                // and its decision record rather than silently dropping
+                // the faults for the rescue.
+                return Ok(rep);
+            }
+            let mut rescue_opts = opts.clone();
+            rescue_opts.control = None;
+            // The stalled method is abandoned; the V-cycle's smoother is
+            // the outer selector's own (spectrum-damped Richardson).
+            rescue_opts.method = Method::Jacobi;
+            rescue_opts.outer = Some(OuterSpec {
+                kind: OuterKind::VCycle {
+                    levels: None,
+                    steps: OuterSpec::DEFAULT_STEPS,
+                },
+                smooth: OuterSpec::default_smooth(),
+            });
+            let mut rescued = solve(p, backend, &rescue_opts)?;
+            rescued.backend = format!("{} → rescue: {}", rep.backend, rescued.backend);
+            rescued.control = rep.control;
+            return Ok(rescued);
+        }
+    }
+    Ok(rep)
 }
 
 #[cfg(test)]

@@ -423,6 +423,7 @@ pub(crate) fn run_outer(
         termination: None,
         faults: None,
         metrics,
+        control: None,
         outer: Some(OuterReport {
             spec: spec.to_spec(),
             levels,

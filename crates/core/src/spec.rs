@@ -268,6 +268,150 @@ pub fn parse_format(selector: &str) -> Result<StorageFormat, String> {
     }
 }
 
+/// The accepted controller grammar, quoted in full by every rejection
+/// (same contract as [`METHOD_GRAMMAR`]). Staleness thresholds (`low`,
+/// `high`, `shed`) are ratios in units of the fastest worker's sweep
+/// period; `stall` is the minimum residual decades per observation the
+/// stall detector demands over its window.
+pub const CONTROL_GRAMMAR: &str = "off | on[:window=<W>][:low=<R>][:high=<R>]\
+     [:patience=<K>][:stall=<D>][:shed=<R>][:rescue=<on|off>]";
+
+fn control_err(selector: &str, what: &str) -> String {
+    format!("bad control selector '{selector}': {what} (grammar: {CONTROL_GRAMMAR})")
+}
+
+/// Parses a closed-loop controller selector (`off`, `on`,
+/// `on:window=12:high=24:rescue=off`, …) into an optional
+/// [`aj_control::ControlConfig`] — `None` means the controller is off and
+/// every engine stays bit-identical to its uncontrolled form. A leading
+/// `control=` is accepted so full spec fragments pass through verbatim.
+///
+/// Every rejection reports the *full* selector string and the accepted
+/// grammar, not just the offending key.
+pub fn parse_control(selector: &str) -> Result<Option<aj_control::ControlConfig>, String> {
+    let spec = selector.strip_prefix("control=").unwrap_or(selector);
+    if spec.is_empty() {
+        return Err(control_err(selector, "empty control selector"));
+    }
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default();
+    let mut kv: Vec<(&str, &str)> = Vec::new();
+    for part in parts {
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(control_err(
+                selector,
+                &format!("expected key=value, got '{part}'"),
+            ));
+        };
+        if kv.iter().any(|&(seen, _)| seen == k) {
+            return Err(control_err(selector, &format!("duplicate key '{k}'")));
+        }
+        kv.push((k, v));
+    }
+    match name {
+        "off" => {
+            if let Some(&(k, _)) = kv.first() {
+                return Err(control_err(
+                    selector,
+                    &format!("'off' takes no keys, got '{k}'"),
+                ));
+            }
+            return Ok(None);
+        }
+        "on" => {}
+        other => Err(control_err(
+            selector,
+            &format!("unknown control mode '{other}'"),
+        ))?,
+    }
+    const ALLOWED: [&str; 7] = [
+        "window", "low", "high", "patience", "stall", "shed", "rescue",
+    ];
+    for &(k, _) in &kv {
+        if !ALLOWED.contains(&k) {
+            return Err(control_err(
+                selector,
+                &format!("unknown key '{k}' (allowed: {})", ALLOWED.join(", ")),
+            ));
+        }
+    }
+    let lookup = |key: &str| kv.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+    let parse_f64 = |key: &str, v: &str| -> Result<f64, String> {
+        v.parse::<f64>()
+            .map_err(|_| control_err(selector, &format!("invalid value '{v}' for key '{key}'")))
+    };
+    let mut cfg = aj_control::ControlConfig::default();
+    if let Some(v) = lookup("window") {
+        cfg.window = v
+            .parse::<usize>()
+            .map_err(|_| control_err(selector, &format!("invalid value '{v}' for key 'window'")))?;
+        if cfg.window < 2 {
+            return Err(control_err(
+                selector,
+                &format!("window must be at least 2, got {}", cfg.window),
+            ));
+        }
+    }
+    if let Some(v) = lookup("low") {
+        cfg.low = parse_f64("low", v)?;
+    }
+    if let Some(v) = lookup("high") {
+        cfg.high = parse_f64("high", v)?;
+    }
+    if !(cfg.low > 0.0 && cfg.high > cfg.low) {
+        return Err(control_err(
+            selector,
+            &format!(
+                "staleness regimes need 0 < low < high, got low={} high={}",
+                cfg.low, cfg.high
+            ),
+        ));
+    }
+    if let Some(v) = lookup("patience") {
+        let p = v.parse::<u32>().map_err(|_| {
+            control_err(selector, &format!("invalid value '{v}' for key 'patience'"))
+        })?;
+        if p == 0 {
+            return Err(control_err(selector, "patience must be at least 1"));
+        }
+        cfg.patience = p;
+    }
+    if let Some(v) = lookup("stall") {
+        cfg.stall_decades = parse_f64("stall", v)?;
+        if cfg.stall_decades.is_nan() || cfg.stall_decades < 0.0 {
+            return Err(control_err(
+                selector,
+                &format!("stall decades must be ≥ 0, got {}", cfg.stall_decades),
+            ));
+        }
+    }
+    if let Some(v) = lookup("shed") {
+        cfg.shed_after = parse_f64("shed", v)?;
+        if cfg.shed_after.is_nan() || cfg.shed_after <= cfg.high {
+            return Err(control_err(
+                selector,
+                &format!(
+                    "shed threshold must exceed high ({}), got {}",
+                    cfg.high, cfg.shed_after
+                ),
+            ));
+        }
+    }
+    if let Some(v) = lookup("rescue") {
+        cfg.rescue = match v {
+            "on" => true,
+            "off" => false,
+            other => {
+                return Err(control_err(
+                    selector,
+                    &format!("rescue must be on|off, got '{other}'"),
+                ));
+            }
+        };
+    }
+    Ok(Some(cfg))
+}
+
 /// The accepted outer-solver grammar, quoted in full by every rejection
 /// (same contract as [`METHOD_GRAMMAR`]). The `smooth=`/`prec=` value is a
 /// full [`METHOD_GRAMMAR`] selector; its `omega`/`beta`/`fraction` keys
@@ -819,6 +963,60 @@ mod tests {
             assert!(err.contains(bad), "error '{err}' must quote '{bad}'");
             assert!(
                 err.contains(FORMAT_GRAMMAR),
+                "error '{err}' must state the grammar"
+            );
+        }
+    }
+
+    #[test]
+    fn control_selectors_parse() {
+        assert_eq!(parse_control("off").unwrap(), None);
+        assert_eq!(parse_control("control=off").unwrap(), None);
+        assert_eq!(
+            parse_control("on").unwrap(),
+            Some(aj_control::ControlConfig::default())
+        );
+        let cfg = parse_control(
+            "control=on:window=12:low=2:high=24:patience=6:stall=0.05:shed=96:rescue=off",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.window, 12);
+        assert_eq!(cfg.low, 2.0);
+        assert_eq!(cfg.high, 24.0);
+        assert_eq!(cfg.patience, 6);
+        assert_eq!(cfg.stall_decades, 0.05);
+        assert_eq!(cfg.shed_after, 96.0);
+        assert!(!cfg.rescue);
+    }
+
+    #[test]
+    fn control_rejections_quote_selector_and_grammar() {
+        // One case per rejection path: empty selector, unknown mode, keys
+        // on 'off', bare key without '=', duplicate key, unknown key, bad
+        // numeric values, degenerate window/regimes/patience, shed below
+        // the high threshold, and a non on|off rescue value.
+        for bad in [
+            "",
+            "control=",
+            "auto",
+            "off:window=4",
+            "on:window",
+            "on:window=4:window=8",
+            "on:gain=2",
+            "on:window=two",
+            "on:window=1",
+            "on:low=0",
+            "on:low=8:high=4",
+            "on:patience=0",
+            "on:stall=-1",
+            "on:shed=8",
+            "on:rescue=maybe",
+        ] {
+            let err = parse_control(bad).unwrap_err();
+            assert!(err.contains(bad), "error '{err}' must quote '{bad}'");
+            assert!(
+                err.contains(CONTROL_GRAMMAR),
                 "error '{err}' must state the grammar"
             );
         }

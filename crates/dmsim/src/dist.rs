@@ -18,9 +18,10 @@ use crate::cost::{CostModel, WorkerJitter, TICK_SCALE};
 use crate::event::EventQueue;
 use crate::fault::{FaultPlan, FaultState, LinkParams};
 use crate::monitor::{ResidualMonitor, SimOutcome};
-use crate::obsrec::EngineObs;
+use crate::obsrec::{decision_kind, EngineObs};
 use crate::shmem_sim::{SimDelay, StopRule};
 use crate::termination::{RootAggregator, TerminationProtocol, TerminationStats};
+use aj_control::{ControlSpec, Controller, Observation};
 use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::vecops::Norm;
 use aj_linalg::{CsrMatrix, StorageFormat, SweepKernel};
@@ -113,6 +114,10 @@ pub struct DistConfig {
     /// queue depth on the monitor's sample grid, and per-rank timelines
     /// into [`SimOutcome::obs`]).
     pub obs: ObsConfig,
+    /// Online controller closing the loop from observed staleness back into
+    /// the running parameters (asynchronous engine only). `None` — the
+    /// default — keeps the engine bit-identical to its uncontrolled form.
+    pub control: Option<ControlSpec>,
 }
 
 impl DistConfig {
@@ -135,6 +140,7 @@ impl DistConfig {
             termination: None,
             faults: None,
             obs: ObsConfig::off(),
+            control: None,
         }
     }
 }
@@ -412,6 +418,16 @@ pub fn run_dist_async_plan(
     } else {
         Vec::new()
     };
+    // Controller state. Staleness is measured as commit age — the tick of a
+    // rank's latest sweep — the same generation-tick definition the
+    // shared-memory engine and the obs histograms use, so the two engines'
+    // decision sequences conform despite different put dynamics.
+    let mut ctrl = config
+        .control
+        .as_ref()
+        .map(|spec| Controller::new(spec.cfg, config.method, config.omega, spec.interval));
+    let mut ctrl_last_commit = vec![0u64; if ctrl.is_some() { nparts } else { 0 }];
+    let mut ctrl_period = vec![0u64; if ctrl.is_some() { nparts } else { 0 }];
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     let schedule_sweep = |queue: &mut EventQueue<Event>,
@@ -498,6 +514,11 @@ pub fn run_dist_async_plan(
 
     let mut now = 0.0f64;
     let mut done = false;
+    // The method/ω actually executed; controller decisions retarget these
+    // mid-run. Without a controller they never change, so every sweep reads
+    // exactly `config.method`/`config.omega` as before.
+    let mut cur_method = config.method;
+    let mut cur_omega = config.omega;
     while let Some(next_tick) = queue.peek_tick() {
         if done || next_tick as f64 / TICK_SCALE > config.max_time {
             break;
@@ -525,14 +546,14 @@ pub fn run_dist_async_plan(
                 // Relax against the freshest window contents as of now.
                 let n_owned = ranks[r].local.n_owned();
                 let swept = match config.local_solve {
-                    LocalSolve::Jacobi => match config.method {
+                    LocalSolve::Jacobi => match cur_method {
                         ResolvedMethod::Jacobi | ResolvedMethod::Richardson1 { .. } => {
                             // Plain and first-order Richardson share one
                             // arm: only ω differs, and the Jacobi path must
                             // keep the exact pre-method arithmetic.
-                            let omega = match config.method {
+                            let omega = match cur_method {
                                 ResolvedMethod::Richardson1 { omega } => omega,
-                                _ => config.omega,
+                                _ => cur_omega,
                             };
                             // Two-phase: all residuals from the same state.
                             sweep_values.clear();
@@ -625,7 +646,7 @@ pub fn run_dist_async_plan(
                         let rank = &mut ranks[r];
                         for row in 0..n_owned {
                             let res = rank.b[row] - rank.local.matrix.row_dot(row, &rank.x);
-                            rank.x[row] += config.omega * rank.local.diag_inv[row] * res;
+                            rank.x[row] += cur_omega * rank.local.diag_inv[row] * res;
                             x_global[rank.local.global_owned[row]] = rank.x[row];
                         }
                         n_owned
@@ -644,6 +665,10 @@ pub fn run_dist_async_plan(
                         o.event(r, tick, SpanKind::SweepEnd);
                     }
                     o.last_sweep_end[r] = Some(tick);
+                }
+                if !ctrl_period.is_empty() {
+                    ctrl_period[r] = tick - ctrl_last_commit[r];
+                    ctrl_last_commit[r] = tick;
                 }
 
                 // One-sided puts toward every neighbour.
@@ -733,6 +758,52 @@ pub fn run_dist_async_plan(
                     // snapped relaxation grid.
                     if monitor.samples().len() > samples_before {
                         o.record_queue_depth(queue.len() as u64);
+                    }
+                }
+                if let Some(c) = ctrl.as_mut() {
+                    if monitor.samples().len() > samples_before {
+                        // Staleness-at-use on the monitor's grid: the oldest
+                        // live rank's commit age in units of the fastest live
+                        // rank's sweep period (see the controller state note
+                        // above for why this conforms with shmem).
+                        let mut fast = u64::MAX;
+                        for v in 0..nparts {
+                            if !c.is_shed(v) && ctrl_period[v] > 0 {
+                                fast = fast.min(ctrl_period[v]);
+                            }
+                        }
+                        let mut worst = 0usize;
+                        let mut staleness = 0.0f64;
+                        if fast != u64::MAX {
+                            for v in 0..nparts {
+                                if c.is_shed(v) {
+                                    continue;
+                                }
+                                let age = (tick - ctrl_last_commit[v]) as f64 / fast as f64;
+                                if age > staleness {
+                                    staleness = age;
+                                    worst = v;
+                                }
+                            }
+                        }
+                        let residual = monitor.samples().last().map_or(f64::NAN, |s| s.residual);
+                        if let Some(d) = c.observe(Observation {
+                            residual,
+                            staleness,
+                            worst,
+                        }) {
+                            let (m, w0) = Controller::retune(cur_method, cur_omega, &d);
+                            cur_method = m;
+                            cur_omega = w0;
+                            if let Some(o) = obs.as_mut() {
+                                o.event(0, tick, decision_kind(&d));
+                            }
+                            if c.rescue_requested() {
+                                // Stop here; the driver escalates to an
+                                // outer rescue.
+                                done = true;
+                            }
+                        }
                     }
                 }
                 match config.stop {
@@ -962,6 +1033,7 @@ pub fn run_dist_async_plan(
         comm,
         faults: fault_state.map(|fs| fs.stats),
         obs: obs_snapshot,
+        control: ctrl.map(Controller::into_stats),
     }
 }
 
@@ -1106,6 +1178,7 @@ pub fn run_dist_sync_plan(
         },
         faults: None,
         obs: None,
+        control: None,
     }
 }
 

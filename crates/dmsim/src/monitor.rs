@@ -46,6 +46,11 @@ pub struct SimOutcome {
     /// counters), when the config's [`aj_obs::ObsConfig`] enabled
     /// recording; `None` for un-instrumented runs.
     pub obs: Option<aj_obs::Snapshot>,
+    /// Closed-loop controller summary (decision timeline, final
+    /// parameters), when a controller was configured; `None` for
+    /// uncontrolled runs — the default, which is bit-identical to the
+    /// pre-controller engines.
+    pub control: Option<aj_control::ControlStats>,
 }
 
 /// Message/volume counters for distributed runs.
@@ -291,6 +296,7 @@ mod tests {
             comm: CommVolume::default(),
             faults: None,
             obs: None,
+            control: None,
         };
         // 10× reduction on a log-linear path from 1 to 1e-2 over t∈[0,10]
         // happens exactly at t = 5.
@@ -332,6 +338,7 @@ mod tests {
             comm: CommVolume::default(),
             faults: None,
             obs: None,
+            control: None,
         };
         assert_eq!(outcome.time_to_reduction(0.1), Some(10.0));
     }
@@ -378,6 +385,7 @@ mod tests {
             comm: CommVolume::default(),
             faults: None,
             obs: None,
+            control: None,
         };
         assert_eq!(outcome.time_to_tolerance(1e-3), Some(3.0));
         assert_eq!(outcome.relaxations_to_tolerance(1e-3), Some(2.0));

@@ -15,7 +15,21 @@
 //! can be cross-validated against each other.
 
 use crate::monitor::CommVolume;
+use aj_control::Decision;
 use aj_obs::{Histogram, ObsConfig, Sampler, Snapshot, SpanKind, Timeline};
+
+/// Timeline span kind for a controller decision. Both simulator engines
+/// stamp decisions on rank 0's timeline through this single mapping so the
+/// cross-engine conformance test can compare event streams verbatim.
+pub(crate) fn decision_kind(d: &Decision) -> SpanKind {
+    match d {
+        Decision::Shrink { .. } => SpanKind::CtrlShrink,
+        Decision::Widen { .. } => SpanKind::CtrlWiden,
+        Decision::Switch { .. } => SpanKind::CtrlSwitch,
+        Decision::Shed { .. } => SpanKind::CtrlShed,
+        Decision::Rescue => SpanKind::CtrlRescue,
+    }
+}
 
 /// Per-run recording state shared by the simulator engines.
 pub(crate) struct EngineObs {

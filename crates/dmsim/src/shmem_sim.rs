@@ -10,7 +10,8 @@
 
 use crate::cost::{CostModel, WorkerJitter, TICK_SCALE};
 use crate::monitor::{ResidualMonitor, SimOutcome};
-use crate::obsrec::EngineObs;
+use crate::obsrec::{decision_kind, EngineObs};
+use aj_control::{ControlSpec, Controller, Observation};
 use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::vecops::Norm;
 use aj_linalg::{CsrMatrix, StorageFormat, SweepKernel};
@@ -76,6 +77,10 @@ pub struct ShmemSimConfig {
     /// engine records per-worker staleness and sweep-period histograms and
     /// timelines into [`SimOutcome::obs`]).
     pub obs: ObsConfig,
+    /// Online controller closing the loop from observed staleness back into
+    /// the running parameters (asynchronous block engine only). `None` — the
+    /// default — keeps the engine bit-identical to its uncontrolled form.
+    pub control: Option<ControlSpec>,
 }
 
 impl ShmemSimConfig {
@@ -95,6 +100,7 @@ impl ShmemSimConfig {
             method: ResolvedMethod::Jacobi,
             format: StorageFormat::Csr,
             obs: ObsConfig::off(),
+            control: None,
         }
     }
 }
@@ -166,6 +172,14 @@ pub fn run_shmem_async(
     // age of a neighbour's data at use is `commit tick − neighbour's last
     // commit tick` (values are visible the instant they commit).
     let mut obs = EngineObs::new(&config.obs, t);
+    // Controller state. Commit-tick tracking is shared with observability:
+    // either consumer being on turns it on; with both off the loop body is
+    // unchanged from the uncontrolled engine.
+    let mut ctrl = config
+        .control
+        .as_ref()
+        .map(|spec| Controller::new(spec.cfg, config.method, config.omega, spec.interval));
+    let track_commits = obs.is_some() || ctrl.is_some();
     let neighbors: Vec<Vec<usize>> = if obs.is_some() {
         let mut owner = vec![0usize; n];
         for (w, r) in ranges.iter().enumerate() {
@@ -191,7 +205,11 @@ pub fn run_shmem_async(
     } else {
         Vec::new()
     };
-    let mut last_commit = vec![0u64; if obs.is_some() { t } else { 0 }];
+    let mut last_commit = vec![0u64; if track_commits { t } else { 0 }];
+    // Last observed commit-to-commit gap per worker; the fastest worker's
+    // gap is the controller's staleness unit (ages are measured in "fastest
+    // sweep periods", the paper's delay scale).
+    let mut period = vec![0u64; if ctrl.is_some() { t } else { 0 }];
 
     // Priority queue of (commit tick, insertion order, worker); the order
     // component keeps simultaneous commits deterministic.
@@ -229,6 +247,11 @@ pub fn run_shmem_async(
     } else {
         Vec::new()
     };
+    // The method/ω actually executed; controller decisions retarget these
+    // mid-run. Without a controller they never change, so every sweep reads
+    // exactly `config.method`/`config.omega` as before.
+    let mut cur_method = config.method;
+    let mut cur_omega = config.omega;
     while let Some(Reverse((tick, _, w))) = queue.pop() {
         if done {
             break;
@@ -241,11 +264,11 @@ pub fn run_shmem_async(
         // available values (just-in-time reads). Two-phase within the
         // block: all residuals from the same state, then all corrections.
         let range = ranges[w].clone();
-        let swept = match config.method {
+        let swept = match cur_method {
             ResolvedMethod::Jacobi | ResolvedMethod::Richardson1 { .. } => {
-                let omega = match config.method {
+                let omega = match cur_method {
                     ResolvedMethod::Richardson1 { omega } => omega,
-                    _ => config.omega,
+                    _ => cur_omega,
                 };
                 let blk = range.len();
                 kernels[w].residuals_into(a, &x, &b[range.clone()], &mut res[..blk]);
@@ -307,9 +330,64 @@ pub fn run_shmem_async(
                 o.event(w, tick, SpanKind::SweepEnd);
             }
             o.last_sweep_end[w] = Some(tick);
+        }
+        if !period.is_empty() {
+            period[w] = tick - last_commit[w];
+        }
+        if track_commits {
             last_commit[w] = tick;
         }
+        let samples_before = if ctrl.is_some() {
+            monitor.samples().len()
+        } else {
+            0
+        };
         let hit_tol = monitor.observe(now, relaxations, &x);
+        if let Some(c) = ctrl.as_mut() {
+            if monitor.samples().len() > samples_before {
+                // Staleness-at-use on the monitor's grid: the oldest live
+                // worker's commit age in units of the fastest live worker's
+                // sweep period — the same coarse quantity both engines can
+                // measure, so decision sequences conform across them.
+                let mut fast = u64::MAX;
+                for v in 0..t {
+                    if !c.is_shed(v) && period[v] > 0 {
+                        fast = fast.min(period[v]);
+                    }
+                }
+                let mut worst = 0usize;
+                let mut staleness = 0.0f64;
+                if fast != u64::MAX {
+                    for v in 0..t {
+                        if c.is_shed(v) {
+                            continue;
+                        }
+                        let age = (tick - last_commit[v]) as f64 / fast as f64;
+                        if age > staleness {
+                            staleness = age;
+                            worst = v;
+                        }
+                    }
+                }
+                let residual = monitor.samples().last().map_or(f64::NAN, |s| s.residual);
+                if let Some(d) = c.observe(Observation {
+                    residual,
+                    staleness,
+                    worst,
+                }) {
+                    let (m, w0) = Controller::retune(cur_method, cur_omega, &d);
+                    cur_method = m;
+                    cur_omega = w0;
+                    if let Some(o) = obs.as_mut() {
+                        o.event(0, tick, decision_kind(&d));
+                    }
+                    if c.rescue_requested() {
+                        // Stop here; the driver escalates to an outer rescue.
+                        done = true;
+                    }
+                }
+            }
+        }
         match config.stop {
             StopRule::Tolerance => {
                 if hit_tol {
@@ -353,6 +431,7 @@ pub fn run_shmem_async(
         comm: Default::default(),
         faults: None,
         obs: obs_snapshot,
+        control: ctrl.map(Controller::into_stats),
     }
 }
 
@@ -575,6 +654,7 @@ fn rowwise_impl(
         comm: Default::default(),
         faults: None,
         obs: None,
+        control: None,
     }
 }
 
@@ -677,6 +757,7 @@ pub fn run_shmem_sync(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemSimCon
         comm: Default::default(),
         faults: None,
         obs: None,
+        control: None,
     }
 }
 

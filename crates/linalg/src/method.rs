@@ -112,51 +112,73 @@ impl Method {
     /// Jacobi-preconditioned operator is not positive definite, or when a
     /// parameter is out of its documented range.
     pub fn resolve(&self, a: &CsrMatrix, seed: u64) -> Result<ResolvedMethod, LinalgError> {
+        Ok(self.resolve_full(a, seed)?.method)
+    }
+
+    /// Like [`Method::resolve`], but also returns the [`SafeInterval`] when
+    /// a spectrum estimate ran, so callers (the static plan path and the
+    /// online controller) can clamp adapted parameters against the same
+    /// window the auto rule was derived from.
+    ///
+    /// Auto-derived parameters are clamped into the interval before being
+    /// recorded; the optimal rules always land strictly inside it, so for a
+    /// healthy estimate the clamp is bit-identical to the PR 5 resolution.
+    ///
+    /// # Errors
+    /// Same contract as [`Method::resolve`].
+    pub fn resolve_full(&self, a: &CsrMatrix, seed: u64) -> Result<Resolution, LinalgError> {
+        let done = |method| Resolution {
+            method,
+            interval: None,
+        };
         match *self {
-            Method::Jacobi => Ok(ResolvedMethod::Jacobi),
-            Method::Richardson1 { omega } => {
-                let omega = match omega {
-                    OmegaSpec::Fixed(w) => check_omega(w)?,
-                    OmegaSpec::Auto => {
-                        let (lo, hi) = preconditioned_extremes(a)?;
-                        2.0 / (lo + hi)
-                    }
-                };
-                Ok(ResolvedMethod::Richardson1 { omega })
-            }
-            Method::Richardson2 { omega, beta } => {
-                let (omega, beta) = match (omega, beta) {
-                    (OmegaSpec::Fixed(w), Some(b)) => (check_omega(w)?, check_beta(b)?),
-                    // Any unresolved parameter needs the spectrum; the
-                    // optimal pair is derived jointly, and a fixed ω keeps
-                    // its value with only β derived.
-                    (spec, b) => {
-                        let (lo, hi) = preconditioned_extremes(a)?;
-                        let (sl, sh) = (lo.sqrt(), hi.sqrt());
-                        let w_opt = (2.0 / (sl + sh)).powi(2);
-                        let b_opt = ((sh - sl) / (sh + sl)).powi(2);
-                        let w = match spec {
-                            OmegaSpec::Fixed(w) => check_omega(w)?,
-                            OmegaSpec::Auto => w_opt,
-                        };
-                        (
-                            w,
-                            match b {
-                                Some(b) => check_beta(b)?,
-                                None => b_opt,
-                            },
-                        )
-                    }
-                };
-                Ok(ResolvedMethod::Richardson2 { omega, beta })
-            }
+            Method::Jacobi => Ok(done(ResolvedMethod::Jacobi)),
+            Method::Richardson1 { omega } => match omega {
+                OmegaSpec::Fixed(w) => Ok(done(ResolvedMethod::Richardson1 {
+                    omega: check_omega(w)?,
+                })),
+                OmegaSpec::Auto => {
+                    let interval = SafeInterval::estimate(a)?;
+                    let (omega, _) = interval.clamp(interval.omega_opt1(), 0.0);
+                    Ok(Resolution {
+                        method: ResolvedMethod::Richardson1 { omega },
+                        interval: Some(interval),
+                    })
+                }
+            },
+            Method::Richardson2 { omega, beta } => match (omega, beta) {
+                (OmegaSpec::Fixed(w), Some(b)) => Ok(done(ResolvedMethod::Richardson2 {
+                    omega: check_omega(w)?,
+                    beta: check_beta(b)?,
+                })),
+                // Any unresolved parameter needs the spectrum; the optimal
+                // pair is derived jointly, and a fixed ω keeps its value
+                // with only β derived.
+                (spec, b) => {
+                    let interval = SafeInterval::estimate(a)?;
+                    let (sl, sh) = (interval.lambda_min.sqrt(), interval.lambda_max.sqrt());
+                    let b_opt = (((sh - sl) / (sh + sl)).powi(2)).min(BETA_CAP);
+                    let beta = match b {
+                        Some(b) => check_beta(b)?,
+                        None => b_opt,
+                    };
+                    let omega = match spec {
+                        OmegaSpec::Fixed(w) => check_omega(w)?,
+                        OmegaSpec::Auto => interval.clamp((2.0 / (sl + sh)).powi(2), beta).0,
+                    };
+                    Ok(Resolution {
+                        method: ResolvedMethod::Richardson2 { omega, beta },
+                        interval: Some(interval),
+                    })
+                }
+            },
             Method::RandomizedResidual { fraction } => {
                 if !(fraction > 0.0 && fraction <= 1.0) {
                     return Err(LinalgError::InvalidStructure(format!(
                         "rwr fraction must lie in (0, 1], got {fraction}"
                     )));
                 }
-                Ok(ResolvedMethod::RandomizedResidual { fraction, seed })
+                Ok(done(ResolvedMethod::RandomizedResidual { fraction, seed }))
             }
         }
     }
@@ -240,6 +262,103 @@ pub fn preconditioned_extremes(a: &CsrMatrix) -> Result<(f64, f64), LinalgError>
         )));
     }
     Ok((ext.min, ext.max))
+}
+
+/// The SPD-safe relaxation window recorded when a method resolves against
+/// a concrete spectrum.
+///
+/// PR 5 resolved `omega=auto` once at plan time from the *synchronous*
+/// spectrum and threw the spectrum away, so nothing downstream could tell
+/// how much headroom the chosen parameters had once asynchronous staleness
+/// shrank the stable window (Chow, Frommer & Szyld). This type keeps the
+/// Lanczos estimate: both the static resolution path and the online
+/// controller clamp against the same interval.
+///
+/// It is a *companion* to [`ResolvedMethod`] rather than a field on it —
+/// resolved methods are `Copy + PartialEq` values hand-constructed all over
+/// the engine tests, and the interval is per-matrix, not per-method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafeInterval {
+    /// Estimated smallest eigenvalue of `D⁻¹A` (positive for SPD).
+    pub lambda_min: f64,
+    /// Estimated largest eigenvalue of `D⁻¹A`.
+    pub lambda_max: f64,
+}
+
+/// Momentum coefficients are capped strictly below the β < 1 stability
+/// boundary so a clamped pair always has contraction margin.
+pub const BETA_CAP: f64 = 0.95;
+
+/// Fraction of the synchronous ω upper bound used as the adaptive floor —
+/// the slowest relaxation the controller will shrink to.
+pub const OMEGA_FLOOR_FRACTION: f64 = 0.05;
+
+impl SafeInterval {
+    /// Estimates the interval for `a` with the same deterministic Lanczos
+    /// run `omega=auto` resolution uses.
+    ///
+    /// # Errors
+    /// Fails when the Jacobi-preconditioned operator is not SPD.
+    pub fn estimate(a: &CsrMatrix) -> Result<SafeInterval, LinalgError> {
+        let (lambda_min, lambda_max) = preconditioned_extremes(a)?;
+        Ok(SafeInterval {
+            lambda_min,
+            lambda_max,
+        })
+    }
+
+    /// Synchronous stability bound on ω for a given momentum β: second-order
+    /// Richardson on an SPD spectrum is stable iff `ω λ_max < 2 (1 + β)`
+    /// (β = 0 recovers the classical `ω < 2/λ_max`).
+    pub fn omega_max(&self, beta: f64) -> f64 {
+        2.0 * (1.0 + beta) / self.lambda_max
+    }
+
+    /// The adaptive lower bound: a small fixed fraction of the β = 0 upper
+    /// bound, so "shrink toward the delay-safe window" terminates at a
+    /// still-productive relaxation weight instead of zero.
+    pub fn omega_min(&self) -> f64 {
+        OMEGA_FLOOR_FRACTION * self.omega_max(0.0)
+    }
+
+    /// The minimax-optimal first-order ω, `2/(λ_min + λ_max)` — the value
+    /// the controller switches a destabilized momentum method down to.
+    pub fn omega_opt1(&self) -> f64 {
+        2.0 / (self.lambda_min + self.lambda_max)
+    }
+
+    /// Whether `(ω, β)` lies inside the safe window.
+    pub fn contains(&self, omega: f64, beta: f64) -> bool {
+        (0.0..=BETA_CAP).contains(&beta)
+            && omega >= self.omega_min()
+            && omega < self.omega_max(beta)
+    }
+
+    /// Clamps `(ω, β)` into the safe window: β first (into `[0, BETA_CAP]`),
+    /// then ω against the bound at the clamped β. Values already inside are
+    /// returned bit-identical.
+    pub fn clamp(&self, omega: f64, beta: f64) -> (f64, f64) {
+        let beta = beta.clamp(0.0, BETA_CAP);
+        // Stay strictly inside the open upper bound: the boundary itself is
+        // the non-contractive edge.
+        let hi = self.omega_max(beta) * (1.0 - f64::EPSILON);
+        (omega.clamp(self.omega_min(), hi), beta)
+    }
+}
+
+/// A resolved method together with the spectrum window it was resolved
+/// against (when a spectrum estimate ran). Produced by
+/// [`Method::resolve_full`]; the plain [`Method::resolve`] discards the
+/// interval for callers that only execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resolution {
+    /// The method with every parameter fixed.
+    pub method: ResolvedMethod,
+    /// The safe window, present whenever resolution estimated the spectrum
+    /// (`omega=auto` or a derived β). `None` means no Lanczos ran; callers
+    /// that need an interval anyway (the controller) use
+    /// [`SafeInterval::estimate`].
+    pub interval: Option<SafeInterval>,
 }
 
 /// A method with every parameter fixed; what the engines execute.
@@ -774,6 +893,113 @@ mod tests {
         for i in 0..10 {
             assert!((with_m[i] - without[i]).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn resolve_full_records_the_lanczos_interval() {
+        let a = unit_laplacian(40);
+        let (lo, hi) = preconditioned_extremes(&a).unwrap();
+        let r = Method::Richardson2 {
+            omega: OmegaSpec::Auto,
+            beta: None,
+        }
+        .resolve_full(&a, 0)
+        .unwrap();
+        let interval = r.interval.expect("auto resolution records the interval");
+        assert_eq!(
+            interval,
+            SafeInterval {
+                lambda_min: lo,
+                lambda_max: hi
+            }
+        );
+        // The auto pair lands strictly inside its own window — the clamp is
+        // a no-op, so resolve() and resolve_full() agree bit-for-bit.
+        match r.method {
+            ResolvedMethod::Richardson2 { omega, beta } => {
+                assert!(interval.contains(omega, beta), "ω={omega} β={beta}");
+                assert!(omega < interval.omega_max(beta));
+            }
+            other => panic!("wrong resolution: {other:?}"),
+        }
+        assert_eq!(
+            r.method,
+            Method::Richardson2 {
+                omega: OmegaSpec::Auto,
+                beta: None,
+            }
+            .resolve(&a, 0)
+            .unwrap()
+        );
+        // Same for first-order auto.
+        let r1 = Method::Richardson1 {
+            omega: OmegaSpec::Auto,
+        }
+        .resolve_full(&a, 0)
+        .unwrap();
+        let i1 = r1.interval.unwrap();
+        match r1.method {
+            ResolvedMethod::Richardson1 { omega } => {
+                assert!(i1.contains(omega, 0.0));
+                assert!((omega - i1.omega_opt1()).abs() == 0.0);
+            }
+            other => panic!("wrong resolution: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_parameters_skip_the_spectrum_estimate() {
+        let a = unit_laplacian(16);
+        for m in [
+            Method::Jacobi,
+            Method::Richardson1 {
+                omega: OmegaSpec::Fixed(0.9),
+            },
+            Method::Richardson2 {
+                omega: OmegaSpec::Fixed(0.9),
+                beta: Some(0.3),
+            },
+            Method::RandomizedResidual { fraction: 0.5 },
+        ] {
+            assert!(
+                m.resolve_full(&a, 0).unwrap().interval.is_none(),
+                "{} should not estimate",
+                m.name()
+            );
+        }
+        // A derived β forces the estimate even at fixed ω.
+        assert!(Method::Richardson2 {
+            omega: OmegaSpec::Fixed(0.9),
+            beta: None,
+        }
+        .resolve_full(&a, 0)
+        .unwrap()
+        .interval
+        .is_some());
+    }
+
+    #[test]
+    fn safe_interval_clamp_is_identity_inside_and_pins_outside() {
+        let interval = SafeInterval {
+            lambda_min: 0.1,
+            lambda_max: 1.9,
+        };
+        // Inside: bit-identical passthrough.
+        let (w, b) = interval.clamp(0.8, 0.4);
+        assert_eq!((w, b), (0.8, 0.4));
+        // Above the momentum-adjusted bound: clamped strictly below it.
+        let hot = interval.omega_max(0.0) * 3.0;
+        let (w, b) = interval.clamp(hot, 0.0);
+        assert!(w < interval.omega_max(0.0) && interval.contains(w, b));
+        // Below the floor: clamped up to it.
+        let (w, _) = interval.clamp(1e-9, 0.0);
+        assert_eq!(w, interval.omega_min());
+        // β beyond the cap: capped, ω re-checked at the capped β.
+        let (w, b) = interval.clamp(1.0, 2.0);
+        assert_eq!(b, BETA_CAP);
+        assert!(interval.contains(w, b));
+        // A larger β widens the ω bound (the 2(1+β)/λmax law).
+        assert!(interval.omega_max(0.9) > interval.omega_max(0.0));
     }
 
     #[test]

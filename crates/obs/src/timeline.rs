@@ -21,6 +21,17 @@ pub enum SpanKind {
     Recover,
     /// A termination-protocol round advanced.
     TermRound,
+    /// The controller shrank the relaxation parameters toward the
+    /// delay-safe floor.
+    CtrlShrink,
+    /// The controller widened the parameters back toward their base.
+    CtrlWiden,
+    /// The controller switched a stalled momentum method to first-order.
+    CtrlSwitch,
+    /// The controller shed a persistently stale worker from its aggregate.
+    CtrlShed,
+    /// The controller requested an outer rescue and stopped the run.
+    CtrlRescue,
 }
 
 impl SpanKind {
@@ -35,6 +46,11 @@ impl SpanKind {
             SpanKind::Crash => "crash",
             SpanKind::Recover => "recover",
             SpanKind::TermRound => "term_round",
+            SpanKind::CtrlShrink => "ctrl_shrink",
+            SpanKind::CtrlWiden => "ctrl_widen",
+            SpanKind::CtrlSwitch => "ctrl_switch",
+            SpanKind::CtrlShed => "ctrl_shed",
+            SpanKind::CtrlRescue => "ctrl_rescue",
         }
     }
 
@@ -49,6 +65,11 @@ impl SpanKind {
             "crash" => SpanKind::Crash,
             "recover" => SpanKind::Recover,
             "term_round" => SpanKind::TermRound,
+            "ctrl_shrink" => SpanKind::CtrlShrink,
+            "ctrl_widen" => SpanKind::CtrlWiden,
+            "ctrl_switch" => SpanKind::CtrlSwitch,
+            "ctrl_shed" => SpanKind::CtrlShed,
+            "ctrl_rescue" => SpanKind::CtrlRescue,
             _ => return None,
         })
     }
@@ -64,6 +85,11 @@ impl SpanKind {
             SpanKind::Crash => 'X',
             SpanKind::Recover => '^',
             SpanKind::TermRound => 'T',
+            SpanKind::CtrlShrink => 'v',
+            SpanKind::CtrlWiden => 'w',
+            SpanKind::CtrlSwitch => 's',
+            SpanKind::CtrlShed => '-',
+            SpanKind::CtrlRescue => 'R',
         }
     }
 }
@@ -169,6 +195,11 @@ mod tests {
             SpanKind::Crash,
             SpanKind::Recover,
             SpanKind::TermRound,
+            SpanKind::CtrlShrink,
+            SpanKind::CtrlWiden,
+            SpanKind::CtrlSwitch,
+            SpanKind::CtrlShed,
+            SpanKind::CtrlRescue,
         ] {
             assert_eq!(SpanKind::from_name(k.name()), Some(k));
         }

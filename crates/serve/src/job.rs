@@ -59,6 +59,22 @@ pub struct JobSpec {
     /// again. With a durable store this survives server restarts, which
     /// is what makes crash-time retries safe — see `crate::store`.
     pub idempotency_key: Option<String>,
+    /// Streaming session name. Jobs sharing a session solve the *same
+    /// cached problem* with a right-hand side that mutates between solves
+    /// (see [`JobSpec::perturb_scale`]), warm-starting each solve from the
+    /// previous solve's fixed point. Sessions are in-memory only: after a
+    /// restart the first solve of a session cold-starts from the problem's
+    /// own `x0` — a performance reset, never a wrong answer. A session is
+    /// bound to its first job's `(matrix, seed)`; reusing the name with a
+    /// different problem fails the job.
+    pub session: Option<String>,
+    /// Seed for this solve's multiplicative right-hand-side perturbation
+    /// (streaming sessions vary it per solve to model a drifting load).
+    pub perturb_seed: u64,
+    /// Relative perturbation amplitude: each `b[i]` becomes
+    /// `b[i]·(1 + perturb_scale·u_i)` with `u_i` uniform in [-1, 1) drawn
+    /// from `perturb_seed`. `0.0` (default) leaves `b` untouched.
+    pub perturb_scale: f64,
 }
 
 impl Default for JobSpec {
@@ -78,6 +94,9 @@ impl Default for JobSpec {
             outer: String::new(),
             deadline: None,
             idempotency_key: None,
+            session: None,
+            perturb_seed: 0,
+            perturb_scale: 0.0,
         }
     }
 }
@@ -139,6 +158,17 @@ pub struct JobResult {
     /// Whether this result was replayed from a previous solve of the same
     /// idempotency key (the solver did not run again for this submit).
     pub replayed: bool,
+    /// 1-based ordinal of this solve within its streaming session
+    /// (`None` for standalone jobs).
+    pub session_solve: Option<u64>,
+    /// Whether this solve warm-started from the session's previous fixed
+    /// point (always `false` for a session's first solve and after a
+    /// restart).
+    pub warm_started: bool,
+    /// Residual of the starting iterate (first history sample) — the
+    /// direct measure of what warm-starting bought. Meaningful only for
+    /// session solves; `0.0` otherwise.
+    pub initial_residual: f64,
 }
 
 /// The one answer every submitted job receives.

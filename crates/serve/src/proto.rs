@@ -25,9 +25,12 @@
 //! Requests carry `"v"` (see [`PROTO_VERSION`]); a missing `"v"` means
 //! version 1 (the PR 4 wire format), which remains fully accepted — the
 //! version-2 additions (`idempotency_key` on solve requests, `replayed` on
-//! done responses) are additive fields that v1 parsers simply never emit
-//! and v1 readers ignore. Versions *newer* than the server are rejected
-//! with a correlated error rather than half-parsed.
+//! done responses) and the version-3 streaming additions (`session`,
+//! `perturb_seed`, `perturb_scale` on solve requests; `session_solve`,
+//! `warm_started`, `initial_residual` on done responses) are additive
+//! fields that older parsers simply never emit and older readers ignore.
+//! Versions *newer* than the server are rejected with a correlated error
+//! rather than half-parsed.
 
 use crate::job::{JobResult, JobSpec, ShedReason};
 use aj_obs::json::{self, Value};
@@ -35,7 +38,7 @@ use aj_obs::Snapshot;
 use std::time::Duration;
 
 /// Highest protocol version this build speaks (and the one it emits).
-pub const PROTO_VERSION: u64 = 2;
+pub const PROTO_VERSION: u64 = 3;
 
 /// A parsed client request.
 // Solve dwarfs the control variants, but requests live one-at-a-time per
@@ -226,6 +229,25 @@ pub(crate) fn spec_from(v: &Value) -> Result<JobSpec, String> {
                 .to_string(),
         );
     }
+    if let Some(x) = v.get("session") {
+        let name = x.as_str().ok_or("\"session\" must be a string")?;
+        if name.is_empty() {
+            return Err("\"session\" must be non-empty".into());
+        }
+        spec.session = Some(name.to_string());
+    }
+    if let Some(x) = v.get("perturb_seed") {
+        spec.perturb_seed = x
+            .as_u64()
+            .ok_or("\"perturb_seed\" must be a non-negative integer")?;
+    }
+    if let Some(x) = v.get("perturb_scale") {
+        let scale = x.as_f64().ok_or("\"perturb_scale\" must be a number")?;
+        if !(scale.is_finite() && scale.abs() < 1.0) {
+            return Err("\"perturb_scale\" must be in (-1, 1)".into());
+        }
+        spec.perturb_scale = scale;
+    }
     Ok(spec)
 }
 
@@ -258,6 +280,16 @@ pub(crate) fn push_spec_fields(s: &mut String, spec: &JobSpec) {
     }
     if let Some(key) = &spec.idempotency_key {
         push_kv(s, "idempotency_key", |o| json::write_escaped(o, key));
+    }
+    // Additive v3 fields: only written when set, for the same reason.
+    if let Some(session) = &spec.session {
+        push_kv(s, "session", |o| json::write_escaped(o, session));
+    }
+    if spec.perturb_scale != 0.0 {
+        push_kv(s, "perturb_seed", |o| push_u64(o, spec.perturb_seed));
+        push_kv(s, "perturb_scale", |o| {
+            json::write_f64(o, spec.perturb_scale)
+        });
     }
 }
 
@@ -322,6 +354,16 @@ pub fn render_response(resp: &Response) -> String {
             // the pinned v1 compat lines) never see it.
             if result.replayed {
                 push_kv(&mut s, "replayed", |o| o.push_str("true"));
+            }
+            // Additive v3 fields: emitted only for session solves.
+            if let Some(k) = result.session_solve {
+                push_kv(&mut s, "session_solve", |o| push_u64(o, k));
+                push_kv(&mut s, "warm_started", |o| {
+                    o.push_str(if result.warm_started { "true" } else { "false" })
+                });
+                push_kv(&mut s, "initial_residual", |o| {
+                    json::write_f64(o, result.initial_residual)
+                });
             }
         }
         Response::Shed { id, reason } => {
@@ -400,6 +442,12 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                     v.get("solved_us").and_then(Value::as_u64).unwrap_or(0),
                 ),
                 replayed: matches!(v.get("replayed"), Some(Value::Bool(true))),
+                session_solve: v.get("session_solve").and_then(Value::as_u64),
+                warm_started: matches!(v.get("warm_started"), Some(Value::Bool(true))),
+                initial_residual: v
+                    .get("initial_residual")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
             },
         }),
         "shed" => {
@@ -467,6 +515,9 @@ mod tests {
             format: "sellc:c=8".into(),
             deadline: Some(Duration::from_millis(250)),
             idempotency_key: Some("client-7/req-42".into()),
+            session: Some("stream-a".into()),
+            perturb_seed: 9,
+            perturb_scale: 0.05,
             ..Default::default()
         };
         let req = Request::Solve { id: 42, spec };
@@ -512,6 +563,9 @@ mod tests {
                     queued: Duration::from_micros(35),
                     solved: Duration::from_micros(990),
                     replayed: false,
+                    session_solve: None,
+                    warm_started: false,
+                    initial_residual: 0.0,
                 },
             },
             Response::Done {
@@ -525,6 +579,25 @@ mod tests {
                     queued: Duration::from_micros(35),
                     solved: Duration::from_micros(990),
                     replayed: true,
+                    session_solve: None,
+                    warm_started: false,
+                    initial_residual: 0.0,
+                },
+            },
+            Response::Done {
+                id: 12,
+                result: JobResult {
+                    backend: "Jacobi".into(),
+                    converged: true,
+                    final_residual: 4.2e-7,
+                    samples: 120,
+                    cache_hit: true,
+                    queued: Duration::from_micros(35),
+                    solved: Duration::from_micros(990),
+                    replayed: false,
+                    session_solve: Some(17),
+                    warm_started: true,
+                    initial_residual: 2.5e-4,
                 },
             },
             Response::Shed {
@@ -569,14 +642,18 @@ mod tests {
             panic!("wrong variant");
         };
         assert_eq!(spec.idempotency_key, None);
-        // Explicit current version.
+        // Explicit older and current versions.
         assert!(parse_request(
             r#"{"op":"solve","v":2,"id":1,"matrix":"fd68","backend":"sync","idempotency_key":"k"}"#
         )
         .is_ok());
+        assert!(parse_request(
+            r#"{"op":"solve","v":3,"id":1,"matrix":"fd68","backend":"sync","session":"s1","perturb_seed":7,"perturb_scale":0.01}"#
+        )
+        .is_ok());
         // A future version is refused, with the id recovered.
         let (id, err) =
-            parse_request(r#"{"op":"solve","v":3,"id":5,"matrix":"fd68","backend":"sync"}"#)
+            parse_request(r#"{"op":"solve","v":4,"id":5,"matrix":"fd68","backend":"sync"}"#)
                 .unwrap_err();
         assert_eq!(id, Some(5));
         assert!(err.contains("newer"), "{err}");

@@ -201,8 +201,27 @@ struct ServiceInner {
     /// worker path releases the WAL lock inside `JobStore` methods before
     /// touching `idempo`, so there is no inversion.
     idempo: Mutex<HashMap<String, IdemState>>,
+    /// Streaming sessions: name → last fixed point. Deliberately in-memory
+    /// only (never in the WAL): losing a session across a restart costs one
+    /// cold start, never a wrong answer, so durability would buy risk (a
+    /// stale `x` from a dead process) for no correctness. Held only at the
+    /// edges of a solve — read the warm start, write the fixed point —
+    /// so concurrent solves on one session serialize per access, not per
+    /// solve (last writer wins, which streaming tolerates by construction).
+    sessions: Mutex<HashMap<String, SessionState>>,
     /// Next job id (starts past everything in the log).
     next_id: AtomicU64,
+}
+
+/// Per-session warm-start state (see [`JobSpec::session`]).
+struct SessionState {
+    /// The `(matrix, seed)` identity the session is bound to.
+    matrix: String,
+    seed: u64,
+    /// Fixed point of the session's latest solve.
+    x: Vec<f64>,
+    /// Solves completed in this session.
+    solves: u64,
 }
 
 /// A running solve service. Dropping it performs a draining shutdown.
@@ -268,6 +287,7 @@ impl SolveService {
             shedding: AtomicBool::new(false),
             store,
             idempo: Mutex::new(idempo),
+            sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(next_id),
             cfg,
         });
@@ -683,7 +703,61 @@ fn execute(inner: &ServiceInner, spec: &JobSpec) -> Result<(JobResult, Option<Sn
         outer_plan,
         ..Default::default()
     };
-    let report = aj_core::solve(&plan.problem, backend, &opts)?;
+    // Streaming sessions solve a per-job copy of the cached problem: the
+    // right-hand side drifts (multiplicative perturbation) and the iterate
+    // warm-starts from the session's previous fixed point. The cached plan
+    // — assembly, partitioning, memoized method/format/outer resolutions —
+    // is reused untouched; only the vectors differ.
+    let (streamed, session_solve, warm_started) = match spec.session.as_deref() {
+        Some(name) => {
+            let mut p = (*plan.problem).clone();
+            if spec.perturb_scale != 0.0 {
+                perturb_rhs(&mut p.b, spec.perturb_seed, spec.perturb_scale);
+            }
+            let warm = {
+                let sessions = inner.sessions.lock().unwrap();
+                match sessions.get(name) {
+                    Some(s) if s.matrix == spec.matrix && s.seed == spec.seed => {
+                        Some((s.x.clone(), s.solves))
+                    }
+                    Some(s) => {
+                        return Err(format!(
+                            "session '{name}' is bound to matrix '{}' seed {}; \
+                             this job asked for matrix '{}' seed {} — use a new \
+                             session name for a different problem",
+                            s.matrix, s.seed, spec.matrix, spec.seed
+                        ));
+                    }
+                    None => None,
+                }
+            };
+            let (warm_started, ordinal) = match warm {
+                Some((x, solves)) => {
+                    p.x0 = x;
+                    (true, solves + 1)
+                }
+                None => (false, 1),
+            };
+            (Some(p), Some(ordinal), warm_started)
+        }
+        None => (None, None, false),
+    };
+    let problem: &aj_core::Problem = match &streamed {
+        Some(p) => p,
+        None => &plan.problem,
+    };
+    let report = aj_core::solve(problem, backend, &opts)?;
+    if let (Some(name), Some(ordinal)) = (spec.session.as_deref(), session_solve) {
+        inner.sessions.lock().unwrap().insert(
+            name.to_string(),
+            SessionState {
+                matrix: spec.matrix.clone(),
+                seed: spec.seed,
+                x: report.x.clone(),
+                solves: ordinal,
+            },
+        );
+    }
     Ok((
         JobResult {
             backend: report.backend,
@@ -694,7 +768,30 @@ fn execute(inner: &ServiceInner, spec: &JobSpec) -> Result<(JobResult, Option<Sn
             queued: Duration::ZERO,
             solved: Duration::ZERO,
             replayed: false,
+            session_solve,
+            warm_started,
+            initial_residual: if session_solve.is_some() {
+                report.history.first().map_or(0.0, |&(_, r)| r)
+            } else {
+                0.0
+            },
         },
         report.metrics,
     ))
+}
+
+/// Applies the streaming perturbation `b[i] *= 1 + scale·u_i`, `u_i`
+/// uniform in [-1, 1) from a splitmix64 stream — deterministic in the
+/// seed, so a replayed job sees the identical right-hand side.
+fn perturb_rhs(b: &mut [f64], seed: u64, scale: f64) {
+    let mut state = seed;
+    for v in b.iter_mut() {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0; // [-1, 1)
+        *v *= 1.0 + scale * unit;
+    }
 }

@@ -345,6 +345,12 @@ fn apply_event(
                         v.get("solved_us").and_then(Value::as_u64).unwrap_or(0),
                     ),
                     replayed: false,
+                    // Session warm-start context dies with the process by
+                    // design; replayed outcomes report the solve's numbers
+                    // without it.
+                    session_solve: None,
+                    warm_started: false,
+                    initial_residual: 0.0,
                 }),
                 "cancelled" => JobOutcome::Shed(ShedReason::Cancelled),
                 "shed" => {
@@ -413,6 +419,9 @@ mod tests {
                         queued: Duration::from_micros(40),
                         solved: Duration::from_micros(900),
                         replayed: false,
+                        session_solve: None,
+                        warm_started: false,
+                        initial_residual: 0.0,
                     }),
                 )
                 .unwrap();

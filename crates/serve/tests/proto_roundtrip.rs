@@ -38,6 +38,8 @@ proptest! {
         (deadline_some, deadline_ms) in (0u32..2, 0u64..100_000),
         (key_some, key) in (0u32..2, collection::vec(0u32..1 << 30, 0..24)),
         (outer_some, outer) in (0u32..2, collection::vec(0u32..1 << 30, 1..24)),
+        (session_some, session) in (0u32..2, collection::vec(0u32..1 << 30, 1..16)),
+        (perturb_seed, perturb_mant) in (0u64..1_000_000, 0u64..64),
     ) {
         let spec = JobSpec {
             matrix: text(&matrix),
@@ -62,6 +64,11 @@ proptest! {
             },
             deadline: (deadline_some == 1).then(|| Duration::from_millis(deadline_ms)),
             idempotency_key: (key_some == 1).then(|| text(&key)),
+            // Additive v3 streaming fields: a zero perturb_scale is absent
+            // on the wire (its seed rides along only when the scale is set).
+            session: (session_some == 1).then(|| text(&session)),
+            perturb_seed: if perturb_mant > 0 { perturb_seed } else { 0 },
+            perturb_scale: perturb_mant as f64 / 64.0,
         };
         let line = proto::render_request(&Request::Solve { id, spec: spec.clone() });
         let parsed = proto::parse_request(&line)
@@ -114,6 +121,7 @@ proptest! {
         (queued_us, solved_us) in (0u64..10_000_000, 0u64..10_000_000),
         error in collection::vec(0u32..1 << 30, 0..32),
         reason_idx in 0usize..4,
+        (session_solve, warm_started) in (0u64..40, 0u32..2),
     ) {
         let done = Response::Done {
             id,
@@ -126,6 +134,11 @@ proptest! {
                 queued: Duration::from_micros(queued_us),
                 solved: Duration::from_micros(solved_us),
                 replayed: replayed == 1,
+                // 0 doubles as "standalone" so the roundtrip covers both
+                // shapes of the additive v3 fields.
+                session_solve: (session_solve > 0).then_some(session_solve),
+                warm_started: session_solve > 0 && warm_started == 1,
+                initial_residual: if session_solve > 0 { 0.125 } else { 0.0 },
             },
         };
         let shed = Response::Shed {

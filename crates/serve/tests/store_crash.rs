@@ -42,6 +42,9 @@ fn done() -> JobOutcome {
         queued: Duration::from_micros(10),
         solved: Duration::from_micros(400),
         replayed: false,
+        session_solve: None,
+        warm_started: false,
+        initial_residual: 0.0,
     })
 }
 

@@ -1,0 +1,141 @@
+//! Streaming-session regression tests: a long-lived session solves the
+//! same cached problem with a drifting right-hand side, warm-starting each
+//! solve from the previous fixed point. Pins the three properties the
+//! workload is sold on — zero plan rebuilds across the stream, warm starts
+//! that measurably beat cold starts, and restart behaviour that costs a
+//! cold start but never a wrong answer.
+
+use aj_serve::{JobOutcome, JobResult, JobSpec, ServiceConfig, SolveService};
+
+fn streaming_spec(session: &str, solve: u64) -> JobSpec {
+    JobSpec {
+        matrix: "fd68".into(),
+        backend: "sync".into(),
+        tol: 1e-8,
+        session: Some(session.into()),
+        // Each solve drifts b a little, deterministically in the ordinal.
+        perturb_seed: 1000 + solve,
+        perturb_scale: 0.01,
+        ..Default::default()
+    }
+}
+
+fn solve_one(service: &SolveService, spec: JobSpec) -> JobResult {
+    match service.submit(spec).expect("admitted").wait() {
+        JobOutcome::Done(r) => r,
+        other => panic!("expected Done, got {other:?}"),
+    }
+}
+
+#[test]
+fn twenty_perturbed_solves_reuse_the_plan_and_warm_start() {
+    let service = SolveService::start(ServiceConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let mut results = Vec::new();
+    for k in 0..20u64 {
+        let r = solve_one(&service, streaming_spec("stream-regression", k));
+        assert!(r.converged, "solve {k} did not converge: {r:?}");
+        assert_eq!(r.session_solve, Some(k + 1));
+        assert_eq!(r.warm_started, k > 0);
+        results.push(r);
+    }
+    // Zero rebuilds: the first solve assembled the plan, every later solve
+    // hit the cache.
+    assert_eq!(service.cache().misses.get(), 1);
+    assert_eq!(service.cache().hits.get(), 19);
+    // Warm starts start closer: with a 1% drift of b, every warm start's
+    // initial residual must sit far below the cold start's (which begins at
+    // the paper's random x0).
+    let cold = results[0].initial_residual;
+    for (k, r) in results.iter().enumerate().skip(1) {
+        assert!(
+            r.initial_residual < cold,
+            "solve {k} warm-started no closer than cold: {} vs {cold}",
+            r.initial_residual
+        );
+    }
+    // And the warm advantage is substantial, not incidental: the previous
+    // fixed point is within the perturbation's size of the new solution.
+    let worst_warm = results[1..]
+        .iter()
+        .map(|r| r.initial_residual)
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst_warm < 0.5 * cold,
+        "warm initial residual {worst_warm} not clearly below cold {cold}"
+    );
+    service.shutdown(true);
+}
+
+#[test]
+fn restart_costs_a_cold_start_never_a_wrong_answer() {
+    let first = SolveService::start(ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let r1 = solve_one(&first, streaming_spec("stream-restart", 0));
+    let r2 = solve_one(&first, streaming_spec("stream-restart", 1));
+    assert!(r1.converged && r2.converged);
+    assert!(r2.warm_started);
+    // Kill the service (sessions are in-memory only) and bring up a fresh
+    // one: the same session name must cold-start — and still be right.
+    first.shutdown(true);
+    drop(first);
+    let second = SolveService::start(ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let r3 = solve_one(&second, streaming_spec("stream-restart", 2));
+    assert!(!r3.warm_started, "a session must not survive a restart");
+    assert_eq!(r3.session_solve, Some(1));
+    assert!(r3.converged);
+    assert!(
+        r3.final_residual <= 1e-8,
+        "cold restart produced a wrong answer: {}",
+        r3.final_residual
+    );
+    second.shutdown(true);
+}
+
+#[test]
+fn session_is_bound_to_its_first_problem() {
+    let service = SolveService::start(ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let r = solve_one(&service, streaming_spec("stream-bound", 0));
+    assert!(r.converged);
+    let mut other = streaming_spec("stream-bound", 1);
+    other.matrix = "fd40".into();
+    match service.submit(other).expect("admitted").wait() {
+        JobOutcome::Failed(msg) => {
+            assert!(msg.contains("bound to matrix"), "{msg}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    service.shutdown(true);
+}
+
+#[test]
+fn standalone_jobs_carry_no_session_fields() {
+    let service = SolveService::start(ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let r = solve_one(
+        &service,
+        JobSpec {
+            matrix: "fd68".into(),
+            backend: "sync".into(),
+            tol: 1e-6,
+            ..Default::default()
+        },
+    );
+    assert!(r.converged);
+    assert_eq!(r.session_solve, None);
+    assert!(!r.warm_started);
+    assert_eq!(r.initial_residual, 0.0);
+    service.shutdown(true);
+}

@@ -1,6 +1,7 @@
 //! The §V shared-memory solvers.
 
 use crate::shared_vec::SharedVec;
+use aj_control::{ControlSpec, ControlStats, Controller, Decision, Observation};
 use aj_linalg::method::{self, ResolvedMethod};
 use aj_linalg::vecops::{self, Norm};
 use aj_linalg::{CsrMatrix, StorageFormat, SweepKernel};
@@ -69,6 +70,15 @@ pub struct ShmemConfig {
     /// cross-thread synchronization on the hot path — merged into
     /// [`ShmemRun::obs`] after the threads join.
     pub obs: ObsConfig,
+    /// Optional online controller (off by default). Thread 0 drives the
+    /// decision kernel from its per-iteration residual samples; the adapted
+    /// ω/β are published through atomic cells the workers read each sweep.
+    /// Real threads have no deterministic clock, so staleness is measured as
+    /// sweep-count lag behind the fastest thread — a documented
+    /// simplification relative to the simulators' delay-tick measurement —
+    /// and a [`Decision::Switch`] is realised by driving β to zero (momentum
+    /// off) rather than swapping the per-thread state machines mid-flight.
+    pub control: Option<ControlSpec>,
 }
 
 impl Default for ShmemConfig {
@@ -85,6 +95,7 @@ impl Default for ShmemConfig {
             method: ResolvedMethod::Jacobi,
             format: StorageFormat::Csr,
             obs: ObsConfig::off(),
+            control: None,
         }
     }
 }
@@ -108,6 +119,8 @@ pub struct ShmemRun {
     /// histograms in ns, timelines), when [`ShmemConfig::obs`] enabled
     /// recording.
     pub obs: Option<Snapshot>,
+    /// Controller decision record, when [`ShmemConfig::control`] was set.
+    pub control: Option<ControlStats>,
 }
 
 /// Runs shared-memory Jacobi per the paper's program structure:
@@ -157,11 +170,30 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
     let nb = vecops::norm(b, config.norm).max(f64::MIN_POSITIVE);
     let history = parking_lot::Mutex::new(Vec::<(f64, f64)>::new());
 
+    // Controller plumbing: thread 0 publishes the adapted ω/β through these
+    // cells; workers load them at the top of each correction sweep. With the
+    // controller off the cells are never read and the classic code path is
+    // untouched.
+    let ctrl_on = config.control.is_some();
+    let base_omega = match config.method {
+        ResolvedMethod::Richardson1 { omega } => omega,
+        ResolvedMethod::Richardson2 { omega, .. } => omega,
+        _ => config.omega,
+    };
+    let base_beta = match config.method {
+        ResolvedMethod::Richardson2 { beta, .. } => beta,
+        _ => 0.0,
+    };
+    let omega_cell = AtomicU64::new(base_omega.to_bits());
+    let beta_cell = AtomicU64::new(base_beta.to_bits());
+    let ctrl_abort = AtomicBool::new(false);
+
     let start = Instant::now();
     // Per-thread observability shards, returned through the join handles:
     // each thread records into private state (no hot-path sharing) and the
     // merge happens once, after the parallel region.
     let mut shards: Vec<Option<(Histogram, Timeline)>> = Vec::new();
+    let mut control_stats: Option<ControlStats> = None;
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for tid in 0..t {
@@ -173,6 +205,9 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
             let barrier = &barrier;
             let history = &history;
             let diag_inv = &diag_inv;
+            let omega_cell = &omega_cell;
+            let beta_cell = &beta_cell;
+            let ctrl_abort = &ctrl_abort;
             handles.push(scope.spawn(move |_| {
                 let mut iters = 0usize;
                 // Momentum state over my rows only (thread-private; no other
@@ -204,6 +239,16 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                         Timeline::new(config.obs.timeline_capacity),
                         config.obs.sampler(),
                     ))
+                } else {
+                    None
+                };
+                // Thread 0 doubles as the controller host: it already
+                // evaluates the global residual every iteration, which is the
+                // natural analogue of the simulators' monitor grid.
+                let mut ctrl = if tid == 0 {
+                    config.control.map(|spec| {
+                        Controller::new(spec.cfg, config.method, base_omega, spec.interval)
+                    })
                 } else {
                     None
                 };
@@ -250,15 +295,27 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                     // Step 2: correct my rows.
                     match config.method {
                         ResolvedMethod::Jacobi | ResolvedMethod::Richardson1 { .. } => {
-                            let omega = match config.method {
-                                ResolvedMethod::Richardson1 { omega } => omega,
-                                _ => config.omega,
+                            let omega = if ctrl_on {
+                                f64::from_bits(omega_cell.load(Ordering::Relaxed))
+                            } else {
+                                match config.method {
+                                    ResolvedMethod::Richardson1 { omega } => omega,
+                                    _ => config.omega,
+                                }
                             };
                             for i in range.clone() {
                                 x.store(i, x.load(i) + omega * diag_inv[i] * r.load(i));
                             }
                         }
                         ResolvedMethod::Richardson2 { omega, beta } => {
+                            let (omega, beta) = if ctrl_on {
+                                (
+                                    f64::from_bits(omega_cell.load(Ordering::Relaxed)),
+                                    f64::from_bits(beta_cell.load(Ordering::Relaxed)),
+                                )
+                            } else {
+                                (omega, beta)
+                            };
                             let lo = range.start;
                             for i in range.clone() {
                                 let xi = x.load(i);
@@ -360,6 +417,51 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                     if tid == 0 {
                         history.lock().push((start.elapsed().as_secs_f64(), res));
                     }
+                    if let Some(c) = ctrl.as_mut() {
+                        // Staleness on real threads: sweep-count lag behind
+                        // the fastest non-shed thread, the wall-clock-free
+                        // analogue of the simulators' delay-tick measure.
+                        let mut cmax = 0u64;
+                        for (v, cnt) in iter_counts.iter().enumerate() {
+                            if !c.is_shed(v) {
+                                cmax = cmax.max(cnt.load(Ordering::Relaxed));
+                            }
+                        }
+                        let mut worst = 0usize;
+                        let mut staleness = 0.0f64;
+                        for (v, cnt) in iter_counts.iter().enumerate() {
+                            if c.is_shed(v) {
+                                continue;
+                            }
+                            let lag = cmax.saturating_sub(cnt.load(Ordering::Relaxed)) as f64;
+                            if lag > staleness {
+                                staleness = lag;
+                                worst = v;
+                            }
+                        }
+                        if let Some(d) = c.observe(Observation {
+                            residual: res,
+                            staleness,
+                            worst,
+                        }) {
+                            match d {
+                                Decision::Shrink { omega, beta }
+                                | Decision::Widen { omega, beta } => {
+                                    omega_cell.store(omega.to_bits(), Ordering::Relaxed);
+                                    beta_cell.store(beta.to_bits(), Ordering::Relaxed);
+                                }
+                                Decision::Switch { omega } => {
+                                    omega_cell.store(omega.to_bits(), Ordering::Relaxed);
+                                    beta_cell.store(0f64.to_bits(), Ordering::Relaxed);
+                                }
+                                Decision::Shed { .. } => {}
+                                Decision::Rescue => {}
+                            }
+                            if c.rescue_requested() {
+                                ctrl_abort.store(true, Ordering::Release);
+                            }
+                        }
+                    }
                     if !flags[tid].load(Ordering::Relaxed)
                         && (res < config.tol || iters >= config.max_iterations)
                     {
@@ -377,7 +479,10 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                     // suite; 4× the configured budget never triggers in
                     // normal operation.
                     let all_done = flags.iter().all(|f| f.load(Ordering::Acquire));
-                    if all_done || iters >= 4 * config.max_iterations {
+                    if all_done
+                        || iters >= 4 * config.max_iterations
+                        || (ctrl_on && ctrl_abort.load(Ordering::Acquire))
+                    {
                         break;
                     }
                     // With more threads than cores (common here, and on the
@@ -388,13 +493,19 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
                         std::thread::yield_now();
                     }
                 }
-                shard.map(|(hist, tl, _)| (hist, tl))
+                (
+                    shard.map(|(hist, tl, _)| (hist, tl)),
+                    ctrl.map(Controller::into_stats),
+                )
             }));
         }
-        shards = handles
-            .into_iter()
-            .map(|h| h.join().expect("a solver thread panicked"))
-            .collect();
+        for h in handles {
+            let (sh, cs) = h.join().expect("a solver thread panicked");
+            shards.push(sh);
+            if cs.is_some() {
+                control_stats = cs;
+            }
+        }
     })
     .expect("a solver thread panicked");
     let wall_time = start.elapsed();
@@ -447,6 +558,7 @@ pub fn run(a: &CsrMatrix, b: &[f64], x0: &[f64], config: &ShmemConfig) -> ShmemR
         converged: final_residual < config.tol,
         final_residual,
         obs,
+        control: control_stats,
     }
 }
 
@@ -650,6 +762,81 @@ mod tests {
         };
         let r = run(&a, &b, &x0, &cfg);
         assert!(r.converged, "residual {}", r.final_residual);
+    }
+
+    #[test]
+    fn controller_shrinks_then_rescues_under_pathological_delay() {
+        // A worker that sleeps 500µs every sweep lags the fast thread by
+        // thousands of sweep periods: the controller shrinks ω to the safe
+        // floor, progress at the floor cannot meet the (aggressive) stall
+        // rate, and — Jacobi having no momentum to drop — the ladder ends in
+        // a rescue request that aborts the run for the driver to escalate.
+        let (a, b, x0) = problem();
+        let interval = aj_linalg::method::SafeInterval::estimate(&a).unwrap();
+        let cfg = ShmemConfig {
+            num_threads: 2,
+            tol: 1e-12,
+            max_iterations: 50_000,
+            mode: Mode::Asynchronous,
+            delay: Some(DelayInjection {
+                thread: 1,
+                duration: Duration::from_micros(500),
+            }),
+            control: Some(ControlSpec {
+                cfg: aj_control::ControlConfig {
+                    stall_decades: 0.02,
+                    ..aj_control::ControlConfig::default()
+                },
+                interval,
+            }),
+            ..Default::default()
+        };
+        let r = run(&a, &b, &x0, &cfg);
+        let stats = r.control.expect("controller stats recorded");
+        assert!(stats.samples > 0);
+        assert!(
+            stats.rescue_requested,
+            "expected a rescue request; decisions: {:?}",
+            stats.decisions
+        );
+        assert!(!stats.decisions.is_empty());
+        // The rescue abort must actually stop the threads well short of the
+        // safety cap.
+        assert!(r.iterations.iter().all(|&it| it < 4 * 50_000));
+    }
+
+    #[test]
+    fn controller_on_healthy_run_does_not_hurt_convergence() {
+        let (a, b, x0) = problem();
+        let interval = aj_linalg::method::SafeInterval::estimate(&a).unwrap();
+        let cfg = ShmemConfig {
+            num_threads: 2,
+            tol: 1e-4,
+            max_iterations: 100_000,
+            mode: Mode::Asynchronous,
+            control: Some(ControlSpec {
+                cfg: aj_control::ControlConfig::default(),
+                interval,
+            }),
+            ..Default::default()
+        };
+        let r = run(&a, &b, &x0, &cfg);
+        assert!(r.converged, "controlled async failed: {}", r.final_residual);
+        let stats = r.control.expect("controller stats recorded");
+        assert!(stats.samples > 0);
+        assert!(!stats.rescue_requested);
+    }
+
+    #[test]
+    fn control_off_records_no_stats() {
+        let (a, b, x0) = problem();
+        let cfg = ShmemConfig {
+            num_threads: 2,
+            tol: 1e-3,
+            ..Default::default()
+        };
+        let r = run(&a, &b, &x0, &cfg);
+        assert!(r.control.is_none());
     }
 
     #[test]

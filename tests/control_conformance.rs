@@ -1,0 +1,338 @@
+//! Cross-engine controller conformance.
+//!
+//! The closed-loop controller observes staleness only through the coarse
+//! [`aj_control::Regime`] quantization and residual decay through windowed
+//! decades, precisely so that engines with different tick dynamics reach
+//! the *same decisions*. This battery pins that contract from the umbrella
+//! level:
+//!
+//! * the shared-memory simulator and the distributed simulator, given the
+//!   same problem, seed, and a crippling delay on worker/rank 0, must walk
+//!   the identical shrink ladder to the safe floor (same kinds, same exact
+//!   parameter bits), oscillate over the same floor steps, and stamp
+//!   matching `Ctrl*` events on rank 0's timeline;
+//! * with the controller off — the default — both engines must stay
+//!   bit-identical to their uncontrolled form, re-asserted here against
+//!   the golden fingerprints pinned in `crates/dmsim/tests/determinism.rs`.
+
+use aj_control::{ControlConfig, ControlSpec, Decision};
+use aj_obs::{ObsConfig, SpanKind};
+use async_jacobi_repro::dmsim::dist::{run_dist_async, DistConfig};
+use async_jacobi_repro::dmsim::monitor::SimOutcome;
+use async_jacobi_repro::dmsim::shmem_sim::{run_shmem_async, ShmemSimConfig, SimDelay, StopRule};
+use async_jacobi_repro::linalg::method::SafeInterval;
+use async_jacobi_repro::linalg::CsrMatrix;
+use async_jacobi_repro::matrices::{fd, rhs};
+use async_jacobi_repro::partition::block_partition;
+
+fn fd68() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let a = fd::paper_fd("fd68")
+        .unwrap()
+        .scale_to_unit_diagonal()
+        .unwrap();
+    let (b, x0) = rhs::paper_problem(a.nrows(), 2018);
+    (a, b, x0)
+}
+
+/// The conformance controller: staleness-regime adaptation only. The huge
+/// window keeps the stall ladder (switch/rescue) out of the picture so the
+/// decision sequence is a pure function of the quantized staleness regime,
+/// which both engines must agree on despite different tick dynamics.
+fn control_spec(a: &CsrMatrix) -> ControlSpec {
+    ControlSpec {
+        cfg: ControlConfig {
+            window: 10_000,
+            ..ControlConfig::default()
+        },
+        interval: SafeInterval::estimate(a).expect("safe interval"),
+    }
+}
+
+/// A decision, projected onto what must conform across engines: the kind
+/// and the exact new parameters. Sample ordinals and ticks are engine
+/// dynamics and deliberately excluded.
+fn decision_key(d: &Decision) -> DecisionKey {
+    match d {
+        Decision::Shrink { omega, beta } => ("shrink", omega.to_bits(), beta.to_bits()),
+        Decision::Widen { omega, beta } => ("widen", omega.to_bits(), beta.to_bits()),
+        Decision::Switch { omega } => ("switch", omega.to_bits(), 0),
+        Decision::Shed { worker } => ("shed", *worker as u64, 0),
+        Decision::Rescue => ("rescue", 0, 0),
+    }
+}
+
+/// Rank 0's controller events, in stamp order, plus how many timeline
+/// events the bounded ring evicted. Both engines record every decision on
+/// rank 0's timeline through the shared `decision_kind` mapping, so the
+/// retained event-kind sequence must be a suffix of the decision sequence
+/// (the ring keeps the most recent window), and the whole sequence when
+/// nothing was evicted.
+fn ctrl_events(out: &SimOutcome) -> (Vec<SpanKind>, u64) {
+    let snap = out.obs.as_ref().expect("obs snapshot");
+    let rank0 = snap
+        .timelines
+        .iter()
+        .find(|t| t.rank == 0)
+        .expect("rank 0 timeline");
+    let events = rank0
+        .events
+        .iter()
+        .map(|e| e.kind)
+        .filter(|k| {
+            matches!(
+                k,
+                SpanKind::CtrlShrink
+                    | SpanKind::CtrlWiden
+                    | SpanKind::CtrlSwitch
+                    | SpanKind::CtrlShed
+                    | SpanKind::CtrlRescue
+            )
+        })
+        .collect();
+    (events, rank0.dropped)
+}
+
+fn decision_to_event(d: &Decision) -> SpanKind {
+    match d {
+        Decision::Shrink { .. } => SpanKind::CtrlShrink,
+        Decision::Widen { .. } => SpanKind::CtrlWiden,
+        Decision::Switch { .. } => SpanKind::CtrlSwitch,
+        Decision::Shed { .. } => SpanKind::CtrlShed,
+        Decision::Rescue => SpanKind::CtrlRescue,
+    }
+}
+
+/// Splits a decision sequence into the opening shrink ladder (every
+/// decision down to the first non-shrink) and the tail. At the safe floor
+/// the controller settles into a Widen/Shrink oscillation — the delayed
+/// worker's own commits momentarily read as Low staleness — whose *dwell
+/// counts* depend on each engine's tick dynamics, so the tail is compared
+/// as its set of distinct steps rather than by length.
+type DecisionKey = (&'static str, u64, u64);
+
+fn ladder_and_tail(seq: &[DecisionKey]) -> (Vec<DecisionKey>, Vec<DecisionKey>) {
+    let cut = seq
+        .iter()
+        .position(|(kind, _, _)| *kind != "shrink")
+        .unwrap_or(seq.len());
+    let (ladder, tail) = seq.split_at(cut);
+    let mut distinct = Vec::new();
+    for step in tail {
+        if !distinct.contains(step) {
+            distinct.push(*step);
+        }
+    }
+    (ladder.to_vec(), distinct)
+}
+
+/// Both simulators under the same seed, delay, and controller must walk
+/// the identical shrink ladder: worker/rank 0 is delayed so hard that the
+/// staleness regime pins High, and the controller halves ω step by step to
+/// the safe floor. The exact ω bits conform because both engines resolve
+/// the same base method against the same safe interval; past the floor,
+/// both engines must oscillate between the same two (widen, shrink) steps,
+/// bit for bit.
+#[test]
+fn engines_emit_identical_decision_sequences() {
+    let (a, b, x0) = fd68();
+    let n = a.nrows();
+    let workers = 4;
+    let delay = SimDelay {
+        worker: 0,
+        extra_ticks: 1e5,
+    };
+
+    let mut scfg = ShmemSimConfig::new(workers, n, 11);
+    scfg.delay = Some(delay);
+    scfg.stop = StopRule::FixedIterations(200);
+    scfg.tol = 1e-300; // never hit: the fixed iteration count ends the run
+    scfg.control = Some(control_spec(&a));
+    scfg.obs = ObsConfig::full();
+    let shmem = run_shmem_async(&a, &b, &x0, &scfg);
+
+    let p = block_partition(n, workers);
+    let mut dcfg = DistConfig::new(n, 11);
+    dcfg.delay = Some(delay);
+    dcfg.stop = StopRule::FixedIterations(200);
+    dcfg.tol = 1e-300;
+    dcfg.control = Some(control_spec(&a));
+    dcfg.obs = ObsConfig::full();
+    let dist = run_dist_async(&a, &b, &x0, &p, &dcfg);
+
+    let s_stats = shmem.control.as_ref().expect("shmem control stats");
+    let d_stats = dist.control.as_ref().expect("dist control stats");
+
+    let s_seq: Vec<_> = s_stats
+        .decisions
+        .iter()
+        .map(|(_, d)| decision_key(d))
+        .collect();
+    let d_seq: Vec<_> = d_stats
+        .decisions
+        .iter()
+        .map(|(_, d)| decision_key(d))
+        .collect();
+    let (s_ladder, s_tail) = ladder_and_tail(&s_seq);
+    let (d_ladder, d_tail) = ladder_and_tail(&d_seq);
+    assert!(
+        s_ladder.len() >= 2,
+        "the delayed run produced no shrink ladder — the scenario is inert: {s_seq:?}"
+    );
+    assert_eq!(
+        s_ladder, d_ladder,
+        "shmem_sim and dist diverged on the shrink ladder:\n\
+         shmem: {:?}\ndist:  {:?}",
+        s_stats.decisions, d_stats.decisions
+    );
+    assert_eq!(
+        s_tail, d_tail,
+        "shmem_sim and dist oscillate over different floor steps:\n\
+         shmem: {:?}\ndist:  {:?}",
+        s_stats.decisions, d_stats.decisions
+    );
+
+    // Every decision must also be stamped as a Ctrl* event on rank 0's
+    // timeline, in order, in both engines. The timeline is a bounded ring
+    // that evicts oldest-first, so the retained Ctrl* events must form a
+    // suffix of the decision sequence — and the whole of it when the ring
+    // never overflowed.
+    for (label, out, stats) in [("shmem_sim", &shmem, s_stats), ("dist", &dist, d_stats)] {
+        let (events, dropped) = ctrl_events(out);
+        let expected: Vec<_> = stats
+            .decisions
+            .iter()
+            .map(|(_, d)| decision_to_event(d))
+            .collect();
+        if dropped == 0 {
+            assert_eq!(events, expected, "{label}: timeline events != decisions");
+        } else {
+            assert!(
+                !events.is_empty() && expected.ends_with(&events),
+                "{label}: retained timeline events are not a suffix of the \
+                 decisions:\nevents:    {events:?}\ndecisions: {expected:?}"
+            );
+        }
+    }
+}
+
+/// The same pairing without the delay: a healthy run must leave the
+/// parameters alone in both engines (no spurious shrink on a well-behaved
+/// workload), which also keeps the conformance claim two-sided — agreeing
+/// on "do nothing" is as load-bearing as agreeing on the ladder.
+#[test]
+fn engines_agree_on_a_quiet_run() {
+    let (a, b, x0) = fd68();
+    let n = a.nrows();
+    let workers = 4;
+
+    let mut scfg = ShmemSimConfig::new(workers, n, 11);
+    scfg.tol = 1e-6;
+    scfg.control = Some(control_spec(&a));
+    let shmem = run_shmem_async(&a, &b, &x0, &scfg);
+
+    let p = block_partition(n, workers);
+    let mut dcfg = DistConfig::new(n, 11);
+    dcfg.tol = 1e-6;
+    dcfg.control = Some(control_spec(&a));
+    let dist = run_dist_async(&a, &b, &x0, &p, &dcfg);
+
+    for (label, out) in [("shmem_sim", &shmem), ("dist", &dist)] {
+        assert!(out.converged, "{label}: healthy controlled run diverged");
+        let stats = out.control.as_ref().expect("control stats");
+        let shrinks = stats
+            .decisions
+            .iter()
+            .filter(|(_, d)| matches!(d, Decision::Shrink { .. }))
+            .count();
+        assert_eq!(
+            shrinks, 0,
+            "{label}: spurious shrink on a healthy run: {:?}",
+            stats.decisions
+        );
+        assert!(
+            !stats.rescue_requested,
+            "{label}: spurious rescue on a healthy run"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Default-off bit-identity, re-asserted from the umbrella level
+// ---------------------------------------------------------------------------
+
+fn fnv(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+/// `(sample count, FNV-1a hash)` over every sample's exact bit pattern,
+/// the final iterate's bits, and the relaxation/iteration counters — the
+/// same fingerprint `crates/dmsim/tests/determinism.rs` pins, duplicated
+/// here so the umbrella build breaks loudly if a controller change leaks
+/// into the default path.
+fn fingerprint(out: &SimOutcome) -> (usize, u64) {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut count = 0usize;
+    let mut prev: Option<(u64, u64, u64)> = None;
+    for s in &out.samples {
+        let bits = (
+            s.time.to_bits(),
+            s.relaxations_per_n.to_bits(),
+            s.residual.to_bits(),
+        );
+        if prev == Some(bits) {
+            continue; // collapse exact consecutive duplicates
+        }
+        prev = Some(bits);
+        count += 1;
+        fnv(&mut h, bits.0);
+        fnv(&mut h, bits.1);
+        fnv(&mut h, bits.2);
+    }
+    for v in &out.x {
+        fnv(&mut h, v.to_bits());
+    }
+    fnv(&mut h, out.relaxations);
+    for &it in &out.worker_iterations {
+        fnv(&mut h, it);
+    }
+    for c in [
+        out.comm.puts,
+        out.comm.values,
+        out.comm.drops,
+        out.comm.duplicates,
+        out.comm.reorders,
+    ] {
+        fnv(&mut h, c);
+    }
+    (count, h)
+}
+
+/// `control: None` (the default) must leave both engines byte-identical to
+/// their pre-controller behaviour: the fingerprints below are the golden
+/// values from `crates/dmsim/tests/determinism.rs`, captured before the
+/// controller existed.
+#[test]
+fn control_off_keeps_the_golden_fingerprints() {
+    let (a, b, x0) = fd68();
+    let cfg = ShmemSimConfig::new(8, a.nrows(), 11);
+    assert!(cfg.control.is_none(), "control must default to off");
+    let out = run_shmem_async(&a, &b, &x0, &cfg);
+    assert_eq!(
+        fingerprint(&out),
+        (35, 0x63fc193b7ae5f5c4),
+        "shmem_async_jacobi fingerprint moved with control off"
+    );
+
+    let a = fd::laplacian_2d(12, 12).scale_to_unit_diagonal().unwrap();
+    let (b, x0) = rhs::paper_problem(a.nrows(), 99);
+    let p = block_partition(a.nrows(), 8);
+    let cfg = DistConfig::new(a.nrows(), 1);
+    assert!(cfg.control.is_none(), "control must default to off");
+    let out = run_dist_async(&a, &b, &x0, &p, &cfg);
+    assert_eq!(
+        fingerprint(&out),
+        (120, 0x1aa5546d32f484c4),
+        "dist_jacobi fingerprint moved with control off"
+    );
+}
